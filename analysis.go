@@ -1,0 +1,51 @@
+package mpdash
+
+import (
+	"mpdash/internal/analysis"
+	"mpdash/internal/dash"
+	"mpdash/internal/pcaplite"
+)
+
+// Re-exports for the multipath video analysis tool (paper §6).
+
+// Report is a playback session's report (bitrate, stalls, switches,
+// per-path bytes, QoE).
+type Report = dash.Report
+
+// QoEWeights parameterize Report.QoE.
+type QoEWeights = dash.QoEWeights
+
+// DefaultQoEWeights returns the reproduction's standard QoE weights.
+var DefaultQoEWeights = dash.DefaultQoEWeights
+
+// SessionMetrics is the analysis tool's numeric output.
+type SessionMetrics = analysis.Metrics
+
+// AnalyzeReport computes SessionMetrics from a playback report.
+func AnalyzeReport(rep *Report, primaryPath string) *SessionMetrics {
+	return analysis.Analyze(rep, primaryPath)
+}
+
+// Rendering (Figure 8 and throughput/buffer views).
+var (
+	RenderChunksASCII     = analysis.RenderChunksASCII
+	RenderChunksSVG       = analysis.RenderChunksSVG
+	RenderThroughputASCII = analysis.RenderThroughputASCII
+	RenderBufferASCII     = analysis.RenderBufferASCII
+)
+
+// Packet traces: capture transport segments live and correlate them with
+// player event logs.
+
+// PacketTrace is a parsed pcaplite capture.
+type PacketTrace = pcaplite.Trace
+
+// MemoryRecorder captures transport segments in memory; attach it via
+// SessionConfig.Recorder.
+type MemoryRecorder = analysis.MemoryRecorder
+
+// ChunkTrace is the per-chunk reconstruction Correlate produces.
+type ChunkTrace = analysis.ChunkTrace
+
+// Correlate joins a packet trace with a player event log.
+var Correlate = analysis.Correlate

@@ -1,0 +1,327 @@
+package mpdash
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one bench per experiment; run with
+// `go test -bench=. -benchmem`). Benchmarks report the headline numbers
+// via b.ReportMetric so the shapes can be read straight off the bench
+// output; cmd/mpdash-tables prints the full rows.
+
+import (
+	"testing"
+	"time"
+)
+
+// benchChunks keeps streaming benches affordable while staying in the
+// steady-state regime (the full paper sessions are 150 chunks; CLI runs
+// use that).
+const benchChunks = 150
+
+func BenchmarkFig1VanillaMPTCPThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		set, err := Fig1VanillaThroughput(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var lte float64
+		for _, v := range set.Series[2] {
+			lte += v
+		}
+		b.ReportMetric(lte/float64(len(set.Series[2])), "lte-avg-mbps")
+	}
+}
+
+func BenchmarkFig3BBAOscillation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig3BBAOscillation(benchChunks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flips := 0
+		for j := 1; j < len(rows); j++ {
+			if rows[j].BitrateMbps != rows[j-1].BitrateMbps {
+				flips++
+			}
+		}
+		b.ReportMetric(float64(flips), "bitrate-flips")
+	}
+}
+
+func BenchmarkFig4SchedulerFileDownload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig4SchedulerComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// rows[0] = default/baseline, rows[3] = default/D=10s.
+		b.ReportMetric(rows[0].LTEMB, "baseline-lte-mb")
+		b.ReportMetric(rows[3].LTEMB, "d10-lte-mb")
+		b.ReportMetric(100*(1-rows[3].LTEMB/rows[0].LTEMB), "d10-saving-pct")
+		b.ReportMetric(100*(1-rows[3].EnergyJ/rows[0].EnergyJ), "d10-energy-saving-pct")
+	}
+}
+
+func BenchmarkAlphaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AlphaSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].LTEMB, "alpha0.8-lte-mb")
+		b.ReportMetric(rows[4].LTEMB, "alpha1.0-lte-mb")
+	}
+}
+
+func BenchmarkTable2OnlineVsOptimal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Table2OnlineVsOptimal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxDiff, sumDiff float64
+		misses := 0
+		for _, r := range rows {
+			if r.DiffPct > maxDiff {
+				maxDiff = r.DiffPct
+			}
+			sumDiff += r.DiffPct
+			if r.Missed {
+				misses++
+			}
+		}
+		b.ReportMetric(maxDiff, "max-diff-pct")
+		b.ReportMetric(sumDiff/float64(len(rows)), "avg-diff-pct")
+		b.ReportMetric(float64(misses), "deadline-misses")
+	}
+}
+
+func BenchmarkFig5HoltWinters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		set, err := Fig5Prediction("Fast Food B", 35)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mae float64
+		n := 0
+		for j := 20; j < len(set.Series[0]); j++ {
+			d := set.Series[0][j] - set.Series[1][j]
+			if d < 0 {
+				d = -d
+			}
+			mae += d
+			n++
+		}
+		b.ReportMetric(mae/float64(n), "mae-mbps")
+	}
+}
+
+func BenchmarkTable4Throttling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Table4Throttling(benchChunks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		by := map[string]Table4Row{}
+		for _, r := range rows {
+			by[r.Config] = r
+		}
+		b.ReportMetric(by["Default"].CellMB, "default-cell-mb")
+		b.ReportMetric(by["700 K"].CellMB, "throttle700k-cell-mb")
+		b.ReportMetric(by["MP-DASH"].CellMB, "mpdash-cell-mb")
+		b.ReportMetric(by["700 K"].EnergyJ, "throttle700k-energy-j")
+		b.ReportMetric(by["MP-DASH"].EnergyJ, "mpdash-energy-j")
+	}
+}
+
+func BenchmarkFig6TrafficPatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		set, err := Fig6TrafficPatterns(30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Throttled LTE dribbles: many active windows; MP-DASH bursts: few.
+		active := func(s []float64) (n int) {
+			for _, v := range s {
+				if v > 0.05 {
+					n++
+				}
+			}
+			return n
+		}
+		b.ReportMetric(float64(active(set.Series[0])), "throttle-active-windows")
+		b.ReportMetric(float64(active(set.Series[1])), "mpdash-active-windows")
+	}
+}
+
+func BenchmarkFig7ResourceSavings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig7ResourceSavings(benchChunks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline cell: FESTIVE at W3.8/L3.0, rate-based saving.
+		var base, rate float64
+		stalls := 0
+		for _, r := range rows {
+			if r.Condition == "W3.8/L3.0" && r.Algorithm == "FESTIVE" {
+				switch r.Scheme {
+				case "Baseline":
+					base = r.LTEMB
+				case "Rate":
+					rate = r.LTEMB
+				}
+			}
+			stalls += r.Stalls
+		}
+		b.ReportMetric(100*(1-rate/base), "festive-rate-saving-pct")
+		b.ReportMetric(float64(stalls), "total-stalls")
+	}
+}
+
+func BenchmarkFig8Visualization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ascii, svg, err := Fig8Visualization(40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(ascii)), "renders")
+		b.ReportMetric(float64(len(svg[0])), "svg-bytes")
+	}
+}
+
+func BenchmarkFig9FieldSavingsCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := RunFieldStudySummary(60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.SavingsPercentiles[0]*100, "p25-saving-pct")
+		b.ReportMetric(s.SavingsPercentiles[1]*100, "p50-saving-pct")
+		b.ReportMetric(s.SavingsPercentiles[2]*100, "p75-saving-pct")
+	}
+}
+
+func BenchmarkFig10BitrateReductionCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := RunFieldStudySummary(60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.NoBitrateReductionFrac*100, "no-reduction-pct")
+	}
+}
+
+func BenchmarkTable5RepresentativeLocations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := RunFieldStudySummary(60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := Table5Representative(s.Study)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].FESTIVERate, "hotelhi-festive-rate-pct")
+		b.ReportMetric(rows[6].FESTIVERate, "elecstore-festive-rate-pct")
+	}
+}
+
+func BenchmarkFig11Mobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Fig11MobilityExperiment(90)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CellularSavingPct, "cell-saving-pct")
+		b.ReportMetric(res.EnergySavingPct, "energy-saving-pct")
+		b.ReportMetric(float64(res.MPDashStalls), "stalls")
+	}
+}
+
+func BenchmarkTable6HDVideo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Table6HDVideo(benchChunks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].CellularSavingPct, "festive-cell-saving-pct")
+		b.ReportMetric(rows[1].CellularSavingPct, "bbac-cell-saving-pct")
+	}
+}
+
+func BenchmarkAblationPhiOmega(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationPhiOmega(benchChunks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].LTEMB, "full-lte-mb")
+		b.ReportMetric(rows[1].LTEMB, "no-extension-lte-mb")
+		b.ReportMetric(rows[2].LTEMB, "no-guard-lte-mb")
+	}
+}
+
+func BenchmarkAblationPredictor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationPredictor()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sums := map[string]float64{}
+		for _, r := range rows {
+			sums[r.Predictor] += r.OnlinePct
+		}
+		b.ReportMetric(sums["holt-winters"]/5, "hw-avg-cell-pct")
+		b.ReportMetric(sums["ewma"]/5, "ewma-avg-cell-pct")
+		b.ReportMetric(sums["last-sample"]/5, "last-avg-cell-pct")
+	}
+}
+
+// BenchmarkAblationCoupledCC contrasts the paper's decoupled congestion
+// control (§2.1) with RFC 6356 LIA under MP-DASH.
+func BenchmarkAblationCoupledCC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wifi, lte := LabConditions()[0].Traces()
+		run := func(coupled bool) *SessionResult {
+			res, err := RunSession(SessionConfig{
+				WiFi: wifi, LTE: lte, Algorithm: FESTIVE, Scheme: MPDashRate,
+				Chunks: benchChunks, CoupledCC: coupled,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		}
+		dec := run(false)
+		cpl := run(true)
+		b.ReportMetric(float64(dec.LTEBytes())/1e6, "decoupled-lte-mb")
+		b.ReportMetric(float64(cpl.LTEBytes())/1e6, "coupled-lte-mb")
+		b.ReportMetric(float64(cpl.Report.Stalls), "coupled-stalls")
+	}
+}
+
+// BenchmarkCoreTransferThroughput measures raw simulator speed: simulated
+// seconds per wall second for one saturated two-path transfer.
+func BenchmarkCoreTransferThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wifi, lte := LabConditions()[0].Traces()
+		res, err := RunFileDownload(FileConfig{WiFi: wifi, LTE: lte, SizeBytes: 20_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Duration.Seconds(), "sim-seconds")
+	}
+}
+
+// BenchmarkSlotSim measures the Table 2 simulator itself.
+func BenchmarkSlotSim(b *testing.B) {
+	wifi := SyntheticTrace("w", 3.8, 0.1, 50*time.Millisecond, 4000, 1)
+	lte := SyntheticTrace("l", 3.0, 0.1, 50*time.Millisecond, 4000, 2)
+	cfg := SlotSimConfig{WiFiMbps: wifi.Mbps, CellMbps: lte.Mbps, Slot: wifi.Slot,
+		Size: 5_000_000, Deadline: 9 * time.Second}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateOnline(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

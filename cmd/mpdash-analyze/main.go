@@ -1,0 +1,111 @@
+// Command mpdash-analyze is the multipath video analysis tool (paper §6):
+// it runs the Figure 8 experiment trio (default MPTCP, MP-DASH rate-based,
+// MP-DASH duration-based under FESTIVE), prints per-session metrics and
+// ASCII chunk visualizations, and optionally writes SVG renderings.
+//
+// Usage:
+//
+//	mpdash-analyze -chunks 40
+//	mpdash-analyze -svg-dir /tmp/fig8 -chunks 150
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mpdash"
+	"mpdash/internal/analysis"
+	"mpdash/internal/harness"
+	"mpdash/internal/pcaplite"
+)
+
+func main() {
+	var (
+		chunks  = flag.Int("chunks", 40, "chunks per session")
+		svgDir  = flag.String("svg-dir", "", "directory to write fig8-*.svg renderings")
+		pcapDir = flag.String("pcap-dir", "", "directory to write .mpdt packet traces")
+		buffers = flag.Bool("buffers", false, "also print buffer-occupancy trajectories")
+		wifi    = flag.Float64("wifi", 3.8, "WiFi bandwidth (Mbps)")
+		lte     = flag.Float64("lte", 3.0, "LTE bandwidth (Mbps)")
+	)
+	flag.Parse()
+
+	cond := mpdash.LabCondition{Name: "custom", WiFiMbps: *wifi, LTEMbps: *lte}
+	wifiTr, lteTr := cond.Traces()
+
+	schemes := []struct {
+		name   string
+		scheme mpdash.Scheme
+	}{
+		{"default-mptcp", mpdash.Baseline},
+		{"mpdash-rate", mpdash.MPDashRate},
+		{"mpdash-duration", mpdash.MPDashDuration},
+	}
+	for _, s := range schemes {
+		cfg := harness.SessionConfig{
+			WiFi: wifiTr, LTE: lteTr,
+			Algorithm: harness.FESTIVE, Scheme: s.scheme, Chunks: *chunks,
+		}
+		rec := &analysis.MemoryRecorder{PathNames: []string{"wifi", "lte"}}
+		if *pcapDir != "" {
+			cfg.Recorder = rec
+		}
+		res, err := harness.RunSession(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m := analysis.Analyze(res.Report, "wifi")
+		fmt.Printf("\n===== %s =====\n%s\n\n", s.name, m)
+		fmt.Print(analysis.RenderChunksASCII(res.Report, "lte", 2))
+		if *buffers {
+			fmt.Println()
+			fmt.Print(analysis.RenderBufferASCII(res.Report, 0, 0.8, 50))
+		}
+		if *pcapDir != "" {
+			if err := os.MkdirAll(*pcapDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*pcapDir, "trace-"+s.name+".mpdt")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w, err := pcaplite.NewWriter(f, rec.PathNames)
+			if err == nil {
+				for _, r := range rec.Records {
+					if err = w.Write(r); err != nil {
+						break
+					}
+				}
+			}
+			if err == nil {
+				err = w.Flush()
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d records)\n", path, len(rec.Records))
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*svgDir, "fig8-"+s.name+".svg")
+			if err := os.WriteFile(path, analysis.RenderChunksSVG(res.Report, "lte"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command mpdash-field runs the 33-location field study (paper §7.3.3) —
+// FESTIVE and BBA, each under vanilla MPTCP and MP-DASH with rate-based
+// and duration-based deadlines — and prints per-location savings plus the
+// pooled Figure 9/10 distributions.
+//
+// Usage:
+//
+//	mpdash-field                 # full study, 150-chunk sessions
+//	mpdash-field -chunks 60      # faster, shorter sessions
+//	mpdash-field -location "Hotel Hi"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpdash"
+	"mpdash/internal/field"
+)
+
+func main() {
+	var (
+		chunks   = flag.Int("chunks", 150, "chunks per session")
+		location = flag.String("location", "", "run a single location by name")
+		jsonOut  = flag.String("json", "", "also write the study as JSON to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	if *location != "" {
+		loc, ok := field.ByName(*location)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown location %q; available:\n", *location)
+			for _, l := range mpdash.FieldLocations() {
+				fmt.Fprintf(os.Stderr, "  %s\n", l.Name)
+			}
+			os.Exit(2)
+		}
+		study, err := field.RunStudy(field.StudyConfig{Locations: []field.Location{loc}, Chunks: *chunks})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printOutcomes(study)
+		return
+	}
+
+	fmt.Printf("running %d locations × 6 sessions of %d chunks each...\n",
+		len(mpdash.FieldLocations()), *chunks)
+	s, err := mpdash.RunFieldStudySummary(*chunks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printOutcomes(s.Study)
+	fmt.Printf("\npooled cellular savings (25/50/75 pct): %.0f%% / %.0f%% / %.0f%%  (paper: 48/59/82)\n",
+		s.SavingsPercentiles[0]*100, s.SavingsPercentiles[1]*100, s.SavingsPercentiles[2]*100)
+	fmt.Printf("pooled energy savings (25/50/75 pct): %.0f%% / %.0f%% / %.0f%%  (paper: 7.7/17/53)\n",
+		s.EnergyPercentiles[0]*100, s.EnergyPercentiles[1]*100, s.EnergyPercentiles[2]*100)
+	fmt.Printf("experiments with no bitrate reduction: %.1f%%  (paper: 82.65%%)\n",
+		s.NoBitrateReductionFrac*100)
+	if *jsonOut != "" {
+		if err := writeJSON(s.Study, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSON(study *field.StudyResult, path string) error {
+	if path == "-" {
+		return study.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = study.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Printf("wrote %s\n", path)
+	}
+	return err
+}
+
+func printOutcomes(study *field.StudyResult) {
+	fmt.Printf("\n%-16s %-10s %5s | %9s %9s %9s %9s\n",
+		"Location", "Scenario", "WiFi", "FES/Rate", "FES/Dur", "BBA/Rate", "BBA/Dur")
+	for _, o := range study.Outcomes {
+		fmt.Printf("%-16s %-10d %5.1f |", o.Location.Name, o.Location.Scenario(), o.Location.WiFiMbps)
+		for _, k := range field.SchemeKeys() {
+			fmt.Printf(" %8.1f%%", o.CellularSaving(k)*100)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,63 @@
+// Command mpdash-netserve runs real-socket DASH chunk servers — one
+// rate-shaped listener per emulated path — for use with mpdash-netfetch
+// (possibly from another process or machine). It serves the Table 3
+// catalogue's Big Buck Bunny with its MPD at /manifest.mpd.
+//
+// Usage:
+//
+//	mpdash-netserve -wifi-mbps 4 -lte-mbps 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"mpdash"
+	"mpdash/internal/netmp"
+)
+
+func main() {
+	var (
+		wifiMbps  = flag.Float64("wifi-mbps", 4.0, "shaped rate of the WiFi-role listener")
+		lteMbps   = flag.Float64("lte-mbps", 12.0, "shaped rate of the LTE-role listener")
+		videoName = flag.String("video", "Big Buck Bunny", "video from the Table 3 catalogue")
+	)
+	flag.Parse()
+
+	var video *mpdash.Video
+	for _, v := range mpdash.VideoCatalog() {
+		if v.Name == *videoName {
+			video = v
+		}
+	}
+	if video == nil {
+		fmt.Fprintf(os.Stderr, "unknown video %q\n", *videoName)
+		os.Exit(2)
+	}
+
+	wifiSrv, err := netmp.NewChunkServer(video, *wifiMbps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer wifiSrv.Close()
+	lteSrv, err := netmp.NewChunkServer(video, *lteMbps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer lteSrv.Close()
+
+	fmt.Printf("serving %q\n", video.Name)
+	fmt.Printf("wifi path: %s (%.1f Mbps)\n", wifiSrv.Addr(), *wifiMbps)
+	fmt.Printf("lte  path: %s (%.1f Mbps)\n", lteSrv.Addr(), *lteMbps)
+	fmt.Printf("\nfetch with:\n  mpdash-netfetch -wifi %s -lte %s\n", wifiSrv.Addr(), lteSrv.Addr())
+	fmt.Println("\nCtrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Printf("\nserved %d + %d payload bytes\n", wifiSrv.ServedBytes(), lteSrv.ServedBytes())
+}

@@ -1,0 +1,106 @@
+// Command mpdash-pcap inspects .mpdt packet traces written by
+// mpdash-analyze (-pcap-dir) or any pcaplite.Writer: per-path byte
+// totals, the MP-DASH decision-bit timeline, and optional per-window
+// throughput series.
+//
+// Usage:
+//
+//	mpdash-pcap trace-mpdash-rate.mpdt
+//	mpdash-pcap -series -window 1s trace.mpdt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpdash/internal/mptcp"
+	"mpdash/internal/pcaplite"
+)
+
+func main() {
+	var (
+		series = flag.Bool("series", false, "print per-window Mbps per path")
+		window = flag.Duration("window", time.Second, "series window width")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tr, err := pcaplite.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("paths: %v\nrecords: %d\n", tr.Paths, len(tr.Records))
+	if len(tr.Records) == 0 {
+		return
+	}
+	last := tr.Records[len(tr.Records)-1].TS
+	fmt.Printf("span: %v\n", last.Round(time.Millisecond))
+	for name, b := range tr.PathBytes() {
+		fmt.Printf("  %-8s %10.2f MB\n", name, float64(b)/1e6)
+	}
+
+	// Decision-bit timeline: print each transition of the MP-DASH
+	// cellular-enable bit carried in the DSS options.
+	prev := -1
+	transitions := 0
+	for _, r := range tr.Records {
+		dss, err := mptcp.DecodeDSSOption(r.DSS[:])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad DSS option at %v: %v\n", r.TS, err)
+			os.Exit(1)
+		}
+		cur := 0
+		if dss.MPDashCellularEnable {
+			cur = 1
+		}
+		if cur != prev {
+			state := "cellular-disabled"
+			if cur == 1 {
+				state = "cellular-enabled"
+			}
+			fmt.Printf("%10.3fs  %s\n", r.TS.Seconds(), state)
+			prev = cur
+			transitions++
+			if transitions > 200 {
+				fmt.Println("... (truncated)")
+				break
+			}
+		}
+	}
+
+	if *series {
+		n := int(last / *window)
+		buckets := make([][]int64, len(tr.Paths))
+		for i := range buckets {
+			buckets[i] = make([]int64, n+1)
+		}
+		for _, r := range tr.Records {
+			buckets[r.Path][int(r.TS / *window)] += int64(r.Size)
+		}
+		fmt.Printf("\n%8s", "t(s)")
+		for _, p := range tr.Paths {
+			fmt.Printf(" %10s", p)
+		}
+		fmt.Println()
+		for w := 0; w <= n; w++ {
+			fmt.Printf("%8.1f", float64(w)*window.Seconds())
+			for i := range tr.Paths {
+				mbps := float64(buckets[i][w]) * 8 / window.Seconds() / 1e6
+				fmt.Printf(" %10.2f", mbps)
+			}
+			fmt.Println()
+		}
+	}
+}

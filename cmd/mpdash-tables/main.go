@@ -1,0 +1,302 @@
+// Command mpdash-tables regenerates every table and figure of the paper's
+// evaluation and prints them in the paper's row/series format.
+//
+// Usage:
+//
+//	mpdash-tables -all
+//	mpdash-tables -table2 -fig7
+//	mpdash-tables -fig9 -chunks 80     # shorter field-study sessions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpdash"
+	"mpdash/internal/field"
+)
+
+var chunks = flag.Int("chunks", 150, "chunks per streaming session")
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "everything")
+		fig1   = flag.Bool("fig1", false, "Fig 1: vanilla MPTCP throughput")
+		fig3   = flag.Bool("fig3", false, "Fig 3: BBA oscillation")
+		fig4   = flag.Bool("fig4", false, "Fig 4: scheduler file download")
+		alpha  = flag.Bool("alpha", false, "§7.2.1 alpha sweep")
+		table1 = flag.Bool("table1", false, "Table 1: simulation profiles")
+		table2 = flag.Bool("table2", false, "Table 2: online vs optimal")
+		fig5   = flag.Bool("fig5", false, "Fig 5: Holt-Winters prediction")
+		table3 = flag.Bool("table3", false, "Table 3: video catalogue")
+		table4 = flag.Bool("table4", false, "Table 4: throttling comparison")
+		fig7   = flag.Bool("fig7", false, "Fig 7: resource savings")
+		fig9   = flag.Bool("fig9", false, "Figs 9/10 + Table 5: field study")
+		fig11  = flag.Bool("fig11", false, "Fig 11: mobility")
+		table6 = flag.Bool("table6", false, "Table 6: HD video")
+		ablate = flag.Bool("ablations", false, "ablation studies")
+	)
+	flag.Parse()
+
+	ran := false
+	run := func(enabled bool, name string, fn func() error) {
+		if !enabled && !*all {
+			return
+		}
+		ran = true
+		fmt.Printf("\n================ %s ================\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run(*table3, "Table 3: encoding bitrates", printTable3)
+	run(*fig1, "Figure 1: vanilla MPTCP throughput", printFig1)
+	run(*fig3, "Figure 3: BBA oscillation", printFig3)
+	run(*fig4, "Figure 4: scheduler file download", printFig4)
+	run(*alpha, "Alpha sweep (§7.2.1)", printAlpha)
+	run(*table1, "Table 1: simulation profiles", printTable1)
+	run(*table2, "Table 2: online vs optimal", printTable2)
+	run(*fig5, "Figure 5: Holt-Winters prediction", printFig5)
+	run(*table4, "Table 4: throttling vs MP-DASH", printTable4)
+	run(*fig7, "Figure 7: resource savings", printFig7)
+	run(*fig9, "Figures 9/10 + Table 5: field study", printFieldStudy)
+	run(*fig11, "Figure 11: mobility", printFig11)
+	run(*table6, "Table 6: HD video", printTable6)
+	run(*ablate, "Ablations", printAblations)
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printTable3() error {
+	fmt.Printf("%-22s %7s %7s %7s %7s %7s\n", "Video", "L1", "L2", "L3", "L4", "L5")
+	for _, v := range mpdash.VideoCatalog() {
+		fmt.Printf("%-22s", v.Name)
+		for _, l := range v.Levels {
+			fmt.Printf(" %7.2f", l.AvgBitrateMbps)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printFig1() error {
+	set, err := mpdash.Fig1VanillaThroughput(20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %8s %8s %8s\n", "t(s)", set.Names[0], set.Names[1], set.Names[2])
+	// Print at 1-second granularity.
+	step := int(float64(1e9) / float64(set.Window.Nanoseconds()))
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(set.Series[0]); i += step {
+		fmt.Printf("%8.1f", float64(i)*set.Window.Seconds())
+		for _, s := range set.Series {
+			v := 0.0
+			if i < len(s) {
+				v = s[i]
+			}
+			fmt.Printf(" %8.2f", v)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printFig3() error {
+	rows, err := mpdash.Fig3BBAOscillation(*chunks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %14s\n", "chunk", "bitrate(Mbps)")
+	for _, r := range rows {
+		fmt.Printf("%8d %14.2f\n", r.ChunkIndex, r.BitrateMbps)
+	}
+	return nil
+}
+
+func printFig4() error {
+	rows, err := mpdash.Fig4SchedulerComparison()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-10s %10s %10s %10s %7s\n", "Scheduler", "Deadline", "LTE(MB)", "Energy(J)", "Time(s)", "Miss?")
+	for _, r := range rows {
+		fmt.Printf("%-18s %-10s %10.2f %10.1f %10.2f %7v\n",
+			r.Scheduler, r.Label, r.LTEMB, r.EnergyJ, r.DurationSec, r.Missed)
+	}
+	return nil
+}
+
+func printAlpha() error {
+	rows, err := mpdash.AlphaSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %10s %10s %10s %7s\n", "alpha", "LTE(MB)", "Energy(J)", "Time(s)", "Miss?")
+	for _, r := range rows {
+		fmt.Printf("%6.1f %10.2f %10.1f %10.2f %7v\n", r.Alpha, r.LTEMB, r.EnergyJ, r.DurationSec, r.Missed)
+	}
+	return nil
+}
+
+func printTable1() error {
+	fmt.Printf("%-20s %8s %10s %10s  %s\n", "Trace", "File(MB)", "WiFi(Mbps)", "Cell(Mbps)", "Deadlines(s)")
+	for _, r := range mpdash.Table1Profiles() {
+		fmt.Printf("%-20s %8d %10.1f %10.1f  ", r.Name, r.FileMB, r.AvgWiFiMbps, r.AvgCellMbps)
+		for _, d := range r.Deadlines {
+			fmt.Printf("%d ", int(d.Seconds()))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printTable2() error {
+	rows, err := mpdash.Table2OnlineVsOptimal()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %6s %12s %12s %8s %7s\n", "Trace", "D/L(s)", "Cell%Optimal", "Cell%Online", "Diff", "Miss?")
+	for _, r := range rows {
+		fmt.Printf("%-20s %6d %11.2f%% %11.2f%% %7.2f%% %7v\n",
+			r.Trace, r.DeadlineSec, r.OptimalPct, r.OnlinePct, r.DiffPct, r.Missed)
+	}
+	return nil
+}
+
+func printFig5() error {
+	for _, loc := range []string{"Fast Food B", "Coffeehouse D"} {
+		set, err := mpdash.Fig5Prediction(loc, 35)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %s (1-second samples: actual vs HW forecast, Mbps)\n", loc)
+		step := int(float64(1e9) / float64(set.Window.Nanoseconds()))
+		for i := 0; i < len(set.Series[0]); i += step {
+			fmt.Printf("%6.0fs %8.2f %8.2f\n", float64(i)*set.Window.Seconds(), set.Series[0][i], set.Series[1][i])
+		}
+	}
+	return nil
+}
+
+func printTable4() error {
+	rows, err := mpdash.Table4Throttling(*chunks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %12s %10s %12s %10s\n", "Config", "CellBytes(MB)", "Cell%", "Energy(J)", "Bitrate")
+	for _, r := range rows {
+		fmt.Printf("%-10s %12.2f %9.2f%% %12.1f %10.2f\n", r.Config, r.CellMB, r.CellPct, r.EnergyJ, r.AvgBitrate)
+	}
+	return nil
+}
+
+func printFig7() error {
+	rows, err := mpdash.Fig7ResourceSavings(*chunks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-8s %-10s %10s %10s %9s %7s\n", "Condition", "Algo", "Scheme", "LTE(MB)", "Energy(J)", "Bitrate", "Stalls")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-8s %-10s %10.2f %10.1f %9.2f %7d\n",
+			r.Condition, r.Algorithm, r.Scheme, r.LTEMB, r.EnergyJ, r.AvgBitrate, r.Stalls)
+	}
+	return nil
+}
+
+func printFieldStudy() error {
+	s, err := mpdash.RunFieldStudySummary(*chunks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pooled cellular savings percentiles (25/50/75): %.0f%% / %.0f%% / %.0f%%  (paper: 48/59/82)\n",
+		s.SavingsPercentiles[0]*100, s.SavingsPercentiles[1]*100, s.SavingsPercentiles[2]*100)
+	fmt.Printf("pooled energy savings percentiles (25/50/75): %.0f%% / %.0f%% / %.0f%%  (paper: 7.7/17/53)\n",
+		s.EnergyPercentiles[0]*100, s.EnergyPercentiles[1]*100, s.EnergyPercentiles[2]*100)
+	fmt.Printf("experiments with no bitrate reduction: %.1f%%  (paper: 82.65%%)\n", s.NoBitrateReductionFrac*100)
+
+	fmt.Println("\nFigure 9 CDF (cellular savings):")
+	for _, k := range field.SchemeKeys() {
+		fmt.Printf("  %-14s:", k)
+		for _, p := range s.Study.SavingsCDF(k) {
+			fmt.Printf(" %.2f", p.Value)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nFigure 10 CDF (bitrate reduction):")
+	for _, k := range field.SchemeKeys() {
+		fmt.Printf("  %-14s:", k)
+		for _, p := range s.Study.BitrateReductionCDF(k) {
+			fmt.Printf(" %+.3f", p.Value)
+		}
+		fmt.Println()
+	}
+
+	rows, err := mpdash.Table5Representative(s.Study)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nTable 5 (savings %):")
+	fmt.Printf("%-14s %6s %6s | %9s %9s %9s %9s | %9s %9s\n",
+		"Location", "WiFi", "LTE", "FES/Rate", "FES/Dur", "BBA/Rate", "BBA/Dur", "FESRateEn", "BBARateEn")
+	for _, r := range rows {
+		fmt.Printf("%-14s %6.2f %6.2f | %8.2f%% %8.2f%% %8.2f%% %8.2f%% | %8.2f%% %8.2f%%\n",
+			r.Location, r.WiFiMbps, r.LTEMbps, r.FESTIVERate, r.FESTIVEDur, r.BBARate, r.BBADur,
+			r.FESTIVERateEnergy, r.BBARateEnergy)
+	}
+	return nil
+}
+
+func printFig11() error {
+	res, err := mpdash.Fig11MobilityExperiment(*chunks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cellular saving vs default MPTCP: %.2f%%  (paper: 81.43%%)\n", res.CellularSavingPct)
+	fmt.Printf("energy saving vs default MPTCP: %.2f%%  (paper: 47.30%%)\n", res.EnergySavingPct)
+	fmt.Printf("stalls: mp-dash %d, wifi-only %d\n", res.MPDashStalls, res.WiFiStalls)
+	return nil
+}
+
+func printTable6() error {
+	rows, err := mpdash.Table6HDVideo(*chunks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %16s %16s %16s %7s\n", "Algo", "BitrateChange", "CellSaving", "EnergySaving", "Stalls")
+	for _, r := range rows {
+		fmt.Printf("%-10s %15.2f%% %15.2f%% %15.2f%% %7d\n",
+			r.Algorithm, r.BitrateChangePct, r.CellularSavingPct, r.EnergySavingPct, r.Stalls)
+	}
+	return nil
+}
+
+func printAblations() error {
+	rows, err := mpdash.AblationPhiOmega(*chunks)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Φ/Ω ablation (FESTIVE, rate-based, W3.8/L3.0):")
+	fmt.Printf("%-22s %10s %10s %7s %7s\n", "Arm", "LTE(MB)", "Energy(J)", "Stalls", "Misses")
+	for _, r := range rows {
+		fmt.Printf("%-22s %10.2f %10.1f %7d %7d\n", r.Name, r.LTEMB, r.EnergyJ, r.Stalls, r.Missed)
+	}
+	prows, err := mpdash.AblationPredictor()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\npredictor ablation (slot simulation, mid deadline):")
+	fmt.Printf("%-14s %-20s %12s %7s\n", "Predictor", "Trace", "Cell%Online", "Miss?")
+	for _, r := range prows {
+		fmt.Printf("%-14s %-20s %11.2f%% %7v\n", r.Predictor, r.Trace, r.OnlinePct, r.Missed)
+	}
+	return nil
+}

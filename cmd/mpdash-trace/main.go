@@ -1,0 +1,88 @@
+// Command mpdash-trace generates, inspects and converts bandwidth traces.
+//
+// Usage:
+//
+//	mpdash-trace -gen synthetic -mean 3.8 -sigma 0.1 -seconds 60 > wifi.csv
+//	mpdash-trace -gen field -mean 6.0 -stability 0.5 -seconds 300 > cafe.csv
+//	mpdash-trace -gen mobility -mean 5.0 -period 60 -seconds 300 > walk.csv
+//	mpdash-trace -stat < wifi.csv
+//	mpdash-trace -location "Hotel Hi" -seconds 120 > hotel-wifi.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpdash/internal/field"
+	"mpdash/internal/stats"
+	"mpdash/internal/trace"
+)
+
+func main() {
+	var (
+		gen       = flag.String("gen", "", "generator: synthetic|field|mobility|constant")
+		location  = flag.String("location", "", "generate the named field location's WiFi trace")
+		stat      = flag.Bool("stat", false, "read a CSV trace from stdin and print statistics")
+		mean      = flag.Float64("mean", 3.8, "mean bandwidth (Mbps)")
+		sigma     = flag.Float64("sigma", 0.1, "synthetic: stddev as fraction of mean")
+		stability = flag.Float64("stability", 0.7, "field: stability in [0,1]")
+		period    = flag.Float64("period", 60, "mobility: walk period (seconds)")
+		seconds   = flag.Int("seconds", 60, "trace length (seconds)")
+		slotMS    = flag.Int("slot", 100, "slot width (milliseconds)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *stat {
+		tr, err := trace.ReadCSV(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printStats(tr)
+		return
+	}
+
+	slot := time.Duration(*slotMS) * time.Millisecond
+	n := int(float64(*seconds) / slot.Seconds())
+	var tr *trace.Trace
+	switch {
+	case *location != "":
+		loc, ok := field.ByName(*location)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown location %q\n", *location)
+			os.Exit(2)
+		}
+		tr = loc.WiFiTrace(slot, n)
+	case *gen == "synthetic":
+		tr = trace.Synthetic("synthetic", *mean, *sigma, slot, n, *seed)
+	case *gen == "field":
+		tr = trace.Field("field", *mean, *stability, slot, n, *seed)
+	case *gen == "mobility":
+		tr = trace.Mobility("mobility", *mean, time.Duration(*period*float64(time.Second)), slot, n, *seed)
+	case *gen == "constant":
+		tr = trace.Constant("constant", *mean, slot, n)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := tr.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func printStats(tr *trace.Trace) {
+	min, _ := stats.Min(tr.Mbps)
+	max, _ := stats.Max(tr.Mbps)
+	p50, _ := stats.Percentile(tr.Mbps, 50)
+	p5, _ := stats.Percentile(tr.Mbps, 5)
+	fmt.Printf("name: %s\nslot: %v\nsamples: %d (%.1fs)\n", tr.Name, tr.Slot, len(tr.Mbps), tr.Duration().Seconds())
+	fmt.Printf("mean %.2f Mbps, median %.2f, stddev %.2f, min %.2f, p5 %.2f, max %.2f\n",
+		tr.Avg(), p50, stats.StdDev(tr.Mbps), min, p5, max)
+	top := 3.94
+	fmt.Printf("slots sustaining the 3.94 Mbps top bitrate: %.1f%%\n",
+		(1-stats.FractionAtMost(tr.Mbps, top))*100)
+}

@@ -1,0 +1,61 @@
+package mpdash_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mpdash"
+)
+
+// ExampleRunSession streams the paper's motivating scenario: FESTIVE over
+// WiFi 3.8 Mbps + LTE 3.0 Mbps with MP-DASH rate-based deadlines.
+func ExampleRunSession() {
+	wifi, lte := mpdash.LabConditions()[0].Traces()
+	res, err := mpdash.RunSession(mpdash.SessionConfig{
+		WiFi: wifi, LTE: lte,
+		Algorithm: mpdash.FESTIVE,
+		Scheme:    mpdash.MPDashRate,
+		Chunks:    30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stalls=%d governed=%v\n", res.Report.Stalls, res.Governed > 0)
+}
+
+// ExampleRunFileDownload uses the deadline-aware scheduler as a generic
+// delay-tolerant transfer primitive (paper §8).
+func ExampleRunFileDownload() {
+	wifi, lte := mpdash.LabConditions()[0].Traces()
+	res, err := mpdash.RunFileDownload(mpdash.FileConfig{
+		WiFi: wifi, LTE: lte,
+		SizeBytes: 5_000_000,
+		Deadline:  10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("met=%v lteMB=%.1f\n", res.MissedBy == 0, float64(res.LTEBytes)/1e6)
+}
+
+// ExampleSimulateOnline runs the Table 2 slot-granularity comparison of
+// Algorithm 1 against the offline optimum.
+func ExampleSimulateOnline() {
+	wifi := mpdash.SyntheticTrace("wifi", 3.8, 0.1, 50*time.Millisecond, 400, 1)
+	lte := mpdash.SyntheticTrace("lte", 3.0, 0.1, 50*time.Millisecond, 400, 2)
+	cfg := mpdash.SlotSimConfig{
+		WiFiMbps: wifi.Mbps, CellMbps: lte.Mbps, Slot: wifi.Slot,
+		Size: 5_000_000, Deadline: 9 * time.Second,
+	}
+	online, err := mpdash.SimulateOnline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimal, _, err := mpdash.SimulateOptimal(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online within %.0f points of optimal, missed=%v\n",
+		(online.CellularFrac-optimal)*100, online.Missed)
+}

@@ -1,0 +1,3 @@
+module mpdash
+
+go 1.22

@@ -1,0 +1,221 @@
+package abr
+
+import (
+	"fmt"
+	"time"
+
+	"mpdash/internal/core"
+	"mpdash/internal/dash"
+	"mpdash/internal/mptcp"
+)
+
+// DeadlinePolicy selects how a chunk's deadline window D is derived (§5.1).
+type DeadlinePolicy int
+
+const (
+	// DurationBased sets D to the chunk's playout duration, keeping the
+	// buffer level stable in the short term.
+	DurationBased DeadlinePolicy = iota
+	// RateBased sets D to size/nominal-bitrate, maintaining the buffer in
+	// the long run (and, per Fig. 7/8, saving more cellular data on
+	// larger-than-average chunks).
+	RateBased
+)
+
+// String implements fmt.Stringer.
+func (p DeadlinePolicy) String() string {
+	switch p {
+	case DurationBased:
+		return "duration"
+	case RateBased:
+		return "rate"
+	default:
+		return fmt.Sprintf("DeadlinePolicy(%d)", int(p))
+	}
+}
+
+// Category tells the adapter which §5.2 threshold rules apply.
+type Category int
+
+const (
+	// ThroughputBased covers GPAC, FESTIVE, MPC-style algorithms.
+	ThroughputBased Category = iota
+	// BufferBased covers BBA and BBA-C.
+	BufferBased
+)
+
+// AdapterConfig parameterizes the MP-DASH video adapter.
+type AdapterConfig struct {
+	Policy   DeadlinePolicy
+	Category Category
+	// BBA must be set for BufferBased: the adapter reads the buffer→rate
+	// map to place Ω at e_l + one chunk duration (§5.2.2).
+	BBA *BBA
+	// PhiFrac is the deadline-extension threshold Φ as a fraction of
+	// buffer capacity for ThroughputBased (default 0.8, §5.2.1).
+	PhiFrac float64
+	// OmegaMinFrac floors Ω at this fraction of capacity for
+	// ThroughputBased (default 0.4, §5.2.1).
+	OmegaMinFrac float64
+	// TWindowFactor is T as a multiple of the buffer duration in the Ω
+	// formula (default 2; the paper notes 1x and 3x do not change the
+	// results qualitatively).
+	TWindowFactor float64
+	// DisableExtension turns off deadline extension (ablation).
+	DisableExtension bool
+	// DisableLowBufferGuard turns off the Ω guard (ablation).
+	DisableLowBufferGuard bool
+}
+
+// Adapter is the MP-DASH video adapter (§5): the glue between an
+// off-the-shelf rate adaptation algorithm and the deadline-aware
+// scheduler. It implements dash.Adapter.
+type Adapter struct {
+	cfg   AdapterConfig
+	sched *core.Scheduler
+	conn  *mptcp.Conn
+
+	governed int64
+	skipped  int64
+}
+
+// NewAdapter builds the adapter for a scheduler/connection pair.
+func NewAdapter(sched *core.Scheduler, conn *mptcp.Conn, cfg AdapterConfig) (*Adapter, error) {
+	if sched == nil || conn == nil {
+		return nil, fmt.Errorf("abr: nil scheduler or connection")
+	}
+	if cfg.Category == BufferBased && cfg.BBA == nil {
+		return nil, fmt.Errorf("abr: buffer-based adapter requires the BBA instance")
+	}
+	if cfg.PhiFrac == 0 {
+		cfg.PhiFrac = 0.8
+	}
+	if cfg.OmegaMinFrac == 0 {
+		cfg.OmegaMinFrac = 0.4
+	}
+	if cfg.TWindowFactor == 0 {
+		cfg.TWindowFactor = 2
+	}
+	if cfg.PhiFrac < 0 || cfg.PhiFrac > 1 || cfg.OmegaMinFrac < 0 || cfg.OmegaMinFrac > 1 {
+		return nil, fmt.Errorf("abr: thresholds outside [0,1]: phi=%v omegaMin=%v", cfg.PhiFrac, cfg.OmegaMinFrac)
+	}
+	return &Adapter{cfg: cfg, sched: sched, conn: conn}, nil
+}
+
+// TransportEstimate implements dash.Adapter: the §3.2 interface exposing
+// the aggregate MPTCP throughput estimate to rate adaptation. Paths the
+// scheduler's cost ceiling permanently excludes contribute nothing — the
+// player must not budget around capacity MP-DASH will never buy.
+func (a *Adapter) TransportEstimate() float64 {
+	maxCost := a.sched.MaxCost
+	var sum float64
+	for _, p := range a.conn.Paths() {
+		if !p.Primary && maxCost > 0 && p.Cost > maxCost {
+			continue
+		}
+		sum += a.conn.PathAppThroughput(p.Name)
+	}
+	return sum
+}
+
+// Governed returns how many chunks ran under MP-DASH.
+func (a *Adapter) Governed() int64 { return a.governed }
+
+// Skipped returns how many chunks bypassed MP-DASH (buffer below Ω).
+func (a *Adapter) Skipped() int64 { return a.skipped }
+
+// baseDeadline derives D from the policy (§5.1).
+func (a *Adapter) baseDeadline(meta dash.ChunkMeta) time.Duration {
+	switch a.cfg.Policy {
+	case RateBased:
+		if meta.NominalBps <= 0 {
+			return meta.Duration
+		}
+		return time.Duration(float64(meta.Size*8) / meta.NominalBps * float64(time.Second))
+	default:
+		return meta.Duration
+	}
+}
+
+// phi returns the deadline-extension threshold Φ.
+func (a *Adapter) phi(st dash.PlayerState) time.Duration {
+	switch a.cfg.Category {
+	case BufferBased:
+		// §5.2.2: capacity minus one chunk duration.
+		return st.BufferCap - st.Video.ChunkDuration
+	default:
+		// §5.2.1: 80% of capacity.
+		return time.Duration(a.cfg.PhiFrac * float64(st.BufferCap))
+	}
+}
+
+// omega returns the low-buffer disable threshold Ω.
+func (a *Adapter) omega(st dash.PlayerState) time.Duration {
+	switch a.cfg.Category {
+	case BufferBased:
+		// §5.2.2: only govern when the player has reached the highest
+		// sustainable bitrate; keep the buffer above that level's lower
+		// map bound e_l plus one chunk.
+		level := st.LastLevel
+		if level < 0 {
+			return st.BufferCap // startup: never govern
+		}
+		est := a.TransportEstimate()
+		sustainable := st.Video.LevelForThroughput(est)
+		if sustainable < 0 {
+			sustainable = 0
+		}
+		if level < sustainable {
+			// Still climbing: defer to stock MPTCP.
+			return st.BufferCap
+		}
+		el := a.cfg.BBA.LevelLowerBuffer(st, level)
+		return el + st.Video.ChunkDuration
+	default:
+		// §5.2.1: over a window T = factor × buffer duration, T' is the
+		// content downloadable at the lowest bitrate; Ω = T − T',
+		// floored at OmegaMinFrac of capacity.
+		T := time.Duration(a.cfg.TWindowFactor * float64(st.BufferCap))
+		lowest := st.Video.Levels[0].AvgBitrateMbps * 1e6
+		est := a.TransportEstimate()
+		tPrime := time.Duration(float64(T) * est / lowest)
+		omega := T - tPrime
+		if omega < 0 {
+			omega = 0
+		}
+		if min := time.Duration(a.cfg.OmegaMinFrac * float64(st.BufferCap)); omega < min {
+			omega = min
+		}
+		return omega
+	}
+}
+
+// OnChunkStart implements dash.Adapter.
+func (a *Adapter) OnChunkStart(st dash.PlayerState, meta dash.ChunkMeta, tr *mptcp.Transfer) {
+	if !a.cfg.DisableLowBufferGuard && st.Buffer < a.omega(st) {
+		// Below Ω: MP-DASH stays out of the way; make sure the
+		// connection is in stock multipath mode.
+		a.skipped++
+		a.sched.Disable()
+		return
+	}
+	d := a.baseDeadline(meta)
+	if !a.cfg.DisableExtension {
+		if phi := a.phi(st); st.Buffer > phi {
+			d += st.Buffer - phi // §5.1 deadline extension
+		}
+	}
+	a.sched.Govern(tr)
+	if err := a.sched.Enable(meta.Size, d); err != nil {
+		// A malformed chunk is a programming error upstream; fail safe
+		// by leaving stock MPTCP in charge.
+		a.sched.Disable()
+		a.skipped++
+		return
+	}
+	a.governed++
+}
+
+// OnChunkDone implements dash.Adapter. Completion already deactivates the
+// scheduler (condition 1); nothing further is required.
+func (a *Adapter) OnChunkDone(dash.PlayerState, dash.ChunkResult) {}

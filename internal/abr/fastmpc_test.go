@@ -1,0 +1,110 @@
+package abr
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mpdash/internal/dash"
+)
+
+func TestFastMPCMatchesMPCOnGrid(t *testing.T) {
+	v := dash.BigBuckBunny()
+	fast := NewFastMPC(v)
+	exact := NewMPC()
+	rng := rand.New(rand.NewSource(11))
+	agree, offByOne, far, total := 0, 0, 0, 0
+	for i := 0; i < 300; i++ {
+		st := dash.PlayerState{
+			ChunkIndex:           v.NumChunks / 2,
+			LastLevel:            rng.Intn(len(v.Levels)),
+			Buffer:               time.Duration(rng.Float64() * float64(dash.DefaultBufferCap)),
+			BufferCap:            dash.DefaultBufferCap,
+			Video:                v,
+			TransportEstimateBps: 0.5e6 + rng.Float64()*7e6,
+		}
+		got := fast.SelectLevel(st)
+		want := exact.SelectLevel(st)
+		total++
+		switch d := abs(got - want); {
+		case d == 0:
+			agree++
+		case d == 1:
+			offByOne++
+		default:
+			far++
+		}
+	}
+	// Quantization legitimately shifts bin-boundary states, occasionally
+	// across a stall-penalty cliff; but the table must agree with the
+	// exact optimizer on the overwhelming majority of states.
+	if frac := float64(agree) / float64(total); frac < 0.90 {
+		t.Errorf("fastMPC exact-agreement only %.2f (agree=%d ±1=%d far=%d)", frac, agree, offByOne, far)
+	}
+	if float64(far)/float64(total) > 0.02 {
+		t.Errorf("fastMPC far-disagreements %d/%d exceed 2%%", far, total)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestFastMPCStartupAndFallbacks(t *testing.T) {
+	v := dash.BigBuckBunny()
+	f := NewFastMPC(v)
+	if f.Name() != "FastMPC" {
+		t.Error("bad name")
+	}
+	if got := f.SelectLevel(state(v, -1, 0, nil, 0)); got != 0 {
+		t.Errorf("startup = %d", got)
+	}
+	// No transport estimate: falls back to harmonic mean of history.
+	if got := f.SelectLevel(state(v, 2, 20*time.Second, []float64{6e6, 6e6}, 0)); got < 2 {
+		t.Errorf("history fallback picked %d", got)
+	}
+	// No signal at all: lowest rung.
+	if got := f.SelectLevel(state(v, 2, 20*time.Second, nil, 0)); got != 0 {
+		t.Errorf("no-signal = %d", got)
+	}
+	// Out-of-range inputs clamp instead of panicking.
+	st := state(v, 2, 500*time.Second, nil, 1e12)
+	st.BufferCap = dash.DefaultBufferCap
+	if got := f.SelectLevel(st); got < 0 || got > v.HighestLevel() {
+		t.Errorf("clamped select = %d", got)
+	}
+}
+
+func TestFastMPCStreamsWithoutStalls(t *testing.T) {
+	v := dash.BigBuckBunny()
+	rep := sessionWithAlgo(t, NewFastMPC(v), 40)
+	if rep.Stalls != 0 {
+		t.Errorf("stalls = %d", rep.Stalls)
+	}
+	if rep.SteadyStateAvgBitrateMbps < 2.0 {
+		t.Errorf("bitrate = %v on a 6.8 Mbps network", rep.SteadyStateAvgBitrateMbps)
+	}
+}
+
+func BenchmarkMPCSelect(b *testing.B) {
+	v := dash.BigBuckBunny()
+	m := NewMPC()
+	st := state(v, 3, 20*time.Second, []float64{3e6, 3e6, 3e6}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SelectLevel(st)
+	}
+}
+
+func BenchmarkFastMPCSelect(b *testing.B) {
+	v := dash.BigBuckBunny()
+	f := NewFastMPC(v)
+	st := state(v, 3, 20*time.Second, []float64{3e6, 3e6, 3e6}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SelectLevel(st)
+	}
+}

@@ -1,0 +1,88 @@
+package abr
+
+import (
+	"testing"
+	"time"
+
+	"mpdash/internal/dash"
+)
+
+func TestSVAAStartsLowAndClimbsSlowly(t *testing.T) {
+	v := dash.BigBuckBunny()
+	a := NewSVAA()
+	if got := a.SelectLevel(state(v, -1, 0, nil, 0)); got != 0 {
+		t.Fatalf("startup = %d", got)
+	}
+	// Plenty of bandwidth, healthy buffer: climb one rung at a time,
+	// gated by the run-length counter (so ≥2 chunks per rung).
+	tps := []float64{10e6, 10e6}
+	cur := 0
+	steps := 0
+	for i := 0; i < 30 && cur < v.HighestLevel(); i++ {
+		next := a.SelectLevel(state(v, cur, 25*time.Second, tps, 0))
+		if next > cur+1 {
+			t.Fatalf("jumped %d -> %d", cur, next)
+		}
+		cur = next
+		steps++
+	}
+	if cur != v.HighestLevel() {
+		t.Errorf("never reached the top rung (at %d after %d chunks)", cur, steps)
+	}
+	if steps < 2*v.HighestLevel() {
+		t.Errorf("climbed too fast: %d steps for %d rungs", steps, v.HighestLevel())
+	}
+}
+
+func TestSVAABufferFeedback(t *testing.T) {
+	v := dash.BigBuckBunny()
+	a := NewSVAA()
+	// Same 3 Mbps estimate: a near-empty buffer must pick a lower rung
+	// than a full one (the F(B) factor).
+	lowBuf := a.SelectLevel(state(v, 3, 4*time.Second, []float64{3e6, 3e6}, 0))
+	a2 := NewSVAA()
+	highBuf := a2.SelectLevel(state(v, 3, 36*time.Second, []float64{3e6, 3e6}, 0))
+	if lowBuf >= 3 {
+		t.Errorf("low buffer kept level %d; should undershoot to refill", lowBuf)
+	}
+	if highBuf < 3 {
+		t.Errorf("full buffer dropped to %d despite adequate rate", highBuf)
+	}
+}
+
+func TestSVAAZeroEstimateHolds(t *testing.T) {
+	v := dash.BigBuckBunny()
+	a := NewSVAA()
+	if got := a.SelectLevel(state(v, 2, 20*time.Second, nil, 0)); got != 2 {
+		t.Errorf("no-estimate hold = %d, want 2", got)
+	}
+	if a.Name() != "SVAA" {
+		t.Error("bad name")
+	}
+}
+
+func TestSVAAEndToEnd(t *testing.T) {
+	rep := sessionWithAlgo(t, NewSVAA(), 50)
+	if rep.Stalls != 0 {
+		t.Errorf("stalls = %d", rep.Stalls)
+	}
+	if rep.SteadyStateAvgBitrateMbps < 2.4 {
+		t.Errorf("steady bitrate %.2f on a 6.8 Mbps network", rep.SteadyStateAvgBitrateMbps)
+	}
+	// Smoothness: fewer switches than chunks/3.
+	if rep.QualitySwitches > 16 {
+		t.Errorf("switches = %d; SVAA should be smooth", rep.QualitySwitches)
+	}
+}
+
+func TestSVAAWithMPDash(t *testing.T) {
+	base := session(t, w38(), l30(), NewSVAA(), nil, 50)
+	cfg := &AdapterConfig{Policy: RateBased, Category: ThroughputBased}
+	mp := session(t, w38(), l30(), NewSVAA(), cfg, 50)
+	if mp.Stalls != 0 {
+		t.Errorf("stalls = %d", mp.Stalls)
+	}
+	if base.CellularBytes("lte") > 0 && mp.CellularBytes("lte") >= base.CellularBytes("lte") {
+		t.Errorf("no saving: %d vs %d", mp.CellularBytes("lte"), base.CellularBytes("lte"))
+	}
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpdash/internal/dash"
+	"mpdash/internal/harness"
+	"mpdash/internal/trace"
+)
+
+func sampleReport(t *testing.T, scheme harness.Scheme) *dash.Report {
+	t.Helper()
+	res, err := harness.RunSession(harness.SessionConfig{
+		WiFi:   trace.Constant("w", 3.8, time.Second, 1),
+		LTE:    trace.Constant("l", 3.0, time.Second, 1),
+		Scheme: scheme,
+		Chunks: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Report
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	m := Analyze(&dash.Report{}, "wifi")
+	if m.Chunks != 0 {
+		t.Errorf("chunks = %d", m.Chunks)
+	}
+	if m.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	rep := sampleReport(t, harness.Baseline)
+	m := Analyze(rep, "wifi")
+	if m.Chunks != 25 {
+		t.Fatalf("chunks = %d", m.Chunks)
+	}
+	var shareSum float64
+	for _, s := range m.PathShare {
+		if s < 0 || s > 1 {
+			t.Errorf("share %v out of range", s)
+		}
+		shareSum += s
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Errorf("shares sum to %v", shareSum)
+	}
+	if m.AvgDownloadTime <= 0 {
+		t.Error("AvgDownloadTime not positive")
+	}
+	if m.AvgLevel < 0 || m.AvgLevel > 4 {
+		t.Errorf("AvgLevel = %v", m.AvgLevel)
+	}
+	if m.DeadlinePressure <= 0 {
+		t.Error("baseline MPTCP should use the secondary path on most chunks")
+	}
+	if !strings.Contains(m.String(), "chunks=25") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestBaselineHasIdleGapsMPDashFewer(t *testing.T) {
+	// Fig. 8 observation: MP-DASH "eliminates most of the idle gaps" by
+	// stretching downloads to their deadlines.
+	base := Analyze(sampleReport(t, harness.Baseline), "wifi")
+	mp := Analyze(sampleReport(t, harness.MPDashRate), "wifi")
+	if base.IdleTime == 0 {
+		t.Skip("baseline produced no idle gaps in this short run")
+	}
+	if mp.IdleTime >= base.IdleTime {
+		t.Errorf("MP-DASH idle %v >= baseline idle %v", mp.IdleTime, base.IdleTime)
+	}
+}
+
+func TestRenderChunksASCII(t *testing.T) {
+	rep := sampleReport(t, harness.MPDashRate)
+	out := RenderChunksASCII(rep, "lte", 2)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 26 { // header + 25 chunks
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], rep.Algorithm) {
+		t.Error("header missing algorithm")
+	}
+	for _, ln := range lines[1:] {
+		if !strings.Contains(ln, "|") {
+			t.Fatalf("malformed row %q", ln)
+		}
+	}
+	// Default column scale on nonsense input.
+	if RenderChunksASCII(rep, "lte", -1) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRenderThroughputASCII(t *testing.T) {
+	series := [][]float64{{1, 2, 3}, {3, 2, 1}}
+	out := RenderThroughputASCII([]string{"wifi", "lte"}, series, time.Second, 20)
+	if !strings.Contains(out, "wifi") || !strings.Contains(out, "0.0s") {
+		t.Errorf("render = %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // legend + scale + 3 rows
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Zero series doesn't divide by zero.
+	if RenderThroughputASCII([]string{"x"}, [][]float64{{0, 0}}, time.Second, 0) == "" {
+		t.Error("empty zero-series render")
+	}
+}
+
+func TestRenderBufferASCII(t *testing.T) {
+	rep := sampleReport(t, harness.MPDashRate)
+	out := RenderBufferASCII(rep, 40*time.Second, 0.8, 50)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 26 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], "|") || !strings.Contains(lines[1], "P") {
+		t.Errorf("row missing bar or threshold marker: %q", lines[1])
+	}
+	// Defaults on zero arguments.
+	if RenderBufferASCII(rep, 0, 0, 0) == "" {
+		t.Error("default render empty")
+	}
+}
+
+func TestRenderChunksSVG(t *testing.T) {
+	rep := sampleReport(t, harness.MPDashRate)
+	svg := string(RenderChunksSVG(rep, "lte"))
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an svg document")
+	}
+	if strings.Count(svg, "<rect") < 25 {
+		t.Errorf("only %d rects", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, `fill="black"`) {
+		t.Error("no cellular overlay rects")
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"mpdash/internal/dash"
+)
+
+// Comparison quantifies an MP-DASH session against its vanilla-MPTCP
+// baseline — the per-experiment arithmetic the paper's tables repeat.
+type Comparison struct {
+	CellularSaving   float64 // 1 − mp/base, steady-state LTE bytes
+	EnergySaving     float64 // 1 − mp/base, radio joules
+	BitrateReduction float64 // 1 − mp/base, steady-state bitrate
+	QoEDelta         float64 // mp − base, linear QoE score
+	StallDelta       int     // mp − base stall count
+}
+
+// SessionSummary is what Compare needs from each arm.
+type SessionSummary struct {
+	Report *dash.Report
+	// CellularBytes is the steady-state metered-path byte count.
+	CellularBytes int64
+	// RadioJ is the session's radio energy.
+	RadioJ float64
+}
+
+// Compare computes the savings of mp relative to base.
+func Compare(base, mp SessionSummary) Comparison {
+	var c Comparison
+	if base.CellularBytes > 0 {
+		c.CellularSaving = 1 - float64(mp.CellularBytes)/float64(base.CellularBytes)
+	}
+	if base.RadioJ > 0 {
+		c.EnergySaving = 1 - mp.RadioJ/base.RadioJ
+	}
+	if base.Report != nil && mp.Report != nil {
+		if b := base.Report.SteadyStateAvgBitrateMbps; b > 0 {
+			c.BitrateReduction = 1 - mp.Report.SteadyStateAvgBitrateMbps/b
+		}
+		w := dash.DefaultQoEWeights()
+		c.QoEDelta = mp.Report.QoE(w) - base.Report.QoE(w)
+		c.StallDelta = mp.Report.Stalls - base.Report.Stalls
+	}
+	return c
+}
+
+// String renders the comparison one-line.
+func (c Comparison) String() string {
+	return fmt.Sprintf("cell %.1f%%, energy %.1f%%, bitrate -%.1f%%, QoE %+.2f, stalls %+d",
+		c.CellularSaving*100, c.EnergySaving*100, c.BitrateReduction*100, c.QoEDelta, c.StallDelta)
+}
+
+// WriteMarkdown renders a full session report as a markdown document:
+// headline metrics, QoE, per-path bytes, and the per-chunk table.
+func WriteMarkdown(w io.Writer, rep *dash.Report, radioJ float64) error {
+	m := Analyze(rep, "wifi")
+	qoe := rep.QoE(dash.DefaultQoEWeights())
+	if _, err := fmt.Fprintf(w, "# Session report — %s / %s\n\n", rep.VideoName, rep.Algorithm); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(w, "| chunks | %d |\n", rep.Chunks)
+	fmt.Fprintf(w, "| avg bitrate | %.2f Mbps (steady %.2f) |\n", rep.AvgBitrateMbps, rep.SteadyStateAvgBitrateMbps)
+	fmt.Fprintf(w, "| stalls | %d (%.2fs) |\n", rep.Stalls, rep.StallTime.Seconds())
+	fmt.Fprintf(w, "| startup delay | %.2fs |\n", rep.StartupDelay.Seconds())
+	fmt.Fprintf(w, "| quality switches | %d |\n", rep.QualitySwitches)
+	fmt.Fprintf(w, "| QoE score | %.2f |\n", qoe)
+	fmt.Fprintf(w, "| radio energy | %.1f J |\n", radioJ)
+	fmt.Fprintf(w, "| idle time | %.1fs in %d gaps |\n\n", m.IdleTime.Seconds(), m.IdleGaps)
+
+	fmt.Fprintf(w, "## Path usage (steady state)\n\n| path | bytes | share |\n|---|---|---|\n")
+	total := rep.TotalBytes()
+	for name, b := range rep.SteadyStatePathBytes {
+		share := 0.0
+		if total > 0 {
+			share = float64(b) / float64(total) * 100
+		}
+		fmt.Fprintf(w, "| %s | %.2f MB | %.1f%% |\n", name, float64(b)/1e6, share)
+	}
+
+	fmt.Fprintf(w, "\n## Chunks\n\n| # | level | size | download | cellular | buffer after |\n|---|---|---|---|---|---|\n")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "| %d | %d | %.0f kB | %.2fs | %.0f kB | %.1fs |\n",
+			r.Meta.Index, r.Meta.LevelID, float64(r.Meta.Size)/1e3,
+			(r.End - r.Start).Seconds(), float64(r.PathBytes["lte"])/1e3,
+			r.BufferAfter.Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mpdash/internal/harness"
+	"mpdash/internal/trace"
+)
+
+func labTrace(mbps float64) *trace.Trace {
+	return trace.Constant("lab", mbps, time.Second, 1)
+}
+
+func comparisonPair(t *testing.T) (base, mp *harness.SessionResult) {
+	t.Helper()
+	run := func(scheme harness.Scheme) *harness.SessionResult {
+		res, err := harness.RunSession(harness.SessionConfig{
+			WiFi:   labTrace(3.8),
+			LTE:    labTrace(3.0),
+			Scheme: scheme,
+			Chunks: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	return run(harness.Baseline), run(harness.MPDashRate)
+}
+
+func TestCompare(t *testing.T) {
+	base, mp := comparisonPair(t)
+	c := Compare(
+		SessionSummary{Report: base.Report, CellularBytes: base.LTEBytes(), RadioJ: base.RadioJ()},
+		SessionSummary{Report: mp.Report, CellularBytes: mp.LTEBytes(), RadioJ: mp.RadioJ()},
+	)
+	if c.CellularSaving <= 0 {
+		t.Errorf("cellular saving = %v", c.CellularSaving)
+	}
+	if c.StallDelta != 0 {
+		t.Errorf("stall delta = %d", c.StallDelta)
+	}
+	if c.BitrateReduction > 0.05 {
+		t.Errorf("bitrate reduction = %v", c.BitrateReduction)
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+	// Degenerate inputs do not divide by zero.
+	zero := Compare(SessionSummary{}, SessionSummary{})
+	if zero.CellularSaving != 0 || zero.EnergySaving != 0 {
+		t.Errorf("zero compare = %+v", zero)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	_, mp := comparisonPair(t)
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, mp.Report, mp.RadioJ()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Session report",
+		"| chunks | 40 |",
+		"## Path usage",
+		"## Chunks",
+		"QoE score",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// One table row per chunk.
+	if n := strings.Count(out, "\n| 3"); n < 1 {
+		t.Error("chunk rows missing")
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mpdash/internal/dash"
+	"mpdash/internal/mptcp"
+	"mpdash/internal/pcaplite"
+)
+
+// This file is the correlation half of the paper's analysis tool (§6): it
+// joins a packet trace (pcaplite records captured at the transport) with
+// a player event log, attributing every transport segment to the chunk
+// whose download interval contains it — reconstructing per-chunk path
+// splits from raw captures instead of trusting the player's accounting.
+
+// ChunkTrace is the per-chunk reconstruction from a packet trace.
+type ChunkTrace struct {
+	Chunk     int
+	Level     int
+	Start     time.Duration
+	End       time.Duration
+	PathBytes map[string]int64
+	// Segments is the number of transport segments attributed.
+	Segments int
+	// MPDashOnFrac is the fraction of segments whose DSS decision bit
+	// said the secondary path was enabled.
+	MPDashOnFrac float64
+}
+
+// Correlate joins a packet trace with a player event log. Events must
+// contain matching chunk-start / chunk-done pairs (as the dash player
+// emits); records outside any chunk interval are ignored (control
+// traffic).
+func Correlate(tr *pcaplite.Trace, events []dash.Event) ([]ChunkTrace, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("analysis: nil trace")
+	}
+	type window struct {
+		chunk, level int
+		start, end   time.Duration
+	}
+	starts := map[int]dash.Event{}
+	var windows []window
+	for _, e := range events {
+		switch e.Kind {
+		case dash.EventChunkStart:
+			starts[e.Chunk] = e
+		case dash.EventChunkDone:
+			s, ok := starts[e.Chunk]
+			if !ok {
+				return nil, fmt.Errorf("analysis: chunk %d done without start", e.Chunk)
+			}
+			windows = append(windows, window{chunk: e.Chunk, level: e.Level, start: s.Time, end: e.Time})
+		}
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i].start < windows[j].start })
+
+	out := make([]ChunkTrace, len(windows))
+	onCount := make([]int, len(windows))
+	for i, w := range windows {
+		out[i] = ChunkTrace{
+			Chunk: w.chunk, Level: w.level, Start: w.start, End: w.end,
+			PathBytes: map[string]int64{},
+		}
+	}
+	// Sweep records in capture order, attributing each to the earliest
+	// window containing its timestamp: back-to-back chunks share a
+	// boundary instant, and a segment landing exactly there belongs to
+	// the finishing chunk, not the one about to start.
+	wi := 0
+	for _, r := range tr.Records {
+		for wi < len(windows) && r.TS > windows[wi].end {
+			wi++
+		}
+		if wi >= len(windows) {
+			break
+		}
+		if r.TS < windows[wi].start {
+			continue // control traffic between chunks
+		}
+		ct := &out[wi]
+		ct.PathBytes[tr.Paths[r.Path]] += int64(r.Size)
+		ct.Segments++
+		dss, err := mptcp.DecodeDSSOption(r.DSS[:])
+		if err != nil {
+			return nil, fmt.Errorf("analysis: chunk %d: %w", ct.Chunk, err)
+		}
+		if dss.MPDashCellularEnable {
+			onCount[wi]++
+		}
+	}
+	for i := range out {
+		if out[i].Segments > 0 {
+			out[i].MPDashOnFrac = float64(onCount[i]) / float64(out[i].Segments)
+		}
+	}
+	return out, nil
+}
+
+// TraceRecorder adapts a pcaplite.Writer to the mptcp.Recorder interface.
+type TraceRecorder struct {
+	W *pcaplite.Writer
+	// Err holds the first write error; once set, recording stops.
+	Err error
+}
+
+// RecordSegment implements mptcp.Recorder.
+func (t *TraceRecorder) RecordSegment(ts time.Duration, pathIndex int, size int, dss mptcp.DSSOption) {
+	if t.Err != nil {
+		return
+	}
+	var rec pcaplite.Record
+	rec.TS = ts
+	rec.Path = uint8(pathIndex)
+	if size > 0xffff {
+		size = 0xffff
+	}
+	rec.Size = uint16(size)
+	copy(rec.DSS[:], dss.Encode())
+	t.Err = t.W.Write(rec)
+}
+
+// MemoryRecorder captures records in memory (for tests and small runs).
+type MemoryRecorder struct {
+	PathNames []string
+	Records   []pcaplite.Record
+}
+
+// RecordSegment implements mptcp.Recorder.
+func (m *MemoryRecorder) RecordSegment(ts time.Duration, pathIndex int, size int, dss mptcp.DSSOption) {
+	var rec pcaplite.Record
+	rec.TS = ts
+	rec.Path = uint8(pathIndex)
+	if size > 0xffff {
+		size = 0xffff
+	}
+	rec.Size = uint16(size)
+	copy(rec.DSS[:], dss.Encode())
+	m.Records = append(m.Records, rec)
+}
+
+// Trace converts the captured records into a pcaplite.Trace.
+func (m *MemoryRecorder) Trace() *pcaplite.Trace {
+	return &pcaplite.Trace{Paths: m.PathNames, Records: m.Records}
+}

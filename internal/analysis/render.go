@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mpdash/internal/dash"
+)
+
+// RenderChunksASCII draws the Figure-8 visualization in a terminal: a
+// timeline where each chunk is a bar whose width is its download duration,
+// whose fill character encodes the quality level (1–5), and whose leading
+// dark cells show the fraction delivered over the cellular path.
+func RenderChunksASCII(rep *dash.Report, cellularPath string, colsPerSecond float64) string {
+	if colsPerSecond <= 0 {
+		colsPerSecond = 2
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s / %s — each bar one chunk; digit = quality level; '#' = cellular share\n",
+		rep.VideoName, rep.Algorithm)
+	for _, r := range rep.Results {
+		width := int((r.End - r.Start).Seconds() * colsPerSecond)
+		if width < 1 {
+			width = 1
+		}
+		var total, cell int64
+		for name, bytes := range r.PathBytes {
+			total += bytes
+			if name == cellularPath {
+				cell += bytes
+			}
+		}
+		dark := 0
+		if total > 0 {
+			dark = int(float64(width) * float64(cell) / float64(total))
+		}
+		levelChar := byte('1' + r.Meta.LevelID - 1)
+		bar := strings.Repeat("#", dark) + strings.Repeat(string(levelChar), width-dark)
+		fmt.Fprintf(&b, "%7.1fs |%s\n", r.Start.Seconds(), bar)
+	}
+	return b.String()
+}
+
+// RenderThroughputASCII draws Fig. 1/6/11-style stacked throughput series:
+// one row per second, bars for each path's Mbps.
+func RenderThroughputASCII(names []string, series [][]float64, window time.Duration, maxCols int) string {
+	if maxCols <= 0 {
+		maxCols = 60
+	}
+	var b strings.Builder
+	var maxV float64
+	for _, s := range series {
+		for _, v := range s {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	n := 0
+	for _, s := range series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	fmt.Fprintf(&b, "window=%v scale: full bar = %.1f Mbps\n", window, maxV)
+	marks := []byte{'=', '#', '+', '%'}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%7.1fs ", (time.Duration(i) * window).Seconds())
+		for si, s := range series {
+			v := 0.0
+			if i < len(s) {
+				v = s[i]
+			}
+			w := int(v / maxV * float64(maxCols))
+			fmt.Fprintf(&b, "|%-*s", maxCols, strings.Repeat(string(marks[si%len(marks)]), w))
+		}
+		b.WriteByte('\n')
+	}
+	header := "          "
+	for si, name := range names {
+		header += fmt.Sprintf("|%c=%-*s", marks[si%len(marks)], maxCols-2, name)
+	}
+	return header + "\n" + b.String()
+}
+
+// RenderBufferASCII draws the playback buffer trajectory: one row per
+// chunk completion, bar length proportional to buffer occupancy. The Φ
+// threshold used by the MP-DASH deadline extension is marked so the
+// limit-cycle behaviour around it is visible.
+func RenderBufferASCII(rep *dash.Report, bufferCap time.Duration, phiFrac float64, maxCols int) string {
+	if maxCols <= 0 {
+		maxCols = 50
+	}
+	if bufferCap <= 0 {
+		bufferCap = 40 * time.Second
+	}
+	phiCol := int(phiFrac * float64(maxCols))
+	var b strings.Builder
+	fmt.Fprintf(&b, "buffer occupancy per chunk (full bar = %v, 'Φ' marks the extension threshold)\n", bufferCap)
+	for _, r := range rep.Results {
+		w := int(float64(r.BufferAfter) / float64(bufferCap) * float64(maxCols))
+		if w > maxCols {
+			w = maxCols
+		}
+		row := []byte(strings.Repeat("=", w) + strings.Repeat(" ", maxCols-w))
+		if phiFrac > 0 && phiCol >= 0 && phiCol < len(row) {
+			row[phiCol] = 'P'
+		}
+		fmt.Fprintf(&b, "%4d %5.1fs |%s|\n", r.Meta.Index, r.BufferAfter.Seconds(), row)
+	}
+	return b.String()
+}
+
+// levelColors maps ladder IDs to the figure's palette (light blue is the
+// highest level, as in the paper).
+var levelColors = []string{"#444444", "#7a5195", "#ef5675", "#ffa600", "#7fd1ea"}
+
+// RenderChunksSVG produces a standalone SVG of the Figure-8 visualization.
+func RenderChunksSVG(rep *dash.Report, cellularPath string) []byte {
+	const (
+		pxPerSec = 8.0
+		maxBarH  = 120.0
+		margin   = 24.0
+	)
+	var maxSize int64
+	var endT float64
+	for _, r := range rep.Results {
+		if r.Meta.Size > maxSize {
+			maxSize = r.Meta.Size
+		}
+		if e := r.End.Seconds(); e > endT {
+			endT = e
+		}
+	}
+	if maxSize == 0 {
+		maxSize = 1
+	}
+	w := margin*2 + endT*pxPerSec
+	h := margin*2 + maxBarH
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`, w, h)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%f" y="16" font-family="sans-serif" font-size="12">%s / %s — bar width = download time, height = chunk size, color = level, black = cellular</text>`,
+		margin, rep.VideoName, rep.Algorithm)
+	for _, r := range rep.Results {
+		x := margin + r.Start.Seconds()*pxPerSec
+		wBar := (r.End - r.Start).Seconds() * pxPerSec
+		if wBar < 1 {
+			wBar = 1
+		}
+		hBar := float64(r.Meta.Size) / float64(maxSize) * maxBarH
+		y := margin + (maxBarH - hBar)
+		color := levelColors[(r.Meta.LevelID-1)%len(levelColors)]
+		var total, cell int64
+		for name, bytes := range r.PathBytes {
+			total += bytes
+			if name == cellularPath {
+				cell += bytes
+			}
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, x, y, wBar, hBar, color)
+		if total > 0 && cell > 0 {
+			hCell := hBar * float64(cell) / float64(total)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="black"/>`, x, y+(hBar-hCell), wBar, hCell)
+		}
+	}
+	b.WriteString(`</svg>`)
+	return []byte(b.String())
+}

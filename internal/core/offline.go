@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file implements the paper's general formulation (§4): choosing which
+// (interface, slot) pairs carry data is a 0-1 min-cost knapsack — minimize
+// Σ c(i,j)·b(i,j)·x(i,j)·d subject to Σ b(i,j)·x(i,j)·d ≥ S — plus the
+// closed-form two-path optimum used as the "Cell % Optimal" column of
+// Table 2.
+
+// SlotPlan is the offline solver's output: which slots of which interface
+// carry data, and the resulting cost and byte split.
+type SlotPlan struct {
+	// Use[i][j] is true iff interface i transmits during slot j.
+	Use [][]bool
+	// Cost is the objective value Σ c·b·x·d.
+	Cost float64
+	// Bytes[i] is the total bytes carried per interface.
+	Bytes []float64
+	// Feasible is false when even using every slot of every interface
+	// cannot deliver S bytes by the deadline.
+	Feasible bool
+}
+
+// MinCostSchedule solves the 0-1 min-knapsack exactly by dynamic
+// programming over discretized demand. bw[i][j] is the bandwidth of
+// interface i in slot j (bits/s), cost[i] the unit-data cost of interface
+// i (per byte), d the slot duration, and S the required bytes.
+//
+// Complexity is O(N·D·S/q) where q is the byte quantum; the paper quotes
+// O(N·D·S), the same DP. Quantum q trades precision for speed; callers
+// pass something like 1 KiB.
+func MinCostSchedule(bw [][]float64, cost []float64, d time.Duration, S int64, q int64) (*SlotPlan, error) {
+	n := len(bw)
+	if n == 0 || len(cost) != n {
+		return nil, fmt.Errorf("core: %d interfaces with %d costs", n, len(cost))
+	}
+	if S <= 0 || q <= 0 || d <= 0 {
+		return nil, fmt.Errorf("core: invalid S=%d q=%d d=%v", S, q, d)
+	}
+	slots := len(bw[0])
+	for i := range bw {
+		if len(bw[i]) != slots {
+			return nil, fmt.Errorf("core: ragged bandwidth matrix")
+		}
+	}
+
+	type item struct {
+		iface, slot int
+		bytes       float64
+		value       float64
+	}
+	var items []item
+	var totalBytes float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < slots; j++ {
+			b := bw[i][j] / 8 * d.Seconds() // bytes this slot can carry
+			if b <= 0 {
+				continue
+			}
+			items = append(items, item{i, j, b, cost[i] * b})
+			totalBytes += b
+		}
+	}
+	plan := &SlotPlan{Bytes: make([]float64, n)}
+	plan.Use = make([][]bool, n)
+	for i := range plan.Use {
+		plan.Use[i] = make([]bool, slots)
+	}
+	if totalBytes < float64(S) {
+		plan.Feasible = false
+		return plan, nil
+	}
+	plan.Feasible = true
+
+	// Min-knapsack via the standard duality: dp[k][w] is the minimum cost
+	// of covering at least w·q bytes using the first k items; coverage
+	// beyond W clamps to W. A full table keeps reconstruction sound.
+	// Both the demand and the item capacities are rounded to the quantum,
+	// so quantization error stays within ±q/2 per item instead of
+	// accumulating one-sided.
+	W := int(math.Round(float64(S) / float64(q)))
+	if W == 0 {
+		W = 1
+	}
+	const inf = math.MaxFloat64 / 4
+	weight := make([]int, len(items))
+	for k, it := range items {
+		weight[k] = int(math.Round(it.bytes / float64(q)))
+		if weight[k] == 0 {
+			weight[k] = 1
+		}
+	}
+	dp := make([][]float64, len(items)+1)
+	dp[0] = make([]float64, W+1)
+	for w := 1; w <= W; w++ {
+		dp[0][w] = inf
+	}
+	for k, it := range items {
+		row := make([]float64, W+1)
+		prev := dp[k]
+		copy(row, prev)
+		for w := 1; w <= W; w++ {
+			src := w - weight[k]
+			if src < 0 {
+				src = 0
+			}
+			if cand := prev[src] + it.value; cand < row[w] {
+				row[w] = cand
+			}
+		}
+		dp[k+1] = row
+	}
+	if dp[len(items)][W] >= inf {
+		plan.Feasible = false
+		return plan, nil
+	}
+	plan.Cost = dp[len(items)][W]
+	// Reconstruct by walking the table backwards.
+	w := W
+	for k := len(items); k >= 1; k-- {
+		if dp[k][w] == dp[k-1][w] {
+			continue // item k-1 not used at this state
+		}
+		it := items[k-1]
+		plan.Use[it.iface][it.slot] = true
+		plan.Bytes[it.iface] += it.bytes
+		w -= weight[k-1]
+		if w < 0 {
+			w = 0
+		}
+	}
+	return plan, nil
+}
+
+// OptimalTwoPath computes the Table 2 "Cell % Optimal" quantity in closed
+// form for the N=2 preference case (WiFi strictly cheaper than cellular):
+// the minimum cellular bytes needed to deliver S bytes within the deadline
+// is S minus everything WiFi can carry, floored at zero; fractional slot
+// use is allowed at the margin, matching how a real transfer would stop
+// mid-slot. Returns the cellular byte count and whether the deadline is
+// feasible at all.
+func OptimalTwoPath(wifiMbps, cellMbps []float64, slot time.Duration, S int64) (cellBytes float64, feasible bool) {
+	var wifiTotal, cellTotal float64
+	sec := slot.Seconds()
+	for _, m := range wifiMbps {
+		wifiTotal += m * 1e6 / 8 * sec
+	}
+	for _, m := range cellMbps {
+		cellTotal += m * 1e6 / 8 * sec
+	}
+	need := float64(S) - wifiTotal
+	if need <= 0 {
+		return 0, true
+	}
+	if need > cellTotal {
+		return cellTotal, false
+	}
+	return need, true
+}

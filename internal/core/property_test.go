@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mpdash/internal/mptcp"
+	"mpdash/internal/sim"
+	"mpdash/internal/trace"
+)
+
+// Property-based tests on the scheduler's core invariants.
+
+// randCfg builds a random but feasible slot-sim configuration.
+func randCfg(seed int64) SlotSimConfig {
+	rng := rand.New(rand.NewSource(seed))
+	slot := 50 * time.Millisecond
+	wifiMean := 1 + rng.Float64()*10
+	cellMean := 1 + rng.Float64()*10
+	sigma := rng.Float64() * 0.3
+	n := 2000
+	deadline := time.Duration(5+rng.Intn(20)) * time.Second
+	// Size chosen so the aggregate can always make it with ~25% margin.
+	capacity := (wifiMean + cellMean) * 1e6 / 8 * deadline.Seconds()
+	size := int64(capacity * (0.2 + 0.55*rng.Float64()))
+	return SlotSimConfig{
+		WiFiMbps: trace.Synthetic("w", wifiMean, sigma, slot, n, seed).Mbps,
+		CellMbps: trace.Synthetic("c", cellMean, sigma, slot, n, seed+1).Mbps,
+		Slot:     slot,
+		Size:     size,
+		Deadline: deadline,
+	}
+}
+
+func TestPropertyOnlineNeverBeatsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := randCfg(seed)
+		online, err := SimulateOnline(cfg)
+		if err != nil {
+			return false
+		}
+		opt, feasible, err := SimulateOptimal(cfg)
+		if err != nil || !feasible {
+			return false
+		}
+		// Optimality: the online scheduler can never use less cellular
+		// than the offline optimum (beyond slot-quantization jitter).
+		slack := 2 * cfg.CellMbps[0] * 1e6 / 8 * cfg.Slot.Seconds()
+		return online.CellularBytes >= opt*float64(cfg.Size)-slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDeliversExactlySize(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := randCfg(seed)
+		res, err := SimulateOnline(cfg)
+		if err != nil {
+			return false
+		}
+		got := res.WiFiBytes + res.CellularBytes
+		return got >= float64(cfg.Size)*0.999 && got <= float64(cfg.Size)*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAmpleMarginNeverMisses(t *testing.T) {
+	// With ≥25% aggregate capacity margin, the online scheduler must not
+	// miss even under 30% bandwidth noise.
+	f := func(seed int64) bool {
+		cfg := randCfg(seed)
+		res, err := SimulateOnline(cfg)
+		if err != nil {
+			return false
+		}
+		return !res.Missed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCellularFracWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := randCfg(seed)
+		res, err := SimulateOnline(cfg)
+		if err != nil {
+			return false
+		}
+		return res.CellularFrac >= 0 && res.CellularFrac <= 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreferCellularPolicy(t *testing.T) {
+	// §3.3: the two preference policies are symmetric. With cellular as
+	// the primary (preferred when moving) and WiFi as the costly
+	// secondary, ample LTE must keep WiFi dark.
+	s := sim.New()
+	c, err := mptcp.NewConn(s, mptcp.Config{
+		Paths: []mptcp.PathSpec{
+			{Name: "lte", Rate: trace.Constant("l", 20, time.Second, 1), RTT: 60 * time.Millisecond, Cost: 0.1, Primary: true},
+			{Name: "wifi", Rate: trace.Constant("w", 10, time.Second, 1), RTT: 50 * time.Millisecond, Cost: 1.0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := NewScheduler(s, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both paths.
+	wt, _ := c.StartTransfer(2_000_000)
+	if !wt.RunUntilComplete(60 * time.Second) {
+		t.Fatal("warmup stuck")
+	}
+	wifi0 := c.Path("wifi").DeliveredBytes()
+	tr, err := c.StartTransfer(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch.Govern(tr)
+	if err := sch.Enable(5_000_000, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.RunUntilComplete(5 * time.Minute) {
+		t.Fatal("transfer stuck")
+	}
+	if wifiBytes := c.Path("wifi").DeliveredBytes() - wifi0; wifiBytes > 100_000 {
+		t.Errorf("costly WiFi carried %d bytes under prefer-cellular policy", wifiBytes)
+	}
+}

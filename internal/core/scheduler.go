@@ -1,0 +1,255 @@
+// Package core implements the paper's primary contribution: the MP-DASH
+// deadline-aware scheduler (§4). Given a transfer of S bytes with a
+// deadline window D and a user preference over network paths, it drives
+// the preferred path at full capacity and toggles costlier paths on only
+// when the preferred path alone would miss the deadline, using a
+// Holt-Winters forecast of path throughput. The package also contains the
+// offline optimal solver (0-1 min-knapsack, offline.go) and the
+// slot-granularity trace simulator used for Table 2 (slotsim.go).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mpdash/internal/mptcp"
+	"mpdash/internal/sim"
+)
+
+// DefaultAlpha is the safety factor α of Algorithm 1: the target finish
+// time is α·D, so α < 1 compensates for throughput-estimation error at the
+// price of more cellular data. The paper's headline experiments use 1.0.
+const DefaultAlpha = 1.0
+
+// Scheduler is the online MP-DASH scheduler attached to one multipath
+// connection. It mirrors the kernel component of the paper: activated per
+// transfer via Enable (the MP_DASH_ENABLE socket option), deactivated when
+// the S bytes finish, the deadline passes, or Disable (MP_DASH_DISABLE) is
+// called.
+type Scheduler struct {
+	sim  *sim.Simulator
+	conn *mptcp.Conn
+
+	// Alpha is the safety factor in (0, 1].
+	Alpha float64
+	// EvalInterval bounds how stale a decision can get when no data is
+	// arriving (e.g. during a WiFi blackout). Defaults to the connection
+	// sample interval via NewScheduler.
+	EvalInterval time.Duration
+	// MaxCost, when positive, is a hard ceiling: secondary paths whose
+	// current cost exceeds it are never enabled, even at the price of a
+	// missed deadline. Policies (internal/policy) use it to express
+	// "quota exhausted — degrade rather than pay".
+	MaxCost float64
+
+	active     bool
+	size       int64
+	sent       int64
+	enabledAt  time.Duration
+	deadlineAt time.Duration
+
+	// desired[name] is the state we last requested for each secondary
+	// path, so we only signal on change.
+	desired map[string]bool
+
+	toggles    int64
+	misses     int64
+	activation int64
+}
+
+// NewScheduler creates a scheduler over conn with the given α.
+func NewScheduler(s *sim.Simulator, conn *mptcp.Conn, alpha float64) (*Scheduler, error) {
+	if s == nil || conn == nil {
+		return nil, fmt.Errorf("core: nil simulator or connection")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: alpha %v outside (0, 1]", alpha)
+	}
+	sch := &Scheduler{
+		sim:          s,
+		conn:         conn,
+		Alpha:        alpha,
+		EvalInterval: mptcp.DefaultSampleInterval,
+		desired:      make(map[string]bool),
+	}
+	return sch, nil
+}
+
+// Active reports whether MP-DASH is currently governing a transfer.
+func (s *Scheduler) Active() bool { return s.active }
+
+// Toggles returns how many path enable/disable signals were sent.
+func (s *Scheduler) Toggles() int64 { return s.toggles }
+
+// DeadlineMisses returns how many governed transfers passed their deadline
+// before completing.
+func (s *Scheduler) DeadlineMisses() int64 { return s.misses }
+
+// Activations returns how many transfers were governed.
+func (s *Scheduler) Activations() int64 { return s.activation }
+
+// Enable activates MP-DASH for the next size bytes with deadline window
+// window (the MP_DASH_ENABLE socket option, §3.2). Per Algorithm 1 the
+// secondary paths start disabled; the evaluation loop re-enables them the
+// moment the preferred path alone cannot make the deadline. The transfer
+// must be attached via Govern for progress-driven evaluation.
+func (s *Scheduler) Enable(size int64, window time.Duration) error {
+	if size <= 0 {
+		return fmt.Errorf("core: size %d", size)
+	}
+	if window <= 0 {
+		return fmt.Errorf("core: deadline window %v", window)
+	}
+	s.active = true
+	s.activation++
+	s.size = size
+	s.sent = 0
+	s.enabledAt = s.sim.Now()
+	s.deadlineAt = s.enabledAt + window
+	// Line 3 of Algorithm 1: cellularEnabled = FALSE. We evaluate
+	// immediately rather than blindly disabling, so a clearly-infeasible
+	// deadline keeps the secondary paths on from the first byte.
+	s.evaluate()
+	s.scheduleTick()
+	return nil
+}
+
+// Disable deactivates MP-DASH (the MP_DASH_DISABLE socket option) and
+// returns the connection to stock MPTCP behaviour: all paths enabled.
+func (s *Scheduler) Disable() {
+	if !s.active {
+		return
+	}
+	s.active = false
+	s.enableAll()
+}
+
+// Govern wires the scheduler to a transfer so that every delivered segment
+// re-runs the Algorithm 1 check, exactly like the kernel loop that
+// re-evaluates after sending each packet.
+func (s *Scheduler) Govern(t *mptcp.Transfer) {
+	prev := t.OnProgress
+	t.OnProgress = func(delivered int64) {
+		if prev != nil {
+			prev(delivered)
+		}
+		if !s.active {
+			return
+		}
+		s.sent = delivered
+		if delivered >= s.size {
+			// Condition (1): S bytes transferred.
+			s.Disable()
+			return
+		}
+		s.evaluate()
+	}
+}
+
+// scheduleTick keeps evaluating during data droughts.
+func (s *Scheduler) scheduleTick() {
+	if !s.active {
+		return
+	}
+	s.sim.Schedule(s.EvalInterval, func() {
+		if !s.active {
+			return
+		}
+		s.evaluate()
+		s.scheduleTick()
+	})
+}
+
+// evaluate runs lines 13–21 of Algorithm 1, generalized to N paths sorted
+// by cost (§4 "Optimality"): feed data from low-cost to high-cost
+// interfaces, enabling the minimal prefix whose predicted capacity covers
+// the remaining bytes within the shrunken window α·D.
+func (s *Scheduler) evaluate() {
+	now := s.sim.Now()
+	if now >= s.deadlineAt {
+		// Condition (2): deadline passed. "After that both interfaces
+		// will always be used" (§7.2.2).
+		s.misses++
+		s.Disable()
+		return
+	}
+	remaining := s.size - s.sent
+	if remaining <= 0 {
+		s.Disable()
+		return
+	}
+	// Target window per Algorithm 1: α·D − timeSpent.
+	window := time.Duration(s.Alpha*float64(s.deadlineAt-s.enabledAt)) - (now - s.enabledAt)
+	if window <= 0 {
+		// Inside the safety margin: push everything.
+		s.setAll(true)
+		return
+	}
+
+	paths := append([]*mptcp.Path(nil), s.conn.Paths()...)
+	sort.SliceStable(paths, func(i, j int) bool {
+		// Primary first, then ascending cost.
+		if paths[i].Primary != paths[j].Primary {
+			return paths[i].Primary
+		}
+		return paths[i].Cost < paths[j].Cost
+	})
+
+	needBits := float64(remaining * 8)
+	windowSec := window.Seconds()
+	var capacityBits float64
+	covered := false
+	for _, p := range paths {
+		if p.Primary {
+			// The preferred path always runs; it contributes its
+			// predicted throughput.
+			capacityBits += s.conn.EstimatedThroughput(p.Name) * windowSec
+			covered = capacityBits >= needBits
+			continue
+		}
+		if s.MaxCost > 0 && p.Cost > s.MaxCost {
+			// Over the ceiling: this path is off the table entirely.
+			s.setPath(p.Name, false)
+			continue
+		}
+		want := !covered
+		s.setPath(p.Name, want)
+		if want {
+			est := s.conn.EstimatedThroughput(p.Name)
+			if est <= 0 {
+				// Never-measured path: assume it suffices so we do not
+				// cascade every remaining path on at once.
+				covered = true
+				continue
+			}
+			capacityBits += est * windowSec
+			covered = capacityBits >= needBits
+		}
+	}
+}
+
+func (s *Scheduler) setPath(name string, on bool) {
+	if prev, ok := s.desired[name]; ok && prev == on {
+		return
+	}
+	s.desired[name] = on
+	s.toggles++
+	// The primary path can never be disabled; mptcp enforces it too.
+	_ = s.conn.SetPathEnabled(name, on)
+}
+
+// setAll enables or disables every secondary path. The MaxCost ceiling
+// holds even here: a path priced over the ceiling stays off when MP-DASH
+// deactivates or panic-enables everything.
+func (s *Scheduler) setAll(on bool) {
+	for _, p := range s.conn.SecondaryPaths() {
+		want := on
+		if on && s.MaxCost > 0 && p.Cost > s.MaxCost {
+			want = false
+		}
+		s.setPath(p.Name, want)
+	}
+}
+
+func (s *Scheduler) enableAll() { s.setAll(true) }

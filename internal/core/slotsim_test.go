@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mpdash/internal/trace"
+)
+
+func synthCfg(sigma float64, deadline time.Duration, seed int64) SlotSimConfig {
+	slot := 50 * time.Millisecond
+	w := trace.Synthetic("w", 3.8, sigma, slot, 1200, seed)
+	c := trace.Synthetic("c", 3.0, sigma, slot, 1200, seed+1)
+	return SlotSimConfig{
+		WiFiMbps: w.Mbps,
+		CellMbps: c.Mbps,
+		Slot:     slot,
+		Size:     5_000_000,
+		Deadline: deadline,
+	}
+}
+
+func TestSimulateOnlineValidation(t *testing.T) {
+	bad := []SlotSimConfig{
+		{},
+		{WiFiMbps: []float64{1}, CellMbps: []float64{1}, Slot: time.Second, Size: 0, Deadline: time.Second},
+		{WiFiMbps: []float64{1}, CellMbps: []float64{1}, Slot: 0, Size: 1, Deadline: time.Second},
+		{WiFiMbps: []float64{1}, CellMbps: []float64{1}, Slot: time.Second, Size: 1, Deadline: 0},
+		{WiFiMbps: []float64{1}, CellMbps: []float64{1}, Slot: time.Second, Size: 1, Deadline: time.Second, Alpha: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := SimulateOnline(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, _, err := SimulateOptimal(SlotSimConfig{}); err == nil {
+		t.Error("SimulateOptimal accepted empty config")
+	}
+}
+
+func TestOnlineMeetsDeadlineOnSynthetic(t *testing.T) {
+	// Table 2: synthetic profiles never miss the deadline.
+	for _, sigma := range []float64{0.10, 0.30} {
+		for _, dl := range []time.Duration{8 * time.Second, 9 * time.Second, 10 * time.Second} {
+			res, err := SimulateOnline(synthCfg(sigma, dl, 42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Missed {
+				t.Errorf("sigma=%v D=%v missed by %v", sigma, dl, res.MissedBy)
+			}
+			if res.WiFiBytes+res.CellularBytes < 5_000_000*0.999 {
+				t.Errorf("sigma=%v D=%v delivered %v", sigma, dl, res.WiFiBytes+res.CellularBytes)
+			}
+		}
+	}
+}
+
+func TestOnlineCloseToOptimal(t *testing.T) {
+	// Table 2 headline: online within ~10 percentage points of optimal.
+	for _, dl := range []time.Duration{8 * time.Second, 9 * time.Second, 10 * time.Second} {
+		cfg := synthCfg(0.10, dl, 7)
+		res, err := SimulateOnline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, feasible, err := SimulateOptimal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !feasible {
+			t.Fatalf("D=%v infeasible", dl)
+		}
+		diff := res.CellularFrac - opt
+		if diff < -0.005 {
+			t.Errorf("D=%v online %.3f beat optimal %.3f: optimality violated", dl, res.CellularFrac, opt)
+		}
+		if diff > 0.10 {
+			t.Errorf("D=%v online %.3f vs optimal %.3f: diff %.3f > 0.10", dl, res.CellularFrac, opt, diff)
+		}
+	}
+}
+
+func TestLongerDeadlineLessCellular(t *testing.T) {
+	// Fig. 4 shape: more slack, fewer cellular bytes.
+	var prev float64 = 2
+	for _, dl := range []time.Duration{8 * time.Second, 9 * time.Second, 10 * time.Second} {
+		res, err := SimulateOnline(synthCfg(0.10, dl, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CellularFrac >= prev {
+			t.Errorf("D=%v cellular frac %.3f not below previous %.3f", dl, res.CellularFrac, prev)
+		}
+		prev = res.CellularFrac
+	}
+}
+
+func TestSmallerAlphaMoreCellular(t *testing.T) {
+	// §7.2.1: α=0.8 still saves, but less than α=1.
+	cfg1 := synthCfg(0.10, 10*time.Second, 3)
+	cfg8 := synthCfg(0.10, 10*time.Second, 3)
+	cfg8.Alpha = 0.8
+	r1, err := SimulateOnline(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := SimulateOnline(cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.CellularBytes <= r1.CellularBytes {
+		t.Errorf("alpha=0.8 cellular %v should exceed alpha=1 cellular %v", r8.CellularBytes, r1.CellularBytes)
+	}
+	if r8.Missed {
+		t.Error("alpha=0.8 missed the deadline")
+	}
+}
+
+func TestPerfectPredictionNearOptimal(t *testing.T) {
+	// §4 "Optimality": with perfect bandwidth knowledge Algorithm 1 is
+	// optimal. A constant trace makes Holt-Winters exact, so online must
+	// land within one slot's worth of bytes of the optimum.
+	slot := 50 * time.Millisecond
+	n := 400
+	w := make([]float64, n)
+	c := make([]float64, n)
+	for i := range w {
+		w[i], c[i] = 3.8, 3.0
+	}
+	cfg := SlotSimConfig{WiFiMbps: w, CellMbps: c, Slot: slot, Size: 5_000_000, Deadline: 9 * time.Second}
+	res, err := SimulateOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := SimulateOptimal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotBytes := 3.0 * 1e6 / 8 * slot.Seconds() * 3 // tolerance: 3 cellular slots
+	if res.CellularBytes > opt*5_000_000+slotBytes {
+		t.Errorf("perfect-knowledge online %.0f bytes vs optimal %.0f", res.CellularBytes, opt*5_000_000)
+	}
+	if res.Missed {
+		t.Error("missed with perfect prediction")
+	}
+}
+
+func TestWiFiAloneSufficientNoCellular(t *testing.T) {
+	// Office-like row of Table 2: D=18s, 50 MB, WiFi 28.4 Mbps stable →
+	// zero cellular.
+	slot := 50 * time.Millisecond
+	w := trace.Synthetic("w", 28.4, 0.05, slot, 1000, 5)
+	c := trace.Synthetic("c", 19.1, 0.05, slot, 1000, 6)
+	cfg := SlotSimConfig{WiFiMbps: w.Mbps, CellMbps: c.Mbps, Slot: slot, Size: 50_000_000, Deadline: 18 * time.Second}
+	res, err := SimulateOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellularFrac > 0.02 {
+		t.Errorf("cellular frac %.3f, want ≈0", res.CellularFrac)
+	}
+	if res.Missed {
+		t.Error("missed")
+	}
+}
+
+func TestImpossibleDeadlineUsesBothAndMisses(t *testing.T) {
+	slot := 50 * time.Millisecond
+	w := []float64{1.0}
+	c := []float64{1.0}
+	cfg := SlotSimConfig{WiFiMbps: w, CellMbps: c, Slot: slot, Size: 5_000_000, Deadline: 2 * time.Second}
+	res, err := SimulateOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Missed {
+		t.Error("impossible deadline not reported missed")
+	}
+	if res.CellularBytes == 0 {
+		t.Error("scheduler should have used cellular when doomed")
+	}
+	if res.Finish <= cfg.Deadline {
+		t.Error("finish should be past deadline")
+	}
+	_, feasible, err := SimulateOptimal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feasible {
+		t.Error("optimal should also be infeasible")
+	}
+}
+
+func TestSeedSlotsDisabled(t *testing.T) {
+	cfg := synthCfg(0.10, 9*time.Second, 13)
+	cfg.SeedSlots = -1
+	res, err := SimulateOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without seeding the first prediction is 0 → cellular on from slot 0;
+	// it still must complete.
+	if res.WiFiBytes+res.CellularBytes < 5_000_000*0.999 {
+		t.Errorf("unseeded run delivered %v", res.WiFiBytes+res.CellularBytes)
+	}
+}
+
+func TestTogglesBounded(t *testing.T) {
+	// The scheduler should not flap wildly: on a mildly noisy trace the
+	// toggle count stays far below the slot count.
+	res, err := SimulateOnline(synthCfg(0.30, 9*time.Second, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Toggles > 60 {
+		t.Errorf("toggles = %d, excessive flapping", res.Toggles)
+	}
+}

@@ -1,0 +1,259 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestParamsValidate(t *testing.T) {
+	for _, p := range []RadioParams{LTEGalaxyNote(), LTEGalaxyS3(), WiFiGalaxyNote(), WiFiGalaxyS3()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := LTEGalaxyNote()
+	bad.TailTime = -time.Second
+	if err := bad.Validate(); err == nil {
+		t.Error("negative timer accepted")
+	}
+	bad2 := LTEGalaxyNote()
+	bad2.ActiveBase = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative power accepted")
+	}
+	bad3 := LTEGalaxyNote()
+	bad3.TailHighTime = bad3.TailTime + time.Second
+	if err := bad3.Validate(); err == nil {
+		t.Error("tail high phase > tail accepted")
+	}
+}
+
+func TestTwoPhaseTail(t *testing.T) {
+	// A window 3 s after the burst sits in the cDRX phase: cheaper than
+	// the continuous-reception phase right after the burst.
+	p := LTEGalaxyNote()
+	window := 100 * time.Millisecond
+	buckets := []int64{100_000} // one busy window
+	b, err := RadioEnergy(buckets, window, 12*time.Second, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail = TailHighTime at TailPower + (TailTime-TailHighTime) at DRX.
+	want := p.TailPower*p.TailHighTime.Seconds() +
+		p.TailDRXPower*(p.TailTime-p.TailHighTime).Seconds()
+	if math.Abs(b.TailJ-want) > 0.2 {
+		t.Errorf("two-phase tail = %v J, want ≈%v", b.TailJ, want)
+	}
+}
+
+func TestRadioEnergyValidation(t *testing.T) {
+	p := LTEGalaxyNote()
+	if _, err := RadioEnergy(nil, 0, time.Second, p); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := RadioEnergy(nil, time.Second, -time.Second, p); err == nil {
+		t.Error("negative total accepted")
+	}
+	bad := p
+	bad.IdlePower = -1
+	if _, err := RadioEnergy(nil, time.Second, time.Second, bad); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestIdleOnlySession(t *testing.T) {
+	p := LTEGalaxyNote()
+	b, err := RadioEnergy(nil, 100*time.Millisecond, 10*time.Second, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.IdlePower * 10
+	if math.Abs(b.TotalJ()-want) > 1e-9 {
+		t.Errorf("idle session = %v J, want %v", b.TotalJ(), want)
+	}
+	if b.Promotions != 0 {
+		t.Errorf("promotions = %d", b.Promotions)
+	}
+}
+
+func TestSingleBurstHasPromotionAndTail(t *testing.T) {
+	p := LTEGalaxyNote()
+	window := 100 * time.Millisecond
+	// 1 second of traffic at the start of a 30 s session.
+	buckets := make([]int64, 10)
+	for i := range buckets {
+		buckets[i] = 125_000 // 10 Mbps
+	}
+	b, err := RadioEnergy(buckets, window, 30*time.Second, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Promotions != 1 {
+		t.Errorf("promotions = %d, want 1", b.Promotions)
+	}
+	if b.PromotionJ <= 0 || b.ActiveJ <= 0 || b.TailJ <= 0 || b.IdleJ <= 0 {
+		t.Errorf("all components should be positive: %+v", b)
+	}
+	// Tail ≈ 1 s at 1.06 W + 10.5 s cDRX at 0.45 W ≈ 5.8 J.
+	if b.TailJ < 5 || b.TailJ > 7 {
+		t.Errorf("tail = %v J, want ≈5.8", b.TailJ)
+	}
+	// Active: 1 s at 1.288+0.052*10 = 1.808 W.
+	if math.Abs(b.ActiveJ-1.808) > 0.01 {
+		t.Errorf("active = %v J, want 1.808", b.ActiveJ)
+	}
+}
+
+func TestDribbleCostsMoreThanBurst(t *testing.T) {
+	// The Table 4 phenomenon: sending the same bytes as a slow dribble
+	// keeps the radio in tail/active forever; a fast burst pays one tail.
+	p := LTEGalaxyNote()
+	window := 100 * time.Millisecond
+	total := 60 * time.Second
+	const totalBytes = 6_000_000
+
+	// Burst: all bytes in the first 2 seconds.
+	burst := make([]int64, 20)
+	for i := range burst {
+		burst[i] = totalBytes / 20
+	}
+	// Dribble: bytes spread evenly across the full minute.
+	dribble := make([]int64, 600)
+	for i := range dribble {
+		dribble[i] = totalBytes / 600
+	}
+	bb, err := RadioEnergy(burst, window, total, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := RadioEnergy(dribble, window, total, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.TotalJ() <= bb.TotalJ()*1.5 {
+		t.Errorf("dribble %v J should far exceed burst %v J", bd.TotalJ(), bb.TotalJ())
+	}
+}
+
+func TestGapShorterThanTailNoRepromotion(t *testing.T) {
+	p := LTEGalaxyNote()
+	window := 100 * time.Millisecond
+	// Two bursts 5 s apart (tail is 11.5 s): one promotion.
+	buckets := make([]int64, 60)
+	buckets[0] = 100_000
+	buckets[50] = 100_000
+	b, err := RadioEnergy(buckets, window, 6*time.Second, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Promotions != 1 {
+		t.Errorf("promotions = %d, want 1 (gap < tail)", b.Promotions)
+	}
+	// Two bursts 20 s apart: two promotions.
+	buckets2 := make([]int64, 201)
+	buckets2[0] = 100_000
+	buckets2[200] = 100_000
+	b2, err := RadioEnergy(buckets2, window, 21*time.Second, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Promotions != 2 {
+		t.Errorf("promotions = %d, want 2 (gap > tail)", b2.Promotions)
+	}
+}
+
+func TestRateDependentActivePower(t *testing.T) {
+	p := LTEGalaxyNote()
+	window := time.Second
+	slow, err := RadioEnergy([]int64{125_000}, window, time.Second, p) // 1 Mbps
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RadioEnergy([]int64{1_250_000}, window, time.Second, p) // 10 Mbps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.ActiveJ <= slow.ActiveJ {
+		t.Errorf("rate dependence missing: fast %v <= slow %v", fast.ActiveJ, slow.ActiveJ)
+	}
+	// But energy-per-byte must be lower at high rate (the reason MP-DASH
+	// bursts rather than throttles).
+	if fast.ActiveJ/10 >= slow.ActiveJ {
+		t.Errorf("per-byte energy not lower at speed: %v vs %v", fast.ActiveJ/10, slow.ActiveJ)
+	}
+}
+
+func TestWiFiCheaperThanLTEForSameTraffic(t *testing.T) {
+	buckets := make([]int64, 100)
+	for i := range buckets {
+		buckets[i] = 50_000
+	}
+	lte, err := RadioEnergy(buckets, 100*time.Millisecond, 20*time.Second, LTEGalaxyNote())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wifi, err := RadioEnergy(buckets, 100*time.Millisecond, 20*time.Second, WiFiGalaxyNote())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wifi.TotalJ() >= lte.TotalJ() {
+		t.Errorf("wifi %v J >= lte %v J", wifi.TotalJ(), lte.TotalJ())
+	}
+}
+
+func TestSessionEnergyAndDevices(t *testing.T) {
+	lteB := []int64{100_000, 0, 0}
+	wifiB := []int64{500_000, 500_000, 500_000}
+	for _, dev := range []Device{GalaxyNote(), GalaxyS3()} {
+		s, err := SessionEnergy(dev, lteB, wifiB, 100*time.Millisecond, time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name, err)
+		}
+		if s.RadioJ() <= 0 {
+			t.Errorf("%s: radio energy %v", dev.Name, s.RadioJ())
+		}
+		if s.RadioJ() != s.LTE.TotalJ()+s.WiFi.TotalJ() {
+			t.Errorf("%s: RadioJ mismatch", dev.Name)
+		}
+	}
+	// Both devices similar (paper: "both yielding similar results").
+	n, _ := SessionEnergy(GalaxyNote(), lteB, wifiB, 100*time.Millisecond, time.Second)
+	s3, _ := SessionEnergy(GalaxyS3(), lteB, wifiB, 100*time.Millisecond, time.Second)
+	ratio := n.RadioJ() / s3.RadioJ()
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("device ratio %v; parameter sets should be similar", ratio)
+	}
+	// Bad params propagate.
+	bad := GalaxyNote()
+	bad.LTE.IdlePower = -1
+	if _, err := SessionEnergy(bad, lteB, wifiB, 100*time.Millisecond, time.Second); err == nil {
+		t.Error("bad device accepted")
+	}
+}
+
+func TestBatteryDrain(t *testing.T) {
+	d := GalaxyNote()
+	// 333 J on a 9.25 Wh (33300 J) battery = 1%.
+	if got := d.BatteryDrainFrac(333); math.Abs(got-0.01) > 0.0001 {
+		t.Errorf("drain = %v, want 0.01", got)
+	}
+	unknown := Device{Name: "x"}
+	if unknown.BatteryDrainFrac(100) != 0 {
+		t.Error("unknown capacity should yield 0")
+	}
+}
+
+func TestBucketsLongerThanTotal(t *testing.T) {
+	// Buckets may extend past the nominal total; they must all count.
+	p := LTEGalaxyNote()
+	buckets := make([]int64, 100)
+	buckets[99] = 1000
+	b, err := RadioEnergy(buckets, 100*time.Millisecond, time.Second, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Promotions != 1 {
+		t.Errorf("promotions = %d", b.Promotions)
+	}
+}

@@ -1,0 +1,64 @@
+package field
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ExportArm is one experiment arm's exported metrics at a location.
+type ExportArm struct {
+	CellularSaving   float64 `json:"cellular_saving"`
+	EnergySaving     float64 `json:"energy_saving"`
+	BitrateReduction float64 `json:"bitrate_reduction"`
+	LTEBytes         int64   `json:"lte_bytes"`
+	Stalls           int     `json:"stalls"`
+}
+
+// ExportRow is one location's exported study outcome.
+type ExportRow struct {
+	Location string               `json:"location"`
+	Category string               `json:"category"`
+	State    string               `json:"state"`
+	Scenario int                  `json:"scenario"`
+	WiFiMbps float64              `json:"wifi_mbps"`
+	LTEMbps  float64              `json:"lte_mbps"`
+	Arms     map[string]ExportArm `json:"arms"`
+}
+
+// Export flattens the study for external plotting tools.
+func (r *StudyResult) Export() []ExportRow {
+	rows := make([]ExportRow, 0, len(r.Outcomes))
+	for _, o := range r.Outcomes {
+		row := ExportRow{
+			Location: o.Location.Name,
+			Category: o.Location.Category,
+			State:    o.Location.State,
+			Scenario: int(o.Location.Scenario()),
+			WiFiMbps: o.Location.WiFiMbps,
+			LTEMbps:  o.Location.LTEMbps,
+			Arms:     map[string]ExportArm{},
+		}
+		for _, k := range SchemeKeys() {
+			mp := o.MPDash[k]
+			if mp == nil {
+				continue
+			}
+			row.Arms[string(k)] = ExportArm{
+				CellularSaving:   o.CellularSaving(k),
+				EnergySaving:     o.EnergySaving(k),
+				BitrateReduction: o.BitrateReduction(k),
+				LTEBytes:         mp.LTEBytes(),
+				Stalls:           mp.Report.Stalls,
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteJSON streams the export as indented JSON.
+func (r *StudyResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Export())
+}

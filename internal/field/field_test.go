@@ -1,0 +1,215 @@
+package field
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mpdash/internal/harness"
+	"mpdash/internal/stats"
+)
+
+func TestCatalogueShape(t *testing.T) {
+	locs := Locations()
+	if len(locs) != 33 {
+		t.Fatalf("%d locations, want 33", len(locs))
+	}
+	counts := ScenarioCounts()
+	// Paper §2.2: 64% / 15% / 21% of 33 → 21 / 5 / 7.
+	if counts[ScenarioNever] != 21 || counts[ScenarioSometimes] != 5 || counts[ScenarioAlways] != 7 {
+		t.Errorf("scenario split = %v, want 21/5/7", counts)
+	}
+	seen := map[string]bool{}
+	seeds := map[int64]bool{}
+	states := map[string]bool{}
+	for _, l := range locs {
+		if seen[l.Name] {
+			t.Errorf("duplicate location %q", l.Name)
+		}
+		seen[l.Name] = true
+		if seeds[l.Seed] {
+			t.Errorf("duplicate seed %d", l.Seed)
+		}
+		seeds[l.Seed] = true
+		states[l.State] = true
+		if l.WiFiMbps <= 0 || l.LTEMbps <= 0 || l.WiFiRTT <= 0 || l.LTERTT <= 0 {
+			t.Errorf("%s: bad parameters", l.Name)
+		}
+		if l.Stability < 0 || l.Stability > 1 {
+			t.Errorf("%s: stability %v", l.Name, l.Stability)
+		}
+	}
+	if len(states) != 3 {
+		t.Errorf("%d states, want 3", len(states))
+	}
+}
+
+func TestTable5RowsPresent(t *testing.T) {
+	want := map[string]struct{ wifi, lte float64 }{
+		"Hotel Hi":    {2.92, 11.0},
+		"Hotel Ha":    {2.96, 14.0},
+		"Food Market": {3.58, 22.9},
+		"Airport":     {5.97, 12.1},
+		"Coffeehouse": {6.04, 18.1},
+		"Library":     {17.8, 5.18},
+		"Elec. Store": {28.4, 18.5},
+	}
+	for name, bw := range want {
+		loc, ok := ByName(name)
+		if !ok {
+			t.Errorf("missing %q", name)
+			continue
+		}
+		if loc.WiFiMbps != bw.wifi || loc.LTEMbps != bw.lte {
+			t.Errorf("%s: %v/%v, want %v/%v", name, loc.WiFiMbps, loc.LTEMbps, bw.wifi, bw.lte)
+		}
+	}
+	if _, ok := ByName("nowhere"); ok {
+		t.Error("ByName invented a location")
+	}
+}
+
+func TestScenarioTraceBehaviour(t *testing.T) {
+	// A scenario-3 site's trace should sustain the top bitrate almost
+	// always; a scenario-1 site's should essentially never.
+	office, _ := ByName("Office")
+	hotel, _ := ByName("Hotel Hi")
+	slot := 100 * time.Millisecond
+	if !wifiSupportsTop(office.WiFiTrace(slot, 6000), 0.9) {
+		t.Error("Office WiFi should sustain the top bitrate ≥90% of slots")
+	}
+	if wifiSupportsTop(hotel.WiFiTrace(slot, 6000), 0.1) {
+		t.Error("Hotel Hi WiFi should almost never sustain the top bitrate")
+	}
+}
+
+// miniStudy runs a 3-location study with short sessions (fast test).
+func miniStudy(t *testing.T) *StudyResult {
+	t.Helper()
+	locs := []Location{}
+	for _, n := range []string{"Hotel Hi", "Coffeehouse", "Elec. Store"} {
+		l, ok := ByName(n)
+		if !ok {
+			t.Fatalf("missing %s", n)
+		}
+		locs = append(locs, l)
+	}
+	res, err := RunStudy(StudyConfig{Locations: locs, Chunks: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMiniStudy(t *testing.T) {
+	res := miniStudy(t)
+	if len(res.Outcomes) != 3 {
+		t.Fatalf("%d outcomes", len(res.Outcomes))
+	}
+	for _, o := range res.Outcomes {
+		for _, algo := range []harness.Algorithm{harness.FESTIVE, harness.BBA} {
+			if o.Baseline[algo] == nil {
+				t.Fatalf("%s: missing %s baseline", o.Location.Name, algo)
+			}
+		}
+		for _, k := range SchemeKeys() {
+			mp := o.MPDash[k]
+			if mp == nil {
+				t.Fatalf("%s: missing arm %s", o.Location.Name, k)
+			}
+			if mp.Report.Stalls != 0 {
+				t.Errorf("%s/%s: %d stalls", o.Location.Name, k, mp.Report.Stalls)
+			}
+		}
+	}
+	// Savings must be meaningful at the high-WiFi site (Elec. Store:
+	// Table 5 shows >85% cellular savings there).
+	elec := res.Outcome("Elec. Store")
+	if elec == nil {
+		t.Fatal("no Elec. Store outcome")
+	}
+	if s := elec.CellularSaving(FESTIVERate); s < 0.5 {
+		t.Errorf("Elec. Store FESTIVE-Rate saving %.2f, want > 0.5", s)
+	}
+	// More WiFi should not mean less saving: Elec. Store ≥ Hotel Hi
+	// (§7.3.3: "more savings as the WiFi throughput increases").
+	hotel := res.Outcome("Hotel Hi")
+	if elec.CellularSaving(FESTIVERate) < hotel.CellularSaving(FESTIVERate)-0.05 {
+		t.Errorf("saving ordering violated: elec %.2f < hotel %.2f",
+			elec.CellularSaving(FESTIVERate), hotel.CellularSaving(FESTIVERate))
+	}
+	if res.Outcome("nowhere") != nil {
+		t.Error("Outcome invented a location")
+	}
+}
+
+func TestCDFsWellFormed(t *testing.T) {
+	res := miniStudy(t)
+	for _, k := range SchemeKeys() {
+		cdf := res.SavingsCDF(k)
+		if len(cdf) != len(res.Outcomes) {
+			t.Fatalf("%s: CDF size %d", k, len(cdf))
+		}
+		for _, p := range cdf {
+			if p.Value < -1 || p.Value > 1 {
+				t.Errorf("%s: saving %v outside [-1,1]", k, p.Value)
+			}
+		}
+		br := res.BitrateReductionCDF(k)
+		if len(br) != len(res.Outcomes) {
+			t.Fatalf("%s: bitrate CDF size %d", k, len(br))
+		}
+	}
+	all := res.AllSavings()
+	if len(all) != len(res.Outcomes)*4 {
+		t.Fatalf("AllSavings size %d", len(all))
+	}
+	if len(res.AllEnergySavings()) != len(all) || len(res.AllBitrateReductions()) != len(all) {
+		t.Error("pooled metric sizes disagree")
+	}
+	med, err := stats.Percentile(all, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med <= 0 {
+		t.Errorf("median pooled saving %.3f, want positive", med)
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	res := miniStudy(t)
+	rows := res.Export()
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Arms) != 4 {
+			t.Errorf("%s: %d arms", row.Location, len(row.Arms))
+		}
+		if row.Scenario < 1 || row.Scenario > 3 {
+			t.Errorf("%s: scenario %d", row.Location, row.Scenario)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []ExportRow
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 3 || parsed[0].Location == "" {
+		t.Errorf("json round trip: %+v", parsed)
+	}
+}
+
+func TestBitrateLargelyPreserved(t *testing.T) {
+	// Fig. 10: bitrate reductions cluster near zero.
+	res := miniStudy(t)
+	for _, x := range res.AllBitrateReductions() {
+		if x > 0.15 {
+			t.Errorf("bitrate reduction %.3f exceeds 15%%", x)
+		}
+	}
+}

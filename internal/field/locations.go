@@ -1,0 +1,138 @@
+// Package field reproduces the paper's in-field evaluation (§2.2, §7.3.3):
+// a catalogue of 33 public locations across three U.S. states with
+// measured WiFi/LTE characteristics, and a study runner that plays the
+// experiment matrix (FESTIVE and BBA × vanilla MPTCP, rate-based and
+// duration-based MP-DASH) at every location. The real measurements are not
+// public; the catalogue is synthesized to match everything the paper
+// reports about them — the named rows of Tables 1 and 5, and the 64% /
+// 15% / 21% scenario split.
+package field
+
+import (
+	"time"
+
+	"mpdash/internal/trace"
+)
+
+// Scenario classifies a location per §2.2.
+type Scenario int
+
+const (
+	// ScenarioNever: WiFi alone can never sustain the top bitrate.
+	ScenarioNever Scenario = 1
+	// ScenarioSometimes: WiFi sometimes sustains it, but not reliably.
+	ScenarioSometimes Scenario = 2
+	// ScenarioAlways: WiFi almost always sustains it.
+	ScenarioAlways Scenario = 3
+)
+
+// Location is one field site.
+type Location struct {
+	Name     string
+	Category string
+	State    string
+	// WiFiMbps/LTEMbps are measured average bandwidths; RTTs per path.
+	WiFiMbps float64
+	LTEMbps  float64
+	WiFiRTT  time.Duration
+	LTERTT   time.Duration
+	// Stability in [0,1] controls WiFi fluctuation (1 = rock solid).
+	Stability float64
+	// Seed fixes the location's stochastic trace.
+	Seed int64
+}
+
+// topBitrateMbps is the highest non-HD encoding rate (Table 3).
+const topBitrateMbps = 3.94
+
+// Scenario derives the §2.2 class from the catalogue parameters.
+func (l Location) Scenario() Scenario {
+	switch {
+	case l.WiFiMbps < topBitrateMbps*1.05:
+		return ScenarioNever
+	case l.Stability < 0.8:
+		return ScenarioSometimes
+	default:
+		return ScenarioAlways
+	}
+}
+
+// WiFiTrace synthesizes the location's WiFi bandwidth process.
+func (l Location) WiFiTrace(slot time.Duration, n int) *trace.Trace {
+	return trace.Field(l.Name+"-wifi", l.WiFiMbps, l.Stability, slot, n, l.Seed)
+}
+
+// LTETrace synthesizes the location's LTE bandwidth process. Commercial
+// LTE is modelled as fairly stable.
+func (l Location) LTETrace(slot time.Duration, n int) *trace.Trace {
+	return trace.Field(l.Name+"-lte", l.LTEMbps, 0.9, slot, n, l.Seed+1)
+}
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+// Locations returns the 33-site catalogue. The first ten entries carry the
+// parameters the paper publishes (Table 5's seven representative
+// locations and Table 1's three trace sites); the rest fill out the
+// scenario distribution: 21 of 33 (64%) scenario 1, 5 (15%) scenario 2,
+// 7 (21%) scenario 3.
+func Locations() []Location {
+	return []Location{
+		// Table 5 rows (BW in Mbps, RTT in ms).
+		{Name: "Hotel Hi", Category: "hotel", State: "NJ", WiFiMbps: 2.92, WiFiRTT: ms(14), LTEMbps: 11.0, LTERTT: ms(52), Stability: 0.55, Seed: 101},
+		{Name: "Hotel Ha", Category: "hotel", State: "NJ", WiFiMbps: 2.96, WiFiRTT: ms(41), LTEMbps: 14.0, LTERTT: ms(69), Stability: 0.50, Seed: 102},
+		{Name: "Food Market", Category: "market", State: "NY", WiFiMbps: 3.58, WiFiRTT: ms(75), LTEMbps: 22.9, LTERTT: ms(53), Stability: 0.45, Seed: 103},
+		{Name: "Airport", Category: "airport", State: "NJ", WiFiMbps: 5.97, WiFiRTT: ms(32), LTEMbps: 12.1, LTERTT: ms(67), Stability: 0.60, Seed: 104},
+		{Name: "Coffeehouse", Category: "coffeehouse", State: "NY", WiFiMbps: 6.04, WiFiRTT: ms(29), LTEMbps: 18.1, LTERTT: ms(69), Stability: 0.65, Seed: 105},
+		{Name: "Library", Category: "library", State: "IN", WiFiMbps: 17.8, WiFiRTT: ms(23), LTEMbps: 5.18, LTERTT: ms(64), Stability: 0.92, Seed: 106},
+		{Name: "Elec. Store", Category: "electronics store", State: "IN", WiFiMbps: 28.4, WiFiRTT: ms(11), LTEMbps: 18.5, LTERTT: ms(59), Stability: 0.95, Seed: 107},
+		// Table 1 trace sites.
+		{Name: "Fast Food B", Category: "fast food", State: "NJ", WiFiMbps: 5.2, WiFiRTT: ms(45), LTEMbps: 8.1, LTERTT: ms(60), Stability: 0.55, Seed: 108},
+		{Name: "Coffeehouse D", Category: "coffeehouse", State: "NY", WiFiMbps: 1.4, WiFiRTT: ms(55), LTEMbps: 7.6, LTERTT: ms(62), Stability: 0.50, Seed: 109},
+		{Name: "Office", Category: "office building", State: "NJ", WiFiMbps: 28.4, WiFiRTT: ms(12), LTEMbps: 19.1, LTERTT: ms(58), Stability: 0.96, Seed: 110},
+		// Remaining scenario-1 sites (WiFi below the top bitrate).
+		{Name: "Hotel Mt", Category: "hotel", State: "IN", WiFiMbps: 1.8, WiFiRTT: ms(35), LTEMbps: 9.4, LTERTT: ms(66), Stability: 0.45, Seed: 111},
+		{Name: "Hotel Se", Category: "hotel", State: "NY", WiFiMbps: 2.3, WiFiRTT: ms(48), LTEMbps: 12.7, LTERTT: ms(63), Stability: 0.50, Seed: 112},
+		{Name: "Fast Food A", Category: "fast food", State: "NJ", WiFiMbps: 2.7, WiFiRTT: ms(52), LTEMbps: 10.2, LTERTT: ms(61), Stability: 0.55, Seed: 113},
+		{Name: "Fast Food C", Category: "fast food", State: "IN", WiFiMbps: 3.1, WiFiRTT: ms(40), LTEMbps: 13.8, LTERTT: ms(65), Stability: 0.60, Seed: 114},
+		{Name: "Shopping Mall", Category: "mall", State: "NJ", WiFiMbps: 2.1, WiFiRTT: ms(60), LTEMbps: 15.5, LTERTT: ms(64), Stability: 0.40, Seed: 115},
+		{Name: "Retailer Store", Category: "retail", State: "NY", WiFiMbps: 1.6, WiFiRTT: ms(65), LTEMbps: 11.9, LTERTT: ms(67), Stability: 0.45, Seed: 116},
+		{Name: "Grocery Store", Category: "grocery", State: "IN", WiFiMbps: 2.5, WiFiRTT: ms(44), LTEMbps: 16.3, LTERTT: ms(60), Stability: 0.55, Seed: 117},
+		{Name: "Parking Lot", Category: "outdoor", State: "NJ", WiFiMbps: 1.2, WiFiRTT: ms(80), LTEMbps: 14.1, LTERTT: ms(62), Stability: 0.35, Seed: 118},
+		{Name: "Coffeehouse B", Category: "coffeehouse", State: "NJ", WiFiMbps: 3.3, WiFiRTT: ms(38), LTEMbps: 9.8, LTERTT: ms(68), Stability: 0.60, Seed: 119},
+		{Name: "Coffeehouse C", Category: "coffeehouse", State: "IN", WiFiMbps: 2.9, WiFiRTT: ms(42), LTEMbps: 17.2, LTERTT: ms(63), Stability: 0.50, Seed: 120},
+		{Name: "Diner", Category: "restaurant", State: "NY", WiFiMbps: 2.2, WiFiRTT: ms(50), LTEMbps: 8.9, LTERTT: ms(66), Stability: 0.55, Seed: 121},
+		{Name: "Pizzeria", Category: "restaurant", State: "NJ", WiFiMbps: 3.4, WiFiRTT: ms(36), LTEMbps: 12.4, LTERTT: ms(61), Stability: 0.60, Seed: 122},
+		{Name: "Bus Terminal", Category: "transit", State: "NY", WiFiMbps: 1.9, WiFiRTT: ms(70), LTEMbps: 13.3, LTERTT: ms(65), Stability: 0.40, Seed: 123},
+		{Name: "Hotel Lobby W", Category: "hotel", State: "IN", WiFiMbps: 3.0, WiFiRTT: ms(33), LTEMbps: 10.9, LTERTT: ms(64), Stability: 0.55, Seed: 124},
+		{Name: "Bakery", Category: "restaurant", State: "NJ", WiFiMbps: 2.6, WiFiRTT: ms(46), LTEMbps: 9.1, LTERTT: ms(67), Stability: 0.50, Seed: 125},
+		{Name: "Gym", Category: "fitness", State: "NY", WiFiMbps: 11.2, WiFiRTT: ms(21), LTEMbps: 11.6, LTERTT: ms(62), Stability: 0.90, Seed: 126},
+		{Name: "Pharmacy", Category: "retail", State: "IN", WiFiMbps: 2.0, WiFiRTT: ms(58), LTEMbps: 15.0, LTERTT: ms(63), Stability: 0.45, Seed: 127},
+		{Name: "Convention Ctr", Category: "venue", State: "NJ", WiFiMbps: 3.5, WiFiRTT: ms(30), LTEMbps: 20.1, LTERTT: ms(59), Stability: 0.55, Seed: 128},
+		// Remaining scenario-2 sites (fast but flaky WiFi).
+		{Name: "Mall Food Court", Category: "mall", State: "NY", WiFiMbps: 6.8, WiFiRTT: ms(34), LTEMbps: 14.6, LTERTT: ms(64), Stability: 0.55, Seed: 129},
+		{Name: "Hotel Conf Rm", Category: "hotel", State: "IN", WiFiMbps: 5.4, WiFiRTT: ms(28), LTEMbps: 12.2, LTERTT: ms(66), Stability: 0.65, Seed: 130},
+		// Remaining scenario-3 sites (fast, stable WiFi).
+		{Name: "University Hall", Category: "campus", State: "IN", WiFiMbps: 22.6, WiFiRTT: ms(15), LTEMbps: 16.4, LTERTT: ms(60), Stability: 0.93, Seed: 131},
+		{Name: "Bookstore", Category: "retail", State: "NY", WiFiMbps: 12.9, WiFiRTT: ms(20), LTEMbps: 13.7, LTERTT: ms(62), Stability: 0.90, Seed: 132},
+		{Name: "Tech Cafe", Category: "coffeehouse", State: "NJ", WiFiMbps: 15.3, WiFiRTT: ms(18), LTEMbps: 17.9, LTERTT: ms(61), Stability: 0.91, Seed: 133},
+	}
+}
+
+// ByName returns the named location, or false.
+func ByName(name string) (Location, bool) {
+	for _, l := range Locations() {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Location{}, false
+}
+
+// ScenarioCounts tallies the catalogue by scenario.
+func ScenarioCounts() map[Scenario]int {
+	out := map[Scenario]int{}
+	for _, l := range Locations() {
+		out[l.Scenario()]++
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"mpdash/internal/dash"
+	"mpdash/internal/mptcp"
+	"mpdash/internal/trace"
+)
+
+func w(mbps float64) *trace.Trace { return trace.Constant("w", mbps, time.Second, 1) }
+func l(mbps float64) *trace.Trace { return trace.Constant("l", mbps, time.Second, 1) }
+
+func TestSchemeString(t *testing.T) {
+	for _, s := range []Scheme{Baseline, MPDashRate, MPDashDuration, WiFiOnly, ThrottleLTE, Scheme(42)} {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", int(s))
+		}
+	}
+}
+
+func TestRunSessionValidation(t *testing.T) {
+	if _, err := RunSession(SessionConfig{}); err == nil {
+		t.Error("missing traces accepted")
+	}
+	if _, err := RunSession(SessionConfig{WiFi: w(1), LTE: l(1), Scheme: ThrottleLTE}); err == nil {
+		t.Error("throttle without cap accepted")
+	}
+	if _, err := RunSession(SessionConfig{WiFi: w(1), LTE: l(1), Algorithm: "nope", Chunks: 1}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestBaselineVsMPDashAllAlgorithms(t *testing.T) {
+	// Full-length sessions: the energy comparison is only meaningful when
+	// both schemes play the same content over comparable wall time, and
+	// the buffer needs time to climb into the deadline-extension regime.
+	for _, algo := range Algorithms() {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			base, err := RunSession(SessionConfig{
+				WiFi: w(3.8), LTE: l(3.0), Algorithm: algo, Scheme: Baseline,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := RunSession(SessionConfig{
+				WiFi: w(3.8), LTE: l(3.0), Algorithm: algo, Scheme: MPDashRate,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mp.Report.Stalls != 0 {
+				t.Errorf("MP-DASH stalled %d times", mp.Report.Stalls)
+			}
+			if base.LTEBytes() > 0 && mp.LTEBytes() >= base.LTEBytes()/2 {
+				t.Errorf("cellular saving below 50%%: %d vs %d", mp.LTEBytes(), base.LTEBytes())
+			}
+			if mp.RadioJ() >= base.RadioJ() {
+				t.Errorf("no energy saving: %.1f vs %.1f J", mp.RadioJ(), base.RadioJ())
+			}
+			if mp.Governed == 0 {
+				t.Error("no chunks governed")
+			}
+		})
+	}
+}
+
+func TestWiFiOnlyScheme(t *testing.T) {
+	res, err := RunSession(SessionConfig{
+		WiFi: w(5), LTE: l(5), Scheme: WiFiOnly, Chunks: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LTEBytes() != 0 {
+		t.Errorf("WiFiOnly used %d LTE bytes", res.LTEBytes())
+	}
+}
+
+func TestThrottleScheme(t *testing.T) {
+	// Table 4 shape: throttling reduces cellular bytes vs baseline but
+	// costs MORE energy than MP-DASH (dribbling keeps the radio hot).
+	base, err := RunSession(SessionConfig{
+		WiFi: w(3.8), LTE: l(3.0), Algorithm: GPAC, Scheme: Baseline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := RunSession(SessionConfig{
+		WiFi: w(3.8), LTE: l(3.0), Algorithm: GPAC, Scheme: ThrottleLTE, ThrottleMbps: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := RunSession(SessionConfig{
+		WiFi: w(3.8), LTE: l(3.0), Algorithm: GPAC, Scheme: MPDashRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr.LTEBytes() >= base.LTEBytes() {
+		t.Errorf("throttle did not cut LTE bytes: %d vs %d", thr.LTEBytes(), base.LTEBytes())
+	}
+	if mp.LTEBytes() >= thr.LTEBytes() {
+		t.Errorf("MP-DASH LTE %d not below throttle %d", mp.LTEBytes(), thr.LTEBytes())
+	}
+	if mp.RadioJ() >= thr.RadioJ() {
+		t.Errorf("MP-DASH energy %.1f not below throttle %.1f", mp.RadioJ(), thr.RadioJ())
+	}
+}
+
+func TestRoundRobinScheduler(t *testing.T) {
+	res, err := RunSession(SessionConfig{
+		WiFi: w(3.8), LTE: l(3.0), Scheme: MPDashRate, Chunks: 15,
+		Scheduler: mptcp.RoundRobin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Stalls != 0 {
+		t.Errorf("stalls = %d under round-robin", res.Report.Stalls)
+	}
+}
+
+func TestSeriesProduced(t *testing.T) {
+	res, err := RunSession(SessionConfig{WiFi: w(3.8), LTE: l(3.0), Chunks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WiFiSeries) == 0 {
+		t.Error("empty WiFi series")
+	}
+	if res.MeterWindow <= 0 {
+		t.Error("bad meter window")
+	}
+	if res.Wall <= 0 {
+		t.Error("bad wall time")
+	}
+}
+
+func TestRunFileDownloadBaselineVsGoverned(t *testing.T) {
+	// Fig. 4 core comparison at D=10 s.
+	base, err := RunFileDownload(FileConfig{
+		WiFi: w(3.8), LTE: l(3.0), SizeBytes: 5_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov, err := RunFileDownload(FileConfig{
+		WiFi: w(3.8), LTE: l(3.0), SizeBytes: 5_000_000, Deadline: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.LTEBytes < 1_000_000 {
+		t.Fatalf("baseline LTE bytes %d suspiciously low", base.LTEBytes)
+	}
+	if gov.LTEBytes >= base.LTEBytes/2 {
+		t.Errorf("governed LTE %d vs baseline %d: want >50%% cut", gov.LTEBytes, base.LTEBytes)
+	}
+	if gov.MissedBy > 500*time.Millisecond {
+		t.Errorf("missed deadline by %v", gov.MissedBy)
+	}
+	if gov.RadioJ() >= base.RadioJ() {
+		t.Errorf("energy: governed %.1f >= baseline %.1f", gov.RadioJ(), base.RadioJ())
+	}
+	if base.WiFiBytes+base.LTEBytes < 5_000_000 {
+		t.Error("byte accounting short")
+	}
+}
+
+func TestRunFileDownloadValidation(t *testing.T) {
+	if _, err := RunFileDownload(FileConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := RunFileDownload(FileConfig{WiFi: w(1), LTE: l(1), SizeBytes: 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestFileDownloadDeadlineMonotonicity(t *testing.T) {
+	var prev int64 = 1 << 62
+	for _, d := range []time.Duration{8 * time.Second, 9 * time.Second, 10 * time.Second} {
+		res, err := RunFileDownload(FileConfig{
+			WiFi: w(3.8), LTE: l(3.0), SizeBytes: 5_000_000, Deadline: d,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LTEBytes >= prev {
+			t.Errorf("D=%v: LTE %d not decreasing (prev %d)", d, res.LTEBytes, prev)
+		}
+		prev = res.LTEBytes
+	}
+}
+
+// countingRecorder tallies segments per path index.
+type countingRecorder struct {
+	segments int
+	bytes    int64
+}
+
+func (c *countingRecorder) RecordSegment(_ time.Duration, _ int, size int, _ mptcp.DSSOption) {
+	c.segments++
+	c.bytes += int64(size)
+}
+
+func TestRecorderPassThrough(t *testing.T) {
+	rec := &countingRecorder{}
+	res, err := RunSession(SessionConfig{
+		WiFi: w(3.8), LTE: l(3.0), Chunks: 10, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.segments == 0 {
+		t.Fatal("recorder saw no segments")
+	}
+	var want int64
+	for _, b := range res.Report.PathBytes {
+		want += b
+	}
+	if rec.bytes != want {
+		t.Errorf("recorder bytes %d != report total %d", rec.bytes, want)
+	}
+}
+
+func TestQoEPreservedUnderMPDash(t *testing.T) {
+	base, err := RunSession(SessionConfig{WiFi: w(3.8), LTE: l(3.0), Scheme: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := RunSession(SessionConfig{WiFi: w(3.8), LTE: l(3.0), Scheme: MPDashRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq := base.Report.QoE(dash.DefaultQoEWeights())
+	mq := mp.Report.QoE(dash.DefaultQoEWeights())
+	if mq < bq*0.97 {
+		t.Errorf("MP-DASH QoE %v more than 3%% below baseline %v", mq, bq)
+	}
+}
+
+func TestDeterministicSessions(t *testing.T) {
+	run := func() (*SessionResult, error) {
+		return RunSession(SessionConfig{
+			WiFi: trace.Synthetic("w", 3.8, 0.2, 100*time.Millisecond, 4000, 77),
+			LTE:  l(3.0), Scheme: MPDashRate, Chunks: 15,
+		})
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LTEBytes() != b.LTEBytes() || a.Wall != b.Wall || a.RadioJ() != b.RadioJ() {
+		t.Errorf("sessions not deterministic: %d/%v/%.3f vs %d/%v/%.3f",
+			a.LTEBytes(), a.Wall, a.RadioJ(), b.LTEBytes(), b.Wall, b.RadioJ())
+	}
+}

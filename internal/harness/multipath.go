@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mpdash/internal/abr"
+	"mpdash/internal/core"
+	"mpdash/internal/dash"
+	"mpdash/internal/mptcp"
+	"mpdash/internal/policy"
+	"mpdash/internal/sim"
+	"mpdash/internal/trace"
+)
+
+// PathConfig describes one path of an N-path session.
+type PathConfig struct {
+	Name    string
+	Trace   *trace.Trace
+	RTT     time.Duration
+	Cost    float64
+	Primary bool
+}
+
+// MultiSessionConfig is the N-path generalization of SessionConfig: any
+// number of paths, an optional dynamic cost policy, and the scheduler's
+// cost ceiling. Energy modelling is omitted (the two-radio device model
+// does not generalize to arbitrary path sets).
+type MultiSessionConfig struct {
+	Paths []PathConfig
+	// Video defaults to Big Buck Bunny; Algorithm to FESTIVE.
+	Video     *dash.Video
+	Algorithm Algorithm
+	// Scheme must be Baseline, MPDashRate or MPDashDuration.
+	Scheme Scheme
+	Chunks int
+	Alpha  float64
+	// Policy optionally drives dynamic path costs.
+	Policy policy.Policy
+	// PolicyInterval defaults to 1 s.
+	PolicyInterval time.Duration
+	// MaxCost is the scheduler's cost ceiling (0 = none).
+	MaxCost float64
+	// Scheduler selects the packet scheduler.
+	Scheduler mptcp.SchedulerKind
+}
+
+// MultiSessionResult is an N-path session's outcome.
+type MultiSessionResult struct {
+	Report *dash.Report
+	Wall   time.Duration
+	// PathBytes is the whole-session per-path byte split.
+	PathBytes map[string]int64
+	// Governed/Skipped/DeadlineMisses mirror SessionResult.
+	Governed, Skipped, DeadlineMisses int64
+	// PolicyUpdates counts cost pushes when a policy was attached.
+	PolicyUpdates int64
+}
+
+// RunMultiSession executes one N-path streaming session.
+func RunMultiSession(cfg MultiSessionConfig) (*MultiSessionResult, error) {
+	if len(cfg.Paths) < 2 {
+		return nil, fmt.Errorf("harness: need at least two paths, got %d", len(cfg.Paths))
+	}
+	switch cfg.Scheme {
+	case Baseline, MPDashRate, MPDashDuration:
+	default:
+		return nil, fmt.Errorf("harness: scheme %v unsupported for multi-path sessions", cfg.Scheme)
+	}
+	if cfg.Video == nil {
+		cfg.Video = dash.BigBuckBunny()
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = FESTIVE
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = core.DefaultAlpha
+	}
+
+	s := sim.New()
+	specs := make([]mptcp.PathSpec, 0, len(cfg.Paths))
+	for _, p := range cfg.Paths {
+		specs = append(specs, mptcp.PathSpec{
+			Name: p.Name, Rate: p.Trace, RTT: p.RTT, Cost: p.Cost, Primary: p.Primary,
+		})
+	}
+	conn, err := mptcp.NewConn(s, mptcp.Config{Scheduler: cfg.Scheduler, Paths: specs})
+	if err != nil {
+		return nil, err
+	}
+
+	var mgr *policy.Manager
+	if cfg.Policy != nil {
+		mgr, err = policy.NewManager(s, conn, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.PolicyInterval > 0 {
+			mgr.Interval = cfg.PolicyInterval
+		}
+		defer mgr.Stop()
+	}
+
+	algo, bba, err := newAlgorithm(cfg.Algorithm, cfg.Video)
+	if err != nil {
+		return nil, err
+	}
+	var adapter dash.Adapter
+	var sched *core.Scheduler
+	var abrAdapter *abr.Adapter
+	if cfg.Scheme != Baseline {
+		sched, err = core.NewScheduler(s, conn, cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		sched.MaxCost = cfg.MaxCost
+		acfg := abr.AdapterConfig{Policy: abr.RateBased}
+		if cfg.Scheme == MPDashDuration {
+			acfg.Policy = abr.DurationBased
+		}
+		if bba != nil {
+			acfg.Category = abr.BufferBased
+			acfg.BBA = bba
+		}
+		abrAdapter, err = abr.NewAdapter(sched, conn, acfg)
+		if err != nil {
+			return nil, err
+		}
+		adapter = abrAdapter
+	}
+
+	player, err := dash.NewPlayer(s, conn, cfg.Video, algo, adapter)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := player.Run(cfg.Chunks)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MultiSessionResult{
+		Report:    rep,
+		Wall:      s.Now(),
+		PathBytes: map[string]int64{},
+	}
+	for _, p := range conn.Paths() {
+		res.PathBytes[p.Name] = p.DeliveredBytes()
+	}
+	if abrAdapter != nil {
+		res.Governed = abrAdapter.Governed()
+		res.Skipped = abrAdapter.Skipped()
+	}
+	if sched != nil {
+		res.DeadlineMisses = sched.DeadlineMisses()
+	}
+	if mgr != nil {
+		res.PolicyUpdates = mgr.Updates()
+	}
+	return res, nil
+}

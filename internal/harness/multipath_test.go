@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"mpdash/internal/policy"
+	"mpdash/internal/trace"
+)
+
+func threePaths(wifiMbps float64) []PathConfig {
+	return []PathConfig{
+		{Name: "wifi", Trace: trace.Constant("w", wifiMbps, time.Second, 1), RTT: 50 * time.Millisecond, Cost: 0.1, Primary: true},
+		{Name: "lte-a", Trace: trace.Constant("a", 4, time.Second, 1), RTT: 60 * time.Millisecond, Cost: 1},
+		{Name: "lte-b", Trace: trace.Constant("b", 4, time.Second, 1), RTT: 60 * time.Millisecond, Cost: 5},
+	}
+}
+
+func TestRunMultiSessionValidation(t *testing.T) {
+	if _, err := RunMultiSession(MultiSessionConfig{}); err == nil {
+		t.Error("no paths accepted")
+	}
+	if _, err := RunMultiSession(MultiSessionConfig{
+		Paths: threePaths(2), Scheme: WiFiOnly,
+	}); err == nil {
+		t.Error("unsupported scheme accepted")
+	}
+}
+
+func TestRunMultiSessionCostOrdering(t *testing.T) {
+	// WiFi 2 Mbps cannot hold the ladder alone; the cheap secondary must
+	// dominate the expensive one under MP-DASH.
+	res, err := RunMultiSession(MultiSessionConfig{
+		Paths:  threePaths(2),
+		Scheme: MPDashRate,
+		Chunks: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Stalls != 0 {
+		t.Errorf("stalls = %d", res.Report.Stalls)
+	}
+	if res.Governed == 0 {
+		t.Error("nothing governed")
+	}
+	a, b := res.PathBytes["lte-a"], res.PathBytes["lte-b"]
+	if a == 0 {
+		t.Fatal("cheap secondary unused despite insufficient WiFi")
+	}
+	if b > a/2 {
+		t.Errorf("cost ordering weak: lte-a=%d lte-b=%d", a, b)
+	}
+}
+
+func TestRunMultiSessionWithPolicyAndCeiling(t *testing.T) {
+	// The cheap secondary's quota burns out; the policy re-prices it over
+	// the ceiling and traffic must migrate to the other secondary.
+	res, err := RunMultiSession(MultiSessionConfig{
+		Paths:  threePaths(2),
+		Scheme: MPDashRate,
+		Chunks: 60,
+		Policy: policy.DataCap{
+			Path: "lte-a", CapBytes: 20_000_000,
+			BaseCost: 1, OverCost: 100, SoftFrac: 0.6, Other: 5,
+		},
+		PolicyInterval: 500 * time.Millisecond,
+		MaxCost:        50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PolicyUpdates == 0 {
+		t.Error("policy never updated")
+	}
+	if res.Report.Stalls != 0 {
+		t.Errorf("stalls = %d", res.Report.Stalls)
+	}
+	a, b := res.PathBytes["lte-a"], res.PathBytes["lte-b"]
+	// lte-a serves until its ramped cost crosses lte-b's price (≈62% of
+	// the cap), then the ordering flips and lte-b takes over.
+	if a < 8_000_000 {
+		t.Errorf("lte-a carried only %d before being re-priced", a)
+	}
+	if a > 25_000_000 {
+		t.Errorf("lte-a carried %d, far past its re-priced quota", a)
+	}
+	if b == 0 {
+		t.Error("lte-b never took over after the quota burned")
+	}
+	if b < a/4 {
+		t.Errorf("takeover weak: lte-a=%d lte-b=%d", a, b)
+	}
+}
+
+func TestRunMultiSessionBaseline(t *testing.T) {
+	res, err := RunMultiSession(MultiSessionConfig{
+		Paths:  threePaths(3),
+		Scheme: Baseline,
+		Chunks: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Governed != 0 {
+		t.Error("baseline governed chunks")
+	}
+	total := res.PathBytes["wifi"] + res.PathBytes["lte-a"] + res.PathBytes["lte-b"]
+	if total == 0 {
+		t.Error("no bytes")
+	}
+}

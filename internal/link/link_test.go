@@ -1,0 +1,227 @@
+package link
+
+import (
+	"testing"
+	"time"
+
+	"mpdash/internal/sim"
+	"mpdash/internal/trace"
+)
+
+func newTestLink(t *testing.T, mbps float64, prop time.Duration) (*sim.Simulator, *Link) {
+	t.Helper()
+	s := sim.New()
+	l, err := New(s, Config{
+		Name:      "test",
+		Rate:      trace.Constant("r", mbps, time.Second, 1),
+		PropDelay: prop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, l
+}
+
+func TestNewValidation(t *testing.T) {
+	s := sim.New()
+	if _, err := New(nil, Config{Rate: trace.Constant("r", 1, time.Second, 1)}); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	if _, err := New(s, Config{}); err == nil {
+		t.Error("nil rate accepted")
+	}
+	if _, err := New(s, Config{Rate: trace.Constant("r", 1, time.Second, 1), PropDelay: -time.Second}); err == nil {
+		t.Error("negative prop delay accepted")
+	}
+}
+
+func TestSinglePacketLatency(t *testing.T) {
+	// 1 Mbps link, 10ms prop: a 1250-byte packet takes 10ms to serialize,
+	// so arrival at 20ms.
+	s, l := newTestLink(t, 1.0, 10*time.Millisecond)
+	var arrived time.Duration = -1
+	l.Send(1250, func() { arrived = s.Now() }, nil)
+	for s.Step() {
+	}
+	want := 20 * time.Millisecond
+	if arrived != want {
+		t.Errorf("arrival = %v, want %v", arrived, want)
+	}
+	if l.DeliveredBytes() != 1250 {
+		t.Errorf("DeliveredBytes = %d", l.DeliveredBytes())
+	}
+}
+
+func TestSerializationQueuing(t *testing.T) {
+	// Two back-to-back packets: the second waits for the first.
+	s, l := newTestLink(t, 1.0, 0)
+	var times []time.Duration
+	for i := 0; i < 2; i++ {
+		l.Send(1250, func() { times = append(times, s.Now()) }, nil)
+	}
+	if l.QueueDelay() != 20*time.Millisecond {
+		t.Errorf("QueueDelay = %v, want 20ms", l.QueueDelay())
+	}
+	for s.Step() {
+	}
+	if len(times) != 2 || times[0] != 10*time.Millisecond || times[1] != 20*time.Millisecond {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestThroughputMatchesRate(t *testing.T) {
+	// Saturate an 8 Mbps link for 10 simulated seconds; delivered bytes
+	// should be within a few percent of 10 MB... 8 Mbps * 10s = 10^7 bytes? 8e6*10/8 = 1e7.
+	s, l := newTestLink(t, 8.0, 5*time.Millisecond)
+	const pkt = 1460
+	var send func()
+	send = func() {
+		if s.Now() >= 10*time.Second {
+			return
+		}
+		if l.QueueDelay() < 50*time.Millisecond {
+			l.Send(pkt, nil, nil)
+		}
+		s.Schedule(time.Millisecond, send)
+	}
+	s.Schedule(0, send)
+	s.AdvanceTo(11 * time.Second)
+	got := float64(l.DeliveredBytes())
+	want := 8e6 * 10 / 8
+	if got < want*0.95 || got > want*1.05 {
+		t.Errorf("delivered %v bytes, want ≈%v", got, want)
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	s, l := newTestLink(t, 1.0, 0)
+	drops := 0
+	// Flood far beyond the 200ms queue cap: at 1 Mbps, 200ms holds 25kB ≈ 20 packets.
+	for i := 0; i < 100; i++ {
+		l.Send(1250, nil, func() { drops++ })
+	}
+	for s.Step() {
+	}
+	if drops == 0 {
+		t.Fatal("no drops under flood")
+	}
+	if l.DroppedPackets() != int64(drops) {
+		t.Errorf("DroppedPackets=%d, callbacks=%d", l.DroppedPackets(), drops)
+	}
+	if l.SentPackets()+l.DroppedPackets() != 100 {
+		t.Errorf("sent+dropped = %d, want 100", l.SentPackets()+l.DroppedPackets())
+	}
+}
+
+func TestTimeVaryingRate(t *testing.T) {
+	// Rate 1 Mbps for first second, then 10 Mbps: a packet sent at t=1.5s
+	// serializes at the fast rate.
+	s := sim.New()
+	tr := trace.Step("var", time.Second, trace.StepSpec{Slots: 1, Mbps: 1}, trace.StepSpec{Slots: 10, Mbps: 10})
+	l, err := New(s, Config{Name: "v", Rate: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceTo(1500 * time.Millisecond)
+	var arrived time.Duration
+	l.Send(1250, func() { arrived = s.Now() }, nil)
+	for s.Step() {
+	}
+	want := 1500*time.Millisecond + time.Millisecond // 1250B at 10Mbps = 1ms
+	if arrived != want {
+		t.Errorf("arrival = %v, want %v", arrived, want)
+	}
+}
+
+func TestJitterSpreadsArrivals(t *testing.T) {
+	s := sim.New()
+	l, err := New(s, Config{
+		Name:       "j",
+		Rate:       trace.Constant("r", 1000, time.Second, 1), // negligible serialization
+		PropDelay:  50 * time.Millisecond,
+		JitterFrac: 0.4,
+		JitterSeed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	send := func() { l.Send(100, func() { arrivals = append(arrivals, s.Now()) }, nil) }
+	for i := 0; i < 200; i++ {
+		send()
+		s.Advance(10 * time.Millisecond)
+	}
+	s.Advance(time.Second)
+	if len(arrivals) != 200 {
+		t.Fatalf("%d arrivals", len(arrivals))
+	}
+	var min, max time.Duration = time.Hour, 0
+	for i, a := range arrivals {
+		oneWay := a - time.Duration(i)*10*time.Millisecond
+		if oneWay < min {
+			min = oneWay
+		}
+		if oneWay > max {
+			max = oneWay
+		}
+	}
+	if min < 30*time.Millisecond || max > 71*time.Millisecond {
+		t.Errorf("one-way delays [%v, %v] outside jitter bounds", min, max)
+	}
+	if max-min < 10*time.Millisecond {
+		t.Errorf("jitter spread only %v; not spreading", max-min)
+	}
+}
+
+func TestJitterValidation(t *testing.T) {
+	s := sim.New()
+	r := trace.Constant("r", 1, time.Second, 1)
+	for _, j := range []float64{-0.1, 1.0, 2.0} {
+		if _, err := New(s, Config{Name: "x", Rate: r, JitterFrac: j}); err == nil {
+			t.Errorf("jitter %v accepted", j)
+		}
+	}
+}
+
+func TestSendZeroSizePanics(t *testing.T) {
+	_, l := newTestLink(t, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Send(0) did not panic")
+		}
+	}()
+	l.Send(0, nil, nil)
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(time.Second)
+	m.Add(0, 125000)           // 1 Mbps in window 0
+	m.Add(time.Second, 250000) // 2 Mbps in window 1
+	m.Add(2500*time.Millisecond, 125000)
+	series := m.SeriesMbps()
+	if len(series) != 3 {
+		t.Fatalf("series len = %d", len(series))
+	}
+	if series[0] != 1 || series[1] != 2 || series[2] != 1 {
+		t.Errorf("series = %v", series)
+	}
+	if m.TotalBytes() != 500000 {
+		t.Errorf("TotalBytes = %d", m.TotalBytes())
+	}
+	if m.ActiveWindows() != 3 {
+		t.Errorf("ActiveWindows = %d", m.ActiveWindows())
+	}
+	// Ignores garbage.
+	m.Add(-time.Second, 10)
+	m.Add(0, 0)
+	if m.TotalBytes() != 500000 {
+		t.Error("meter accepted invalid samples")
+	}
+}
+
+func TestMeterZeroWindowDefaults(t *testing.T) {
+	m := NewMeter(0)
+	if m.Window != time.Second {
+		t.Errorf("Window = %v", m.Window)
+	}
+}

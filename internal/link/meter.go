@@ -1,0 +1,64 @@
+package link
+
+import "time"
+
+// Meter buckets delivered bytes into fixed windows to produce throughput
+// time series — the raw material of the paper's Figures 1, 6, and 11 and
+// the input to the radio energy model.
+type Meter struct {
+	Window  time.Duration
+	buckets []int64
+}
+
+// NewMeter returns a meter with the given bucket width.
+func NewMeter(window time.Duration) *Meter {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &Meter{Window: window}
+}
+
+// Add records size bytes delivered at virtual time at.
+func (m *Meter) Add(at time.Duration, size int) {
+	if at < 0 || size <= 0 {
+		return
+	}
+	idx := int(at / m.Window)
+	for len(m.buckets) <= idx {
+		m.buckets = append(m.buckets, 0)
+	}
+	m.buckets[idx] += int64(size)
+}
+
+// SeriesMbps returns per-window throughput in Mbps.
+func (m *Meter) SeriesMbps() []float64 {
+	out := make([]float64, len(m.buckets))
+	sec := m.Window.Seconds()
+	for i, b := range m.buckets {
+		out[i] = float64(b) * 8 / sec / 1e6
+	}
+	return out
+}
+
+// Buckets returns the per-window byte counts.
+func (m *Meter) Buckets() []int64 { return append([]int64(nil), m.buckets...) }
+
+// TotalBytes returns the sum over all windows.
+func (m *Meter) TotalBytes() int64 {
+	var s int64
+	for _, b := range m.buckets {
+		s += b
+	}
+	return s
+}
+
+// ActiveWindows returns how many windows carried any traffic.
+func (m *Meter) ActiveWindows() int {
+	n := 0
+	for _, b := range m.buckets {
+		if b > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package mptcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// This file implements the MPTCP address-management options of RFC 6824
+// §3.4 — ADD_ADDR (advertise an additional address, e.g. the cellular
+// interface coming up) and REMOVE_ADDR (an interface went away). Together
+// with MP_CAPABLE/MP_JOIN (handshake.go) and DSS (wire.go) they complete
+// the option suite a preference-aware multipath connection needs.
+
+// Address-management subtypes (RFC 6824 §3).
+const (
+	SubtypeAddAddr    = 0x3
+	SubtypeRemoveAddr = 0x4
+)
+
+// AddAddr advertises one additional IPv4 or IPv6 address (with optional
+// port) under an address ID.
+type AddAddr struct {
+	AddrID uint8
+	Addr   netip.Addr
+	// Port is optional; zero means "same as the connection".
+	Port uint16
+}
+
+// Encode serializes the option.
+func (o AddAddr) Encode() ([]byte, error) {
+	if !o.Addr.IsValid() {
+		return nil, fmt.Errorf("%w: invalid address", ErrBadOption)
+	}
+	var addrBytes []byte
+	ipver := byte(4)
+	if o.Addr.Is4() {
+		a := o.Addr.As4()
+		addrBytes = a[:]
+	} else {
+		a := o.Addr.As16()
+		addrBytes = a[:]
+		ipver = 6
+	}
+	length := 4 + len(addrBytes)
+	if o.Port != 0 {
+		length += 2
+	}
+	b := make([]byte, 0, length)
+	b = append(b, MPTCPOptionKind, byte(length), byte(SubtypeAddAddr<<4)|ipver, o.AddrID)
+	b = append(b, addrBytes...)
+	if o.Port != 0 {
+		b = binary.BigEndian.AppendUint16(b, o.Port)
+	}
+	return b, nil
+}
+
+// DecodeAddAddr parses an ADD_ADDR option.
+func DecodeAddAddr(b []byte) (AddAddr, error) {
+	if len(b) < 8 {
+		return AddAddr{}, fmt.Errorf("%w: %d bytes", ErrShortOption, len(b))
+	}
+	if b[0] != MPTCPOptionKind || int(b[1]) > len(b) {
+		return AddAddr{}, fmt.Errorf("%w: kind/len", ErrBadOption)
+	}
+	if b[2]>>4 != SubtypeAddAddr {
+		return AddAddr{}, fmt.Errorf("%w: subtype %d", ErrBadOption, b[2]>>4)
+	}
+	ipver := b[2] & 0x0f
+	out := AddAddr{AddrID: b[3]}
+	length := int(b[1])
+	switch ipver {
+	case 4:
+		if length != 8 && length != 10 {
+			return AddAddr{}, fmt.Errorf("%w: v4 length %d", ErrBadOption, length)
+		}
+		out.Addr = netip.AddrFrom4([4]byte(b[4:8]))
+		if length == 10 {
+			out.Port = binary.BigEndian.Uint16(b[8:10])
+		}
+	case 6:
+		if length != 20 && length != 22 {
+			return AddAddr{}, fmt.Errorf("%w: v6 length %d", ErrBadOption, length)
+		}
+		if len(b) < length {
+			return AddAddr{}, fmt.Errorf("%w: truncated v6", ErrShortOption)
+		}
+		out.Addr = netip.AddrFrom16([16]byte(b[4:20]))
+		if length == 22 {
+			out.Port = binary.BigEndian.Uint16(b[20:22])
+		}
+	default:
+		return AddAddr{}, fmt.Errorf("%w: ipver %d", ErrBadOption, ipver)
+	}
+	return out, nil
+}
+
+// RemoveAddr withdraws one or more address IDs.
+type RemoveAddr struct {
+	AddrIDs []uint8
+}
+
+// Encode serializes the option.
+func (o RemoveAddr) Encode() ([]byte, error) {
+	if len(o.AddrIDs) == 0 {
+		return nil, fmt.Errorf("%w: no address ids", ErrBadOption)
+	}
+	if len(o.AddrIDs) > 251 {
+		return nil, fmt.Errorf("%w: %d address ids", ErrBadOption, len(o.AddrIDs))
+	}
+	length := 3 + len(o.AddrIDs)
+	b := make([]byte, 0, length)
+	b = append(b, MPTCPOptionKind, byte(length), byte(SubtypeRemoveAddr<<4))
+	b = append(b, o.AddrIDs...)
+	return b, nil
+}
+
+// DecodeRemoveAddr parses a REMOVE_ADDR option.
+func DecodeRemoveAddr(b []byte) (RemoveAddr, error) {
+	if len(b) < 4 {
+		return RemoveAddr{}, fmt.Errorf("%w: %d bytes", ErrShortOption, len(b))
+	}
+	if b[0] != MPTCPOptionKind || int(b[1]) > len(b) || int(b[1]) < 4 {
+		return RemoveAddr{}, fmt.Errorf("%w: kind/len", ErrBadOption)
+	}
+	if b[2]>>4 != SubtypeRemoveAddr {
+		return RemoveAddr{}, fmt.Errorf("%w: subtype %d", ErrBadOption, b[2]>>4)
+	}
+	ids := make([]uint8, int(b[1])-3)
+	copy(ids, b[3:int(b[1])])
+	return RemoveAddr{AddrIDs: ids}, nil
+}

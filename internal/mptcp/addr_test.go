@@ -1,0 +1,114 @@
+package mptcp
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAddrRoundTripV4(t *testing.T) {
+	for _, o := range []AddAddr{
+		{AddrID: 2, Addr: netip.MustParseAddr("192.0.2.7")},
+		{AddrID: 9, Addr: netip.MustParseAddr("10.1.2.3"), Port: 8443},
+	} {
+		b, err := o.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeAddAddr(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != o {
+			t.Errorf("round trip %+v -> %+v", o, got)
+		}
+	}
+}
+
+func TestAddAddrRoundTripV6(t *testing.T) {
+	for _, o := range []AddAddr{
+		{AddrID: 1, Addr: netip.MustParseAddr("2001:db8::1")},
+		{AddrID: 3, Addr: netip.MustParseAddr("2001:db8::2"), Port: 443},
+	} {
+		b, err := o.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeAddAddr(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != o {
+			t.Errorf("round trip %+v -> %+v", o, got)
+		}
+	}
+}
+
+func TestAddAddrProperty(t *testing.T) {
+	f := func(id uint8, a, b, c, d byte, port uint16) bool {
+		o := AddAddr{AddrID: id, Addr: netip.AddrFrom4([4]byte{a, b, c, d}), Port: port}
+		enc, err := o.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeAddAddr(enc)
+		return err == nil && got == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAddrErrors(t *testing.T) {
+	if _, err := (AddAddr{}).Encode(); !errors.Is(err, ErrBadOption) {
+		t.Errorf("invalid addr: %v", err)
+	}
+	if _, err := DecodeAddAddr([]byte{1, 2}); !errors.Is(err, ErrShortOption) {
+		t.Errorf("short: %v", err)
+	}
+	good, _ := AddAddr{AddrID: 1, Addr: netip.MustParseAddr("1.2.3.4")}.Encode()
+	bad := append([]byte(nil), good...)
+	bad[2] = 0x54 // wrong subtype, ipver 4
+	if _, err := DecodeAddAddr(bad); !errors.Is(err, ErrBadOption) {
+		t.Errorf("bad subtype: %v", err)
+	}
+	bad2 := append([]byte(nil), good...)
+	bad2[2] = 0x35 // subtype ok, ipver 5
+	if _, err := DecodeAddAddr(bad2); !errors.Is(err, ErrBadOption) {
+		t.Errorf("bad ipver: %v", err)
+	}
+}
+
+func TestRemoveAddrRoundTrip(t *testing.T) {
+	o := RemoveAddr{AddrIDs: []uint8{1, 2, 7}}
+	b, err := o.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRemoveAddr(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.AddrIDs) != 3 || got.AddrIDs[2] != 7 {
+		t.Errorf("round trip %+v", got)
+	}
+}
+
+func TestRemoveAddrErrors(t *testing.T) {
+	if _, err := (RemoveAddr{}).Encode(); !errors.Is(err, ErrBadOption) {
+		t.Errorf("empty ids: %v", err)
+	}
+	if _, err := (RemoveAddr{AddrIDs: make([]uint8, 300)}).Encode(); !errors.Is(err, ErrBadOption) {
+		t.Errorf("too many ids: %v", err)
+	}
+	if _, err := DecodeRemoveAddr([]byte{1}); !errors.Is(err, ErrShortOption) {
+		t.Errorf("short: %v", err)
+	}
+	good, _ := RemoveAddr{AddrIDs: []uint8{1}}.Encode()
+	bad := append([]byte(nil), good...)
+	bad[2] = 0x20
+	if _, err := DecodeRemoveAddr(bad); !errors.Is(err, ErrBadOption) {
+		t.Errorf("bad subtype: %v", err)
+	}
+}

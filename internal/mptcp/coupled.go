@@ -1,0 +1,54 @@
+package mptcp
+
+import (
+	"mpdash/internal/tcp"
+)
+
+// This file implements RFC 6356 coupled congestion control (the Linked
+// Increases Algorithm, LIA). The paper runs its experiments with
+// decoupled control (§2.1) because WiFi and cellular rarely share a
+// bottleneck, but the implementation supports both so the choice can be
+// ablated: Config.CoupledCC installs LIA on every subflow.
+//
+// LIA replaces Reno's per-ACK congestion-avoidance increment 1/cwnd_i
+// with min(α/cwnd_total, 1/cwnd_i), where
+//
+//	α = cwnd_total · max_i(cwnd_i/rtt_i²) / (Σ_i cwnd_i/rtt_i)²
+//
+// so the multipath flow in aggregate is no more aggressive than a single
+// TCP on the best path.
+
+// installCoupled wires the LIA increase into every subflow of the
+// connection.
+func (c *Conn) installCoupled() {
+	for _, p := range c.paths {
+		p.flow.CAIncrease = c.liaIncrease
+	}
+}
+
+// liaIncrease computes the per-ACK window increment for one subflow.
+func (c *Conn) liaIncrease(self *tcp.Subflow) float64 {
+	var total, maxTerm, sumTerm float64
+	for _, p := range c.paths {
+		w := p.flow.Cwnd()
+		rtt := p.flow.SRTT().Seconds()
+		if rtt <= 0 {
+			rtt = 0.001
+		}
+		total += w
+		if t := w / (rtt * rtt); t > maxTerm {
+			maxTerm = t
+		}
+		sumTerm += w / rtt
+	}
+	reno := 1 / self.Cwnd()
+	if total <= 0 || sumTerm <= 0 {
+		return reno
+	}
+	alpha := total * maxTerm / (sumTerm * sumTerm)
+	inc := alpha / total
+	if inc > reno {
+		inc = reno // LIA is capped at the single-path increase
+	}
+	return inc
+}

@@ -1,0 +1,89 @@
+package mptcp
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// Fuzz targets for the wire codecs: decoders must never panic on
+// arbitrary input, and anything they accept must re-encode losslessly.
+
+func FuzzDecodeDSSOption(f *testing.F) {
+	f.Add(DSSOption{DataSeq: 1, DataLen: 1460, MPDashCellularEnable: true}.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{30, 14, 0x20})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		o, err := DecodeDSSOption(b)
+		if err != nil {
+			return
+		}
+		got, err := DecodeDSSOption(o.Encode())
+		if err != nil || got != o {
+			t.Fatalf("accepted option does not round-trip: %+v vs %+v (%v)", o, got, err)
+		}
+	})
+}
+
+func FuzzDecodeMPCapable(f *testing.F) {
+	f.Add(MPCapable{Version: MPTCPVersion, SenderKey: 42}.Encode())
+	f.Add([]byte{30})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		o, err := DecodeMPCapable(b)
+		if err != nil {
+			return
+		}
+		got, err := DecodeMPCapable(o.Encode())
+		if err != nil || got != o {
+			t.Fatalf("round-trip failure: %+v vs %+v (%v)", o, got, err)
+		}
+	})
+}
+
+func FuzzDecodeMPJoinSYN(f *testing.F) {
+	f.Add(MPJoinSYN{Token: 7, Nonce: 9, AddrID: 1, Backup: true}.Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		o, err := DecodeMPJoinSYN(b)
+		if err != nil {
+			return
+		}
+		got, err := DecodeMPJoinSYN(o.Encode())
+		if err != nil || got != o {
+			t.Fatalf("round-trip failure: %+v vs %+v (%v)", o, got, err)
+		}
+	})
+}
+
+func FuzzDecodeAddAddr(f *testing.F) {
+	seed, _ := AddAddr{AddrID: 1, Addr: netip.MustParseAddr("10.0.0.1"), Port: 80}.Encode()
+	f.Add(seed)
+	seed6, _ := AddAddr{AddrID: 2, Addr: netip.MustParseAddr("2001:db8::1")}.Encode()
+	f.Add(seed6)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		o, err := DecodeAddAddr(b)
+		if err != nil {
+			return
+		}
+		enc, err := o.Encode()
+		if err != nil {
+			t.Fatalf("accepted option fails to encode: %+v (%v)", o, err)
+		}
+		got, err := DecodeAddAddr(enc)
+		if err != nil || got != o {
+			t.Fatalf("round-trip failure: %+v vs %+v (%v)", o, got, err)
+		}
+	})
+}
+
+func FuzzDecodeEnableRequest(f *testing.F) {
+	f.Add(EnableRequest{Size: 100, Deadline: 1000}.Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeEnableRequest(b)
+		if err != nil {
+			return
+		}
+		got, err := DecodeEnableRequest(r.Encode())
+		if err != nil || got != r {
+			t.Fatalf("round-trip failure: %+v vs %+v (%v)", r, got, err)
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package mptcp
+
+import (
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the MPTCP connection-establishment wire formats of
+// RFC 6824 — MP_CAPABLE (key exchange) and MP_JOIN (adding the cellular
+// subflow to an existing connection) with their SHA-1 token/IDSN
+// derivation and HMAC authentication — plus a small handshake state
+// machine. The simulator does not need them (subflows are created
+// directly), but the reproduction keeps the transport honest about what
+// establishing a preference-aware multipath connection actually requires,
+// and the real-socket fetcher's tests exercise the codecs.
+
+// Option subtypes (RFC 6824 §3).
+const (
+	SubtypeMPCapable = 0x0
+	SubtypeMPJoin    = 0x1
+)
+
+// MPTCPVersion is the protocol version this implementation speaks.
+const MPTCPVersion = 0
+
+// Token derives the 32-bit connection token from a key: the most
+// significant 32 bits of SHA-1(key) (RFC 6824 §3.2).
+func Token(key uint64) uint32 {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], key)
+	sum := sha1.Sum(b[:])
+	return binary.BigEndian.Uint32(sum[0:4])
+}
+
+// IDSN derives the 64-bit initial data sequence number from a key: the
+// least significant 64 bits of SHA-1(key).
+func IDSN(key uint64) uint64 {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], key)
+	sum := sha1.Sum(b[:])
+	return binary.BigEndian.Uint64(sum[len(sum)-8:])
+}
+
+// joinHMAC computes the truncated (64-bit) HMAC-SHA1 used in the MP_JOIN
+// three-way authentication: HMAC(keyA||keyB, nonceA||nonceB).
+func joinHMAC(keyA, keyB uint64, nonceA, nonceB uint32) uint64 {
+	var k [16]byte
+	binary.BigEndian.PutUint64(k[0:8], keyA)
+	binary.BigEndian.PutUint64(k[8:16], keyB)
+	var m [8]byte
+	binary.BigEndian.PutUint32(m[0:4], nonceA)
+	binary.BigEndian.PutUint32(m[4:8], nonceB)
+	mac := hmac.New(sha1.New, k[:])
+	mac.Write(m[:])
+	return binary.BigEndian.Uint64(mac.Sum(nil)[0:8])
+}
+
+// MPCapable is the MP_CAPABLE option carried on SYN / SYN-ACK.
+type MPCapable struct {
+	Version   uint8
+	SenderKey uint64
+}
+
+// mpCapableLen: kind(1) len(1) subtype/version(1) flags(1) key(8).
+const mpCapableLen = 12
+
+// Encode serializes the option.
+func (o MPCapable) Encode() []byte {
+	b := make([]byte, mpCapableLen)
+	b[0] = MPTCPOptionKind
+	b[1] = mpCapableLen
+	b[2] = byte(SubtypeMPCapable<<4) | (o.Version & 0x0f)
+	b[3] = 0x81 // checksum-not-required + HMAC-SHA1 algorithm bits
+	binary.BigEndian.PutUint64(b[4:12], o.SenderKey)
+	return b
+}
+
+// DecodeMPCapable parses an MP_CAPABLE option.
+func DecodeMPCapable(b []byte) (MPCapable, error) {
+	if len(b) < mpCapableLen {
+		return MPCapable{}, fmt.Errorf("%w: %d bytes", ErrShortOption, len(b))
+	}
+	if b[0] != MPTCPOptionKind || b[1] != mpCapableLen {
+		return MPCapable{}, fmt.Errorf("%w: kind/len %d/%d", ErrBadOption, b[0], b[1])
+	}
+	if b[2]>>4 != SubtypeMPCapable {
+		return MPCapable{}, fmt.Errorf("%w: subtype %d", ErrBadOption, b[2]>>4)
+	}
+	return MPCapable{Version: b[2] & 0x0f, SenderKey: binary.BigEndian.Uint64(b[4:12])}, nil
+}
+
+// MPJoinSYN is the MP_JOIN option on the joining subflow's SYN.
+type MPJoinSYN struct {
+	// Token identifies the connection being joined.
+	Token uint32
+	// Nonce is the sender's random nonce.
+	Nonce uint32
+	// AddrID identifies the sender's address (the interface).
+	AddrID uint8
+	// Backup marks the subflow as backup-priority — the bit the user
+	// preference maps onto for the cellular path.
+	Backup bool
+}
+
+// mpJoinSYNLen: kind(1) len(1) subtype/flags(1) addrID(1) token(4) nonce(4).
+const mpJoinSYNLen = 12
+
+// Encode serializes the option.
+func (o MPJoinSYN) Encode() []byte {
+	b := make([]byte, mpJoinSYNLen)
+	b[0] = MPTCPOptionKind
+	b[1] = mpJoinSYNLen
+	b[2] = byte(SubtypeMPJoin << 4)
+	if o.Backup {
+		b[2] |= 0x01
+	}
+	b[3] = o.AddrID
+	binary.BigEndian.PutUint32(b[4:8], o.Token)
+	binary.BigEndian.PutUint32(b[8:12], o.Nonce)
+	return b
+}
+
+// DecodeMPJoinSYN parses an MP_JOIN SYN option.
+func DecodeMPJoinSYN(b []byte) (MPJoinSYN, error) {
+	if len(b) < mpJoinSYNLen {
+		return MPJoinSYN{}, fmt.Errorf("%w: %d bytes", ErrShortOption, len(b))
+	}
+	if b[0] != MPTCPOptionKind || b[1] != mpJoinSYNLen {
+		return MPJoinSYN{}, fmt.Errorf("%w: kind/len %d/%d", ErrBadOption, b[0], b[1])
+	}
+	if b[2]>>4 != SubtypeMPJoin {
+		return MPJoinSYN{}, fmt.Errorf("%w: subtype %d", ErrBadOption, b[2]>>4)
+	}
+	return MPJoinSYN{
+		Token:  binary.BigEndian.Uint32(b[4:8]),
+		Nonce:  binary.BigEndian.Uint32(b[8:12]),
+		AddrID: b[3],
+		Backup: b[2]&0x01 != 0,
+	}, nil
+}
+
+// MPJoinSYNACK is the MP_JOIN option on the SYN-ACK: the responder proves
+// knowledge of both keys.
+type MPJoinSYNACK struct {
+	HMAC   uint64
+	Nonce  uint32
+	AddrID uint8
+	Backup bool
+}
+
+// mpJoinSYNACKLen: kind(1) len(1) subtype/flags(1) addrID(1) hmac(8) nonce(4).
+const mpJoinSYNACKLen = 16
+
+// Encode serializes the option.
+func (o MPJoinSYNACK) Encode() []byte {
+	b := make([]byte, mpJoinSYNACKLen)
+	b[0] = MPTCPOptionKind
+	b[1] = mpJoinSYNACKLen
+	b[2] = byte(SubtypeMPJoin << 4)
+	if o.Backup {
+		b[2] |= 0x01
+	}
+	b[3] = o.AddrID
+	binary.BigEndian.PutUint64(b[4:12], o.HMAC)
+	binary.BigEndian.PutUint32(b[12:16], o.Nonce)
+	return b
+}
+
+// DecodeMPJoinSYNACK parses an MP_JOIN SYN-ACK option.
+func DecodeMPJoinSYNACK(b []byte) (MPJoinSYNACK, error) {
+	if len(b) < mpJoinSYNACKLen {
+		return MPJoinSYNACK{}, fmt.Errorf("%w: %d bytes", ErrShortOption, len(b))
+	}
+	if b[0] != MPTCPOptionKind || b[1] != mpJoinSYNACKLen {
+		return MPJoinSYNACK{}, fmt.Errorf("%w: kind/len %d/%d", ErrBadOption, b[0], b[1])
+	}
+	if b[2]>>4 != SubtypeMPJoin {
+		return MPJoinSYNACK{}, fmt.Errorf("%w: subtype %d", ErrBadOption, b[2]>>4)
+	}
+	return MPJoinSYNACK{
+		HMAC:   binary.BigEndian.Uint64(b[4:12]),
+		Nonce:  binary.BigEndian.Uint32(b[12:16]),
+		AddrID: b[3],
+		Backup: b[2]&0x01 != 0,
+	}, nil
+}
+
+// Handshake is the client-side connection-establishment state machine:
+// MP_CAPABLE on the first subflow, MP_JOIN for each additional one.
+type Handshake struct {
+	localKey  uint64
+	remoteKey uint64
+	capable   bool
+}
+
+// NewHandshake starts a handshake with the given local key (keys come
+// from the caller so tests are deterministic; production would use
+// crypto/rand).
+func NewHandshake(localKey uint64) *Handshake {
+	return &Handshake{localKey: localKey}
+}
+
+// CapableSYN returns the MP_CAPABLE option for the initial SYN.
+func (h *Handshake) CapableSYN() MPCapable {
+	return MPCapable{Version: MPTCPVersion, SenderKey: h.localKey}
+}
+
+// OnCapableSYNACK consumes the peer's MP_CAPABLE and completes key
+// exchange.
+func (h *Handshake) OnCapableSYNACK(o MPCapable) error {
+	if o.Version != MPTCPVersion {
+		return fmt.Errorf("mptcp: version mismatch %d", o.Version)
+	}
+	h.remoteKey = o.SenderKey
+	h.capable = true
+	return nil
+}
+
+// Established reports whether key exchange completed.
+func (h *Handshake) Established() bool { return h.capable }
+
+// LocalToken returns the token peers use to address this connection.
+func (h *Handshake) LocalToken() uint32 { return Token(h.localKey) }
+
+// InitialDSN returns the connection's initial data sequence number.
+func (h *Handshake) InitialDSN() uint64 { return IDSN(h.localKey) }
+
+// JoinSYN builds the MP_JOIN for a new subflow toward the peer.
+func (h *Handshake) JoinSYN(addrID uint8, nonce uint32, backup bool) (MPJoinSYN, error) {
+	if !h.capable {
+		return MPJoinSYN{}, fmt.Errorf("mptcp: join before capable handshake")
+	}
+	return MPJoinSYN{Token: Token(h.remoteKey), Nonce: nonce, AddrID: addrID, Backup: backup}, nil
+}
+
+// VerifyJoinSYNACK authenticates the responder's HMAC over the nonces.
+func (h *Handshake) VerifyJoinSYNACK(localNonce uint32, o MPJoinSYNACK) error {
+	want := joinHMAC(h.remoteKey, h.localKey, o.Nonce, localNonce)
+	if o.HMAC != want {
+		return fmt.Errorf("mptcp: MP_JOIN HMAC mismatch")
+	}
+	return nil
+}
+
+// ServerJoinSYNACK builds the responder's SYN-ACK for an incoming join
+// (server side: serverKey is its own key, clientKey the peer's).
+func ServerJoinSYNACK(serverKey, clientKey uint64, serverNonce, clientNonce uint32, addrID uint8) MPJoinSYNACK {
+	return MPJoinSYNACK{
+		HMAC:   joinHMAC(serverKey, clientKey, serverNonce, clientNonce),
+		Nonce:  serverNonce,
+		AddrID: addrID,
+	}
+}

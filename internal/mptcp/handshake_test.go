@@ -1,0 +1,172 @@
+package mptcp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenAndIDSN(t *testing.T) {
+	const key = 0x0123456789abcdef
+	if Token(key) != Token(key) || IDSN(key) != IDSN(key) {
+		t.Error("not deterministic")
+	}
+	if Token(key) == Token(key+1) {
+		t.Error("token collision on adjacent keys (suspicious)")
+	}
+	if IDSN(key) == uint64(Token(key)) {
+		t.Error("IDSN must differ from token")
+	}
+}
+
+func TestMPCapableRoundTrip(t *testing.T) {
+	f := func(key uint64) bool {
+		o := MPCapable{Version: MPTCPVersion, SenderKey: key}
+		got, err := DecodeMPCapable(o.Encode())
+		return err == nil && got == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMPCapableErrors(t *testing.T) {
+	good := MPCapable{SenderKey: 7}.Encode()
+	if _, err := DecodeMPCapable(good[:4]); !errors.Is(err, ErrShortOption) {
+		t.Errorf("short: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 1
+	if _, err := DecodeMPCapable(bad); !errors.Is(err, ErrBadOption) {
+		t.Errorf("bad kind: %v", err)
+	}
+	bad2 := append([]byte(nil), good...)
+	bad2[2] = 0x20 // wrong subtype
+	if _, err := DecodeMPCapable(bad2); !errors.Is(err, ErrBadOption) {
+		t.Errorf("bad subtype: %v", err)
+	}
+}
+
+func TestMPJoinRoundTrips(t *testing.T) {
+	syn := MPJoinSYN{Token: 0xdeadbeef, Nonce: 42, AddrID: 2, Backup: true}
+	gotSYN, err := DecodeMPJoinSYN(syn.Encode())
+	if err != nil || gotSYN != syn {
+		t.Fatalf("SYN round trip: %+v, %v", gotSYN, err)
+	}
+	sa := MPJoinSYNACK{HMAC: 0x0102030405060708, Nonce: 7, AddrID: 1, Backup: false}
+	gotSA, err := DecodeMPJoinSYNACK(sa.Encode())
+	if err != nil || gotSA != sa {
+		t.Fatalf("SYN-ACK round trip: %+v, %v", gotSA, err)
+	}
+}
+
+func TestMPJoinErrors(t *testing.T) {
+	if _, err := DecodeMPJoinSYN([]byte{1, 2}); !errors.Is(err, ErrShortOption) {
+		t.Errorf("short SYN: %v", err)
+	}
+	if _, err := DecodeMPJoinSYNACK([]byte{1, 2}); !errors.Is(err, ErrShortOption) {
+		t.Errorf("short SYN-ACK: %v", err)
+	}
+	bad := MPJoinSYN{}.Encode()
+	bad[2] = 0x40
+	if _, err := DecodeMPJoinSYN(bad); !errors.Is(err, ErrBadOption) {
+		t.Errorf("bad subtype: %v", err)
+	}
+}
+
+func TestFullHandshakeFlow(t *testing.T) {
+	const (
+		clientKey = uint64(0x1111111111111111)
+		serverKey = uint64(0x2222222222222222)
+	)
+	client := NewHandshake(clientKey)
+	if client.Established() {
+		t.Fatal("established before exchange")
+	}
+	// Joining before MP_CAPABLE completes must fail.
+	if _, err := client.JoinSYN(2, 99, true); err == nil {
+		t.Fatal("join before capable accepted")
+	}
+
+	// MP_CAPABLE exchange over the "wire".
+	synOpt, err := DecodeMPCapable(client.CapableSYN().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synOpt.SenderKey != clientKey {
+		t.Fatal("client key mangled")
+	}
+	if err := client.OnCapableSYNACK(MPCapable{Version: MPTCPVersion, SenderKey: serverKey}); err != nil {
+		t.Fatal(err)
+	}
+	if !client.Established() {
+		t.Fatal("not established")
+	}
+	if client.LocalToken() != Token(clientKey) || client.InitialDSN() != IDSN(clientKey) {
+		t.Error("token/IDSN wiring wrong")
+	}
+
+	// MP_JOIN for the cellular subflow, marked backup per the user
+	// preference.
+	const clientNonce = uint32(424242)
+	join, err := client.JoinSYN(2, clientNonce, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if join.Token != Token(serverKey) {
+		t.Error("join must carry the receiver's token")
+	}
+	if !join.Backup {
+		t.Error("backup bit lost")
+	}
+
+	// Server answers; client verifies the HMAC.
+	const serverNonce = uint32(777)
+	synack := ServerJoinSYNACK(serverKey, clientKey, serverNonce, clientNonce, 1)
+	if err := client.VerifyJoinSYNACK(clientNonce, synack); err != nil {
+		t.Fatalf("valid HMAC rejected: %v", err)
+	}
+
+	// A forged responder (wrong key) must be rejected.
+	forged := ServerJoinSYNACK(0x3333333333333333, clientKey, serverNonce, clientNonce, 1)
+	if err := client.VerifyJoinSYNACK(clientNonce, forged); err == nil {
+		t.Error("forged HMAC accepted")
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	h := NewHandshake(1)
+	if err := h.OnCapableSYNACK(MPCapable{Version: 9, SenderKey: 2}); err == nil {
+		t.Error("version 9 accepted")
+	}
+}
+
+func TestCoupledCCThroughputAtMostDecoupled(t *testing.T) {
+	// RFC 6356's goal: the coupled flow is no more aggressive than
+	// independent flows. Over two equal paths the coupled aggregate
+	// should be at most the decoupled aggregate (and still positive).
+	run := func(coupled bool) int64 {
+		s, c := twoPathCfg(t, Config{CoupledCC: coupled})
+		tr, err := c.StartTransfer(8_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.RunUntilComplete(120_000_000_000) {
+			t.Fatal("transfer stuck")
+		}
+		var sum int64
+		for _, p := range c.Paths() {
+			sum += p.DeliveredBytes()
+		}
+		_ = s
+		return sum * int64(1e9) / int64(tr.Duration())
+	}
+	decoupled := run(false)
+	coupledBps := run(true)
+	if coupledBps <= 0 {
+		t.Fatal("coupled made no progress")
+	}
+	if float64(coupledBps) > float64(decoupled)*1.10 {
+		t.Errorf("coupled rate %d exceeds decoupled %d", coupledBps, decoupled)
+	}
+}

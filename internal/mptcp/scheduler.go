@@ -1,0 +1,76 @@
+package mptcp
+
+import "fmt"
+
+// SchedulerKind names a stock MPTCP packet scheduler.
+type SchedulerKind int
+
+const (
+	// MinRTT is the Linux MPTCP default: among subflows with congestion
+	// window space, pick the one with the lowest RTT estimate (§2.1).
+	MinRTT SchedulerKind = iota
+	// RoundRobin rotates across subflows with window space.
+	RoundRobin
+)
+
+// String implements fmt.Stringer.
+func (k SchedulerKind) String() string {
+	switch k {
+	case MinRTT:
+		return "default(minRTT)"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", int(k))
+	}
+}
+
+// Scheduler picks the subflow for the next packet. MP-DASH works as an
+// overlay on any Scheduler: disabled paths are skipped here, which is the
+// paper's entire kernel mechanism (§6).
+type Scheduler interface {
+	// Select returns an enabled path with window space, or nil if none.
+	Select(paths []*Path) *Path
+}
+
+func newScheduler(k SchedulerKind) (Scheduler, error) {
+	switch k {
+	case MinRTT:
+		return &minRTTScheduler{}, nil
+	case RoundRobin:
+		return &roundRobinScheduler{}, nil
+	default:
+		return nil, fmt.Errorf("mptcp: unknown scheduler kind %d", int(k))
+	}
+}
+
+type minRTTScheduler struct{}
+
+func (minRTTScheduler) Select(paths []*Path) *Path {
+	var best *Path
+	for _, p := range paths {
+		if !p.enabled || !p.flow.HasSpace() {
+			continue
+		}
+		if best == nil || p.flow.SRTT() < best.flow.SRTT() {
+			best = p
+		}
+	}
+	return best
+}
+
+type roundRobinScheduler struct {
+	next int
+}
+
+func (s *roundRobinScheduler) Select(paths []*Path) *Path {
+	n := len(paths)
+	for i := 0; i < n; i++ {
+		p := paths[(s.next+i)%n]
+		if p.enabled && p.flow.HasSpace() {
+			s.next = (s.next + i + 1) % n
+			return p
+		}
+	}
+	return nil
+}

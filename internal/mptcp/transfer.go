@@ -1,0 +1,97 @@
+package mptcp
+
+import (
+	"fmt"
+	"time"
+)
+
+// Transfer is one application-level download (e.g. one DASH chunk or one
+// file) over the connection. A Conn carries one Transfer at a time,
+// matching a DASH player's sequential chunk fetches over a persistent
+// connection.
+type Transfer struct {
+	conn *Conn
+
+	size      int64
+	unsent    int64
+	delivered int64
+
+	started     bool
+	done        bool
+	startedAt   time.Duration
+	firstByteAt time.Duration
+	doneAt      time.Duration
+
+	// OnProgress fires at the client on every delivered segment with the
+	// cumulative delivered byte count. The MP-DASH scheduler's Algorithm 1
+	// loop runs from this hook.
+	OnProgress func(delivered int64)
+	// OnComplete fires once when all bytes have been delivered.
+	OnComplete func()
+}
+
+// StartTransfer begins a download of size bytes. The request first crosses
+// the network (one primary-path RTT of latency — HTTP request plus server
+// turnaround) before data flows. It returns an error if a transfer is
+// already active or size is not positive.
+func (c *Conn) StartTransfer(size int64) (*Transfer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mptcp: transfer size %d", size)
+	}
+	if c.active != nil && !c.active.done {
+		return nil, fmt.Errorf("mptcp: transfer already active")
+	}
+	t := &Transfer{conn: c, size: size, unsent: size, startedAt: c.sim.Now()}
+	c.active = t
+	reqRTT := c.PrimaryPath().SRTT()
+	c.sim.Schedule(reqRTT, func() {
+		t.started = true
+		c.pump()
+	})
+	return t, nil
+}
+
+// Size returns the transfer's total byte count.
+func (t *Transfer) Size() int64 { return t.size }
+
+// Delivered returns bytes received at the client so far.
+func (t *Transfer) Delivered() int64 { return t.delivered }
+
+// Done reports whether all bytes have arrived.
+func (t *Transfer) Done() bool { return t.done }
+
+// StartedAt returns the virtual time the transfer was requested.
+func (t *Transfer) StartedAt() time.Duration { return t.startedAt }
+
+// CompletedAt returns the virtual time of the last byte; zero until Done.
+func (t *Transfer) CompletedAt() time.Duration { return t.doneAt }
+
+// Duration returns the transfer's wall time (request to last byte); it is
+// only meaningful once Done.
+func (t *Transfer) Duration() time.Duration { return t.doneAt - t.startedAt }
+
+func (t *Transfer) noteDelivered(n int) {
+	if t.done {
+		return
+	}
+	if t.delivered == 0 {
+		t.firstByteAt = t.conn.sim.Now()
+	}
+	t.delivered += int64(n)
+	if t.OnProgress != nil {
+		t.OnProgress(t.delivered)
+	}
+	if t.delivered >= t.size {
+		t.done = true
+		t.doneAt = t.conn.sim.Now()
+		if t.OnComplete != nil {
+			t.OnComplete()
+		}
+	}
+}
+
+// RunUntilComplete drives the simulator until the transfer finishes or the
+// virtual clock passes limit. It reports whether the transfer completed.
+func (t *Transfer) RunUntilComplete(limit time.Duration) bool {
+	return t.conn.sim.RunUntil(limit, func() bool { return t.done })
+}

@@ -1,0 +1,129 @@
+package mptcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file implements the wire formats the paper's kernel patch adds:
+//
+//   - the MPTCP DSS (Data Sequence Signal) option with one reserved flag
+//     bit repurposed to carry the client's MP-DASH decision about the
+//     cellular subflow to the server (§3.2, §6), and
+//   - the MP_DASH_ENABLE socket-option payload conveying the chunk size S
+//     and deadline D from user space to the kernel (§3.2).
+//
+// The in-process simulator moves this information through function calls,
+// but the codecs are exercised by the real-socket fetcher (internal/netmp)
+// and keep the reproduction honest about what crosses the wire.
+
+// MPTCPOptionKind is the IANA TCP option kind for MPTCP.
+const MPTCPOptionKind = 30
+
+// DSSSubtype is the MPTCP subtype of the Data Sequence Signal option.
+const DSSSubtype = 0x2
+
+// dssOptionLen is the fixed length of the reproduction's DSS option:
+// kind(1) + len(1) + subtype/flags(2) + dataSeq(8) + dataLen(2).
+const dssOptionLen = 14
+
+// dssFlagMPDashEnable is the reserved flag bit the paper claims for the
+// MP-DASH decision ("a reserved bit in the MPTCP DSS option"). It lives in
+// the DSS option's reserved byte, clear of the subtype nibble and the
+// standard F/m/M/a/A flag bits.
+const dssFlagMPDashEnable = 0x80
+
+// DSSOption is the decoded Data Sequence Signal option, reduced to the
+// fields this system uses.
+type DSSOption struct {
+	// DataSeq is the 64-bit data-level sequence number of the first byte
+	// this mapping covers.
+	DataSeq uint64
+	// DataLen is the mapping's length in bytes.
+	DataLen uint16
+	// MPDashCellularEnable is the decision bit: true means the server may
+	// use the secondary (cellular) subflow for subsequent data.
+	MPDashCellularEnable bool
+}
+
+// ErrShortOption reports a truncated option buffer.
+var ErrShortOption = errors.New("mptcp: short option")
+
+// ErrBadOption reports a structurally invalid option.
+var ErrBadOption = errors.New("mptcp: bad option")
+
+// Encode serializes the option into a fresh buffer.
+func (o DSSOption) Encode() []byte {
+	b := make([]byte, dssOptionLen)
+	b[0] = MPTCPOptionKind
+	b[1] = dssOptionLen
+	b[2] = byte(DSSSubtype << 4)
+	if o.MPDashCellularEnable {
+		b[3] |= dssFlagMPDashEnable
+	}
+	binary.BigEndian.PutUint64(b[4:12], o.DataSeq)
+	binary.BigEndian.PutUint16(b[12:14], o.DataLen)
+	return b
+}
+
+// DecodeDSSOption parses a DSS option produced by Encode. It validates the
+// kind, length, and subtype.
+func DecodeDSSOption(b []byte) (DSSOption, error) {
+	if len(b) < dssOptionLen {
+		return DSSOption{}, fmt.Errorf("%w: %d bytes", ErrShortOption, len(b))
+	}
+	if b[0] != MPTCPOptionKind {
+		return DSSOption{}, fmt.Errorf("%w: kind %d", ErrBadOption, b[0])
+	}
+	if b[1] != dssOptionLen {
+		return DSSOption{}, fmt.Errorf("%w: length %d", ErrBadOption, b[1])
+	}
+	if b[2]>>4 != DSSSubtype {
+		return DSSOption{}, fmt.Errorf("%w: subtype %d", ErrBadOption, b[2]>>4)
+	}
+	return DSSOption{
+		DataSeq:              binary.BigEndian.Uint64(b[4:12]),
+		DataLen:              binary.BigEndian.Uint16(b[12:14]),
+		MPDashCellularEnable: b[3]&dssFlagMPDashEnable != 0,
+	}, nil
+}
+
+// EnableRequest is the MP_DASH_ENABLE socket-option payload: "convey the
+// data size S and the deadline D from the user space to the kernel. Upon
+// the reception of this information, MP-DASH is activated for the next S
+// bytes of data" (§3.2).
+type EnableRequest struct {
+	// Size is S, in bytes.
+	Size int64
+	// Deadline is D, the download window from now.
+	Deadline time.Duration
+}
+
+// enableRequestLen is size(8) + deadline-microseconds(8).
+const enableRequestLen = 16
+
+// Encode serializes the request.
+func (r EnableRequest) Encode() []byte {
+	b := make([]byte, enableRequestLen)
+	binary.BigEndian.PutUint64(b[0:8], uint64(r.Size))
+	binary.BigEndian.PutUint64(b[8:16], uint64(r.Deadline.Microseconds()))
+	return b
+}
+
+// DecodeEnableRequest parses an MP_DASH_ENABLE payload.
+func DecodeEnableRequest(b []byte) (EnableRequest, error) {
+	if len(b) < enableRequestLen {
+		return EnableRequest{}, fmt.Errorf("%w: %d bytes", ErrShortOption, len(b))
+	}
+	size := int64(binary.BigEndian.Uint64(b[0:8]))
+	us := int64(binary.BigEndian.Uint64(b[8:16]))
+	if size <= 0 {
+		return EnableRequest{}, fmt.Errorf("%w: size %d", ErrBadOption, size)
+	}
+	if us < 0 {
+		return EnableRequest{}, fmt.Errorf("%w: negative deadline", ErrBadOption)
+	}
+	return EnableRequest{Size: size, Deadline: time.Duration(us) * time.Microsecond}, nil
+}

@@ -1,0 +1,355 @@
+package netmp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mpdash/internal/dash"
+)
+
+// DefaultSegmentSize is the range granularity of the dual-socket fetcher.
+const DefaultSegmentSize = 32 * 1024
+
+// Fetcher downloads chunks over two TCP connections with MP-DASH's
+// deadline logic: the preferred connection pulls ranges from the front of
+// the chunk; the secondary connection is engaged to pull from the back
+// only while the preferred path's measured throughput cannot finish the
+// remainder within α·D, and it stands down as soon as it can (Algorithm 1
+// lines 16–21 in userspace).
+type Fetcher struct {
+	Video *dash.Video
+	// Sizes optionally overrides the video's generated chunk sizes with
+	// explicit per-[level][chunk] byte counts (as parsed from a remote
+	// manifest, whose sizes are authoritative).
+	Sizes [][]int64
+	// Alpha is the safety factor (default 1).
+	Alpha float64
+	// SegmentSize is the range-request granularity.
+	SegmentSize int64
+
+	primary   *pathConn
+	secondary *pathConn
+}
+
+// chunkSize returns the authoritative size of (index, level).
+func (f *Fetcher) chunkSize(index, level int) int64 {
+	if f.Sizes != nil {
+		return f.Sizes[level][index]
+	}
+	return f.Video.ChunkSize(index, level)
+}
+
+type pathConn struct {
+	name string
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialPath(name, addr string) (*pathConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("netmp: dial %s (%s): %w", name, addr, err)
+	}
+	return &pathConn{name: name, conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// NewFetcher dials both paths.
+func NewFetcher(video *dash.Video, primaryAddr, secondaryAddr string) (*Fetcher, error) {
+	if err := video.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := dialPath("primary", primaryAddr)
+	if err != nil {
+		return nil, err
+	}
+	s, err := dialPath("secondary", secondaryAddr)
+	if err != nil {
+		p.conn.Close()
+		return nil, err
+	}
+	return &Fetcher{Video: video, Alpha: 1, SegmentSize: DefaultSegmentSize, primary: p, secondary: s}, nil
+}
+
+// Close tears down both connections.
+func (f *Fetcher) Close() error {
+	err1 := f.primary.conn.Close()
+	err2 := f.secondary.conn.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// FetchResult reports one chunk download.
+type FetchResult struct {
+	Size           int64
+	PrimaryBytes   int64
+	SecondaryBytes int64
+	Duration       time.Duration
+	// MissedBy is zero when the deadline was met.
+	MissedBy time.Duration
+	// Verified is true when every received byte matched the expected
+	// deterministic payload (reassembly correctness).
+	Verified bool
+}
+
+// fetchState is the shared segment ledger.
+type fetchState struct {
+	mu    sync.Mutex
+	front int // next unclaimed segment from the start
+	back  int // last unclaimed segment at the end
+}
+
+// claimFront hands the primary the next segment, or -1.
+func (st *fetchState) claimFront() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.front > st.back {
+		return -1
+	}
+	seg := st.front
+	st.front++
+	return seg
+}
+
+// claimBack hands the secondary the last segment, or -1.
+func (st *fetchState) claimBack() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.front > st.back {
+		return -1
+	}
+	seg := st.back
+	st.back--
+	return seg
+}
+
+// remainingSegments reports how many segments are still unclaimed.
+func (st *fetchState) remainingSegments() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := st.back - st.front + 1
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// FetchChunk downloads chunk (index, level) with deadline window d.
+func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, error) {
+	size := f.chunkSize(index, level)
+	segSize := f.SegmentSize
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	nSegs := int((size + segSize - 1) / segSize)
+	st := &fetchState{front: 0, back: nSegs - 1}
+	alpha := f.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+
+	start := time.Now()
+	res := &FetchResult{Size: size, Verified: true}
+	var mu sync.Mutex // guards res byte counters and Verified
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+
+	fetchSeg := func(pc *pathConn, seg int) error {
+		from := int64(seg) * segSize
+		to := from + segSize - 1
+		if to >= size {
+			to = size - 1
+		}
+		n, ok, err := f.requestRange(pc, index, level, from, to)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if pc == f.primary {
+			res.PrimaryBytes += n
+		} else {
+			res.SecondaryBytes += n
+		}
+		if !ok {
+			res.Verified = false
+		}
+		mu.Unlock()
+		return nil
+	}
+
+	// Primary: drain from the front.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			seg := st.claimFront()
+			if seg < 0 {
+				return
+			}
+			if err := fetchSeg(f.primary, seg); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	// Controller + secondary: engage the costly path only under deadline
+	// pressure, re-evaluated every tick.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for range tick.C {
+			if st.remainingSegments() == 0 {
+				return
+			}
+			elapsed := time.Since(start)
+			windowLeft := alpha*d.Seconds() - elapsed.Seconds()
+			mu.Lock()
+			got := res.PrimaryBytes + res.SecondaryBytes
+			mu.Unlock()
+			rate := float64(got) / elapsed.Seconds() // bytes/s, cumulative
+			remaining := float64(st.remainingSegments()) * float64(segSize)
+			needSecondary := windowLeft <= 0 || rate*windowLeft < remaining
+			if !needSecondary {
+				continue
+			}
+			seg := st.claimBack()
+			if seg < 0 {
+				return
+			}
+			if err := fetchSeg(f.secondary, seg); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	res.Duration = time.Since(start)
+	if res.Duration > d {
+		res.MissedBy = res.Duration - d
+	}
+	return res, nil
+}
+
+// FetchManifest downloads and parses the server's MPD over a fresh
+// connection, returning the reconstructed video description and the
+// per-representation chunk sizes — the client-side bootstrap that needs
+// no out-of-band knowledge of the asset.
+func FetchManifest(addr string) (*dash.Video, [][]int64, error) {
+	pc, err := dialPath("manifest", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pc.conn.Close()
+	if _, err := io.WriteString(pc.conn, "GET /manifest.mpd HTTP/1.1\r\nHost: x\r\n\r\n"); err != nil {
+		return nil, nil, fmt.Errorf("netmp: manifest request: %w", err)
+	}
+	status, err := pc.r.ReadString('\n')
+	if err != nil {
+		return nil, nil, fmt.Errorf("netmp: manifest status: %w", err)
+	}
+	if !strings.Contains(status, "200") {
+		return nil, nil, fmt.Errorf("netmp: manifest status %q", strings.TrimSpace(status))
+	}
+	var contentLength int64 = -1
+	for {
+		h, err := pc.r.ReadString('\n')
+		if err != nil {
+			return nil, nil, fmt.Errorf("netmp: manifest headers: %w", err)
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		if v, found := strings.CutPrefix(h, "Content-Length: "); found {
+			if contentLength, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return nil, nil, fmt.Errorf("netmp: manifest length: %w", err)
+			}
+		}
+	}
+	if contentLength < 0 || contentLength > 64<<20 {
+		return nil, nil, fmt.Errorf("netmp: manifest length %d", contentLength)
+	}
+	body := make([]byte, contentLength)
+	if _, err := io.ReadFull(pc.r, body); err != nil {
+		return nil, nil, fmt.Errorf("netmp: manifest body: %w", err)
+	}
+	mpd, err := dash.DecodeMPD(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dash.VideoFromManifest(mpd, "remote")
+}
+
+// requestRange performs one HTTP range request on a path connection and
+// verifies the payload. It returns the byte count and whether every byte
+// matched.
+func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (int64, bool, error) {
+	lvlID := f.Video.Levels[level].ID
+	req := fmt.Sprintf("GET /seg-l%d-c%04d.m4s HTTP/1.1\r\nHost: x\r\nRange: bytes=%d-%d\r\n\r\n", lvlID, index, from, to)
+	if _, err := io.WriteString(pc.conn, req); err != nil {
+		return 0, false, fmt.Errorf("netmp: %s write: %w", pc.name, err)
+	}
+	status, err := pc.r.ReadString('\n')
+	if err != nil {
+		return 0, false, fmt.Errorf("netmp: %s status: %w", pc.name, err)
+	}
+	if !strings.Contains(status, "206") {
+		return 0, false, fmt.Errorf("netmp: %s unexpected status %q", pc.name, strings.TrimSpace(status))
+	}
+	var contentLength int64 = -1
+	for {
+		h, err := pc.r.ReadString('\n')
+		if err != nil {
+			return 0, false, fmt.Errorf("netmp: %s headers: %w", pc.name, err)
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		if v, found := strings.CutPrefix(h, "Content-Length: "); found {
+			contentLength, err = strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return 0, false, fmt.Errorf("netmp: %s content-length %q: %w", pc.name, v, err)
+			}
+		}
+	}
+	if contentLength < 0 {
+		return 0, false, fmt.Errorf("netmp: %s missing content length", pc.name)
+	}
+	buf := make([]byte, 16*1024)
+	var got int64
+	ok := true
+	for got < contentLength {
+		m := int64(len(buf))
+		if m > contentLength-got {
+			m = contentLength - got
+		}
+		n, err := io.ReadFull(pc.r, buf[:m])
+		for i := 0; i < n; i++ {
+			if buf[i] != ChunkBody(index, level, from+got+int64(i)) {
+				ok = false
+			}
+		}
+		got += int64(n)
+		if err != nil {
+			return got, ok, fmt.Errorf("netmp: %s body: %w", pc.name, err)
+		}
+	}
+	return got, ok, nil
+}

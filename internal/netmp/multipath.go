@@ -1,0 +1,179 @@
+package netmp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpdash/internal/dash"
+)
+
+// MultiFetcher generalizes Fetcher to N secondary connections ordered by
+// cost, mirroring the generalized MP-DASH scheduler (§4): under deadline
+// pressure it engages secondaries from cheapest to costliest, and each
+// stands down as soon as the cheaper set suffices again.
+type MultiFetcher struct {
+	*Fetcher
+	// extra are additional secondaries in ascending cost order; the
+	// embedded Fetcher's secondary is the cheapest.
+	extra []*pathConn
+}
+
+// NewMultiFetcher dials the primary plus any number of secondaries
+// (ascending cost order). At least one secondary is required.
+func NewMultiFetcher(video *dash.Video, primaryAddr string, secondaryAddrs ...string) (*MultiFetcher, error) {
+	if len(secondaryAddrs) == 0 {
+		return nil, fmt.Errorf("netmp: at least one secondary required")
+	}
+	f, err := NewFetcher(video, primaryAddr, secondaryAddrs[0])
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiFetcher{Fetcher: f}
+	for i, addr := range secondaryAddrs[1:] {
+		pc, err := dialPath(fmt.Sprintf("secondary-%d", i+2), addr)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.extra = append(m.extra, pc)
+	}
+	return m, nil
+}
+
+// Close tears down every connection.
+func (m *MultiFetcher) Close() error {
+	err := m.Fetcher.Close()
+	for _, pc := range m.extra {
+		if cerr := pc.conn.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MultiResult extends FetchResult with per-secondary byte counts
+// (index 0 is the cheapest secondary).
+type MultiResult struct {
+	FetchResult
+	SecondaryBytesByPath []int64
+}
+
+// FetchChunk downloads one chunk engaging secondaries by cost order.
+func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResult, error) {
+	size := m.chunkSize(index, level)
+	segSize := m.SegmentSize
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	nSegs := int((size + segSize - 1) / segSize)
+	st := &fetchState{front: 0, back: nSegs - 1}
+	alpha := m.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+
+	secondaries := append([]*pathConn{m.secondary}, m.extra...)
+	res := &MultiResult{SecondaryBytesByPath: make([]int64, len(secondaries))}
+	res.Size = size
+	res.Verified = true
+
+	start := time.Now()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1+len(secondaries))
+
+	fetchSeg := func(pc *pathConn, secIdx, seg int) error {
+		from := int64(seg) * segSize
+		to := from + segSize - 1
+		if to >= size {
+			to = size - 1
+		}
+		n, ok, err := m.requestRange(pc, index, level, from, to)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if secIdx < 0 {
+			res.PrimaryBytes += n
+		} else {
+			res.SecondaryBytes += n
+			res.SecondaryBytesByPath[secIdx] += n
+		}
+		if !ok {
+			res.Verified = false
+		}
+		mu.Unlock()
+		return nil
+	}
+
+	// Primary drains from the front.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			seg := st.claimFront()
+			if seg < 0 {
+				return
+			}
+			if err := fetchSeg(m.primary, -1, seg); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	// One controller per secondary: secondary k engages only when the
+	// measured shortfall exceeds what paths 0..k-1 plus the primary can
+	// plausibly cover — the cheapest secondary reacts first, costlier
+	// ones need proportionally larger deficits.
+	for k, pc := range secondaries {
+		k, pc := k, pc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(20 * time.Millisecond)
+			defer tick.Stop()
+			for range tick.C {
+				if st.remainingSegments() == 0 {
+					return
+				}
+				elapsed := time.Since(start)
+				windowLeft := alpha*d.Seconds() - elapsed.Seconds()
+				mu.Lock()
+				got := res.PrimaryBytes + res.SecondaryBytes
+				mu.Unlock()
+				rate := float64(got) / elapsed.Seconds()
+				remaining := float64(st.remainingSegments()) * float64(segSize)
+				// Path k joins only when even a (k+1)-fold rate cannot
+				// make the deadline — a pragmatic stand-in for summing
+				// per-path estimates, which a userspace fetcher lacks
+				// until a path has carried traffic.
+				pressure := windowLeft <= 0 || rate*windowLeft*float64(k+1) < remaining
+				if !pressure {
+					continue
+				}
+				seg := st.claimBack()
+				if seg < 0 {
+					return
+				}
+				if err := fetchSeg(pc, k, seg); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	res.Duration = time.Since(start)
+	if res.Duration > d {
+		res.MissedBy = res.Duration - d
+	}
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package netmp
+
+import (
+	"testing"
+	"time"
+
+	"mpdash/internal/dash"
+)
+
+// multiRig starts one server per path and a MultiFetcher across them.
+// Full-size (Big Buck Bunny) chunks keep the workload well above the
+// shaper's burst allowance.
+func multiRig(t *testing.T, rates ...float64) (*MultiFetcher, []*ChunkServer) {
+	t.Helper()
+	v := dash.BigBuckBunny()
+	var servers []*ChunkServer
+	var addrs []string
+	for _, r := range rates {
+		s, err := NewChunkServer(v, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	m, err := NewMultiFetcher(v, addrs[0], addrs[1:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		m.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return m, servers
+}
+
+func TestNewMultiFetcherValidation(t *testing.T) {
+	v := dash.BigBuckBunny()
+	if _, err := NewMultiFetcher(v, "127.0.0.1:1"); err == nil {
+		t.Error("no secondaries accepted")
+	}
+	if _, err := NewMultiFetcher(v, "127.0.0.1:1", "127.0.0.1:1"); err == nil {
+		t.Error("dead primary accepted")
+	}
+}
+
+func TestMultiFetchLooseDeadlineAllDark(t *testing.T) {
+	m, servers := multiRig(t, 16, 16, 16)
+	res, err := m.FetchChunk(0, 0, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("verification failed")
+	}
+	if res.PrimaryBytes+res.SecondaryBytes != res.Size {
+		t.Errorf("bytes %d+%d != %d", res.PrimaryBytes, res.SecondaryBytes, res.Size)
+	}
+	if res.SecondaryBytes != 0 {
+		t.Errorf("secondaries carried %d under a loose deadline", res.SecondaryBytes)
+	}
+	if servers[1].ServedBytes() != 0 || servers[2].ServedBytes() != 0 {
+		t.Error("secondary servers served bytes")
+	}
+}
+
+func TestMultiFetchPressureEngagesCheapFirst(t *testing.T) {
+	// Starved primary, modest deadline: the cheap secondary must carry
+	// clearly more than the expensive one.
+	m, _ := multiRig(t, 2, 12, 12)
+	res, err := m.FetchChunk(1, 2, 1200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("verification failed")
+	}
+	if res.SecondaryBytes == 0 {
+		t.Fatal("no secondary engaged under pressure")
+	}
+	cheap := res.SecondaryBytesByPath[0]
+	costly := res.SecondaryBytesByPath[1]
+	if cheap < costly {
+		t.Errorf("cost order violated: cheap %d < costly %d", cheap, costly)
+	}
+	if res.PrimaryBytes+res.SecondaryBytes != res.Size {
+		t.Errorf("bytes %d+%d != %d", res.PrimaryBytes, res.SecondaryBytes, res.Size)
+	}
+}

@@ -1,0 +1,275 @@
+package netmp
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mpdash/internal/dash"
+)
+
+func TestTokenBucketRate(t *testing.T) {
+	tb := NewTokenBucket(100_000, 1) // 100 kB/s, no burst
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if err := tb.Take(ctx, 2000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// 20 kB at 100 kB/s ≈ 200 ms.
+	if elapsed < 120*time.Millisecond || elapsed > 600*time.Millisecond {
+		t.Errorf("20kB at 100kB/s took %v, want ≈200ms", elapsed)
+	}
+}
+
+func TestTokenBucketUnshaped(t *testing.T) {
+	tb := NewTokenBucket(0, 0)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if err := tb.Take(context.Background(), 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("unshaped bucket blocked")
+	}
+}
+
+func TestTokenBucketCancel(t *testing.T) {
+	tb := NewTokenBucket(1, 1) // 1 B/s: hopeless
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// The first take is granted on credit; the second must block on the
+	// huge debt and get cancelled.
+	if err := tb.Take(ctx, 1_000_000); err != nil {
+		t.Fatalf("credit take failed: %v", err)
+	}
+	if err := tb.Take(ctx, 1); err == nil {
+		t.Error("cancelled Take returned nil")
+	}
+}
+
+func TestChunkBodyDeterministic(t *testing.T) {
+	if ChunkBody(3, 2, 100) != ChunkBody(3, 2, 100) {
+		t.Error("not deterministic")
+	}
+	// Different coordinates give different streams (overwhelmingly).
+	same := 0
+	for off := int64(0); off < 256; off++ {
+		if ChunkBody(1, 1, off) == ChunkBody(1, 2, off) {
+			same++
+		}
+	}
+	if same > 32 {
+		t.Errorf("%d/256 collisions between levels", same)
+	}
+}
+
+// rig starts two servers (primary/secondary) and a fetcher.
+func rig(t *testing.T, primaryMbps, secondaryMbps float64) (*ChunkServer, *ChunkServer, *Fetcher) {
+	t.Helper()
+	video := dash.BigBuckBunny()
+	ps, err := NewChunkServer(video, primaryMbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewChunkServer(video, secondaryMbps)
+	if err != nil {
+		ps.Close()
+		t.Fatal(err)
+	}
+	f, err := NewFetcher(video, ps.Addr(), ss.Addr())
+	if err != nil {
+		ps.Close()
+		ss.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		f.Close()
+		ps.Close()
+		ss.Close()
+	})
+	return ps, ss, f
+}
+
+func TestLooseDeadlinePrimaryOnly(t *testing.T) {
+	_, ss, f := rig(t, 16, 16)
+	// Level-0 chunk ≈ 290 kB: ≈150 ms at 16 Mbps. Deadline 3 s: the
+	// secondary path must stay dark.
+	res, err := f.FetchChunk(0, 0, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("payload verification failed")
+	}
+	if res.PrimaryBytes+res.SecondaryBytes != res.Size {
+		t.Errorf("bytes %d+%d != size %d", res.PrimaryBytes, res.SecondaryBytes, res.Size)
+	}
+	if res.SecondaryBytes != 0 {
+		t.Errorf("secondary carried %d bytes under a loose deadline", res.SecondaryBytes)
+	}
+	if res.MissedBy != 0 {
+		t.Errorf("missed by %v", res.MissedBy)
+	}
+	if ss.ServedBytes() != 0 {
+		t.Errorf("secondary server served %d", ss.ServedBytes())
+	}
+}
+
+func TestTightDeadlineEngagesSecondary(t *testing.T) {
+	_, _, f := rig(t, 2, 16)
+	// Level-2 chunk ≈ 735 kB: ≈2.9 s on the 2 Mbps primary alone.
+	// Deadline 1.5 s forces the secondary in.
+	res, err := f.FetchChunk(1, 2, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("payload verification failed")
+	}
+	if res.SecondaryBytes == 0 {
+		t.Error("secondary never engaged under deadline pressure")
+	}
+	if res.PrimaryBytes == 0 {
+		t.Error("primary idle?")
+	}
+	if res.PrimaryBytes+res.SecondaryBytes != res.Size {
+		t.Errorf("bytes %d+%d != size %d", res.PrimaryBytes, res.SecondaryBytes, res.Size)
+	}
+	if res.MissedBy > 700*time.Millisecond {
+		t.Errorf("missed deadline by %v", res.MissedBy)
+	}
+}
+
+func TestSequentialChunksOnSameConnections(t *testing.T) {
+	_, _, f := rig(t, 16, 16)
+	for i := 0; i < 3; i++ {
+		res, err := f.FetchChunk(i, 0, 2*time.Second)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !res.Verified || res.PrimaryBytes+res.SecondaryBytes != res.Size {
+			t.Fatalf("chunk %d bad result: %+v", i, res)
+		}
+	}
+}
+
+func TestServerRejectsBadPaths(t *testing.T) {
+	video := dash.BigBuckBunny()
+	s, err := NewChunkServer(video, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	f, err := NewFetcher(video, s.Addr(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Out-of-range chunk index panics at the video layer (caller bug).
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range chunk did not panic")
+		}
+	}()
+	f.FetchChunk(10_000, 0, time.Second)
+}
+
+func TestNewFetcherErrors(t *testing.T) {
+	video := dash.BigBuckBunny()
+	if _, err := NewFetcher(video, "127.0.0.1:1", "127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+	if _, err := NewFetcher(nil, "x", "y"); err == nil {
+		t.Error("nil video accepted")
+	}
+}
+
+func TestNewChunkServerValidation(t *testing.T) {
+	if _, err := NewChunkServer(nil, 1); err == nil {
+		t.Error("nil video accepted")
+	}
+}
+
+func TestServerRejectsBadRange(t *testing.T) {
+	// An inverted range gets a 416, and the fetcher surfaces it as an
+	// unexpected-status error rather than hanging.
+	video := dash.BigBuckBunny()
+	s, err := NewChunkServer(video, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	f, err := NewFetcher(video, s.Addr(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, _, err := f.requestRange(f.primary, 0, 0, 500, 100); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestFetchManifest(t *testing.T) {
+	video := dash.BigBuckBunny()
+	s, err := NewChunkServer(video, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, sizes, err := FetchManifest(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumChunks != video.NumChunks || len(got.Levels) != len(video.Levels) {
+		t.Fatalf("reconstructed video mismatch: %+v", got)
+	}
+	if got.ChunkDuration != video.ChunkDuration {
+		t.Errorf("chunk duration %v", got.ChunkDuration)
+	}
+	// Manifest sizes must match the server's actual chunk sizes.
+	for lvl := range video.Levels {
+		for c := 0; c < video.NumChunks; c += 37 {
+			if sizes[lvl][c] != video.ChunkSize(c, lvl) {
+				t.Fatalf("size mismatch at level %d chunk %d", lvl, c)
+			}
+		}
+	}
+	if _, _, err := FetchManifest("127.0.0.1:1"); err == nil {
+		t.Error("dead server accepted")
+	}
+}
+
+func TestManifestThenChunksOnSameServer(t *testing.T) {
+	// Full bootstrap: learn the asset from the manifest, then fetch a
+	// chunk with the sizes it declared.
+	video := dash.BigBuckBunny()
+	s, err := NewChunkServer(video, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	remote, sizes, err := FetchManifest(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFetcher(video, s.Addr(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.FetchChunk(3, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != sizes[1][3] {
+		t.Errorf("fetched size %d != manifest size %d", res.Size, sizes[1][3])
+	}
+	if !res.Verified {
+		t.Error("verification failed")
+	}
+	_ = remote
+}

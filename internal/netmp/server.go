@@ -1,0 +1,231 @@
+package netmp
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mpdash/internal/dash"
+)
+
+// ChunkServer serves DASH chunk bytes over a minimal HTTP/1.1 on one
+// listener, rate-shaped to emulate one network path's bandwidth. Chunk
+// contents are deterministic (a function of the byte offset), so clients
+// can verify multipath reassembly byte-for-byte.
+type ChunkServer struct {
+	Video *dash.Video
+
+	ln      net.Listener
+	bucket  *TokenBucket
+	wg      sync.WaitGroup
+	ctx     context.Context
+	cancel  context.CancelFunc
+	mu      sync.Mutex
+	served  int64
+	chunkSz func(index, level int) int64
+}
+
+// NewChunkServer starts a server on a loopback port, shaped to rateMbps
+// (non-positive = unshaped).
+func NewChunkServer(video *dash.Video, rateMbps float64) (*ChunkServer, error) {
+	if err := video.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netmp: listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &ChunkServer{
+		Video:   video,
+		ln:      ln,
+		bucket:  NewTokenBucket(rateMbps*1e6/8, 64*1024),
+		ctx:     ctx,
+		cancel:  cancel,
+		chunkSz: video.ChunkSize,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *ChunkServer) Addr() string { return s.ln.Addr().String() }
+
+// ServedBytes returns the total payload bytes written.
+func (s *ChunkServer) ServedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Close stops the server and waits for handlers to finish.
+func (s *ChunkServer) Close() error {
+	s.cancel()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *ChunkServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+// ChunkBody returns the deterministic payload byte at absolute offset off
+// of chunk (index, level): a cheap keyed byte generator that makes any
+// mis-assembled range detectable.
+func ChunkBody(index, level int, off int64) byte {
+	x := uint64(index)*1_000_003 + uint64(level)*7_777_777 + uint64(off)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return byte(x)
+}
+
+// serve handles one keep-alive connection.
+func (s *ChunkServer) serve(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		index, level, from, to, manifest, ok := s.readRequest(r)
+		if !ok {
+			return
+		}
+		if manifest {
+			if err := s.writeManifest(w); err != nil {
+				return
+			}
+			continue
+		}
+		size := s.chunkSz(index, level)
+		if to < 0 || to >= size {
+			to = size - 1
+		}
+		if from < 0 || from > to {
+			fmt.Fprintf(w, "HTTP/1.1 416 Range Not Satisfiable\r\nContent-Length: 0\r\n\r\n")
+			w.Flush()
+			continue
+		}
+		n := to - from + 1
+		fmt.Fprintf(w, "HTTP/1.1 206 Partial Content\r\nContent-Length: %d\r\nContent-Range: bytes %d-%d/%d\r\n\r\n", n, from, to, size)
+		if err := s.writeBody(w, index, level, from, n); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// readRequest parses "GET /seg-lL-cCCCC.m4s HTTP/1.1" (or
+// "GET /manifest.mpd") plus headers; it returns ok=false on any protocol
+// error or EOF.
+func (s *ChunkServer) readRequest(r *bufio.Reader) (index, level int, from, to int64, manifest, ok bool) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return 0, 0, 0, 0, false, false
+	}
+	parts := strings.Fields(strings.TrimSpace(line))
+	if len(parts) != 3 || parts[0] != "GET" {
+		return 0, 0, 0, 0, false, false
+	}
+	isManifest := parts[1] == "/manifest.mpd"
+	var lvlID, idx int
+	if !isManifest {
+		if _, err := fmt.Sscanf(parts[1], "/seg-l%d-c%d.m4s", &lvlID, &idx); err != nil {
+			return 0, 0, 0, 0, false, false
+		}
+	}
+	from, to = 0, -1
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil {
+			return 0, 0, 0, 0, false, false
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		if v, found := strings.CutPrefix(h, "Range: bytes="); found {
+			a, b, _ := strings.Cut(v, "-")
+			from, _ = strconv.ParseInt(a, 10, 64)
+			if b != "" {
+				to, _ = strconv.ParseInt(b, 10, 64)
+			}
+		}
+	}
+	if isManifest {
+		return 0, 0, 0, 0, true, true
+	}
+	lvl := lvlID - 1
+	if lvl < 0 || lvl >= len(s.Video.Levels) || idx < 0 || idx >= s.Video.NumChunks {
+		return 0, 0, 0, 0, false, false
+	}
+	return idx, lvl, from, to, false, true
+}
+
+// writeManifest serves the video's MPD (unshaped: manifests are tiny).
+func (s *ChunkServer) writeManifest(w *bufio.Writer) error {
+	body, err := dash.EncodeMPD(s.Video.Manifest())
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "HTTP/1.1 200 OK\r\nContent-Type: application/dash+xml\r\nContent-Length: %d\r\n\r\n", len(body)); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// writeBody streams n deterministic bytes through the rate shaper.
+func (s *ChunkServer) writeBody(w io.Writer, index, level int, from, n int64) error {
+	const block = 16 * 1024
+	buf := make([]byte, block)
+	off := from
+	remaining := n
+	for remaining > 0 {
+		m := int64(block)
+		if m > remaining {
+			m = remaining
+		}
+		for i := int64(0); i < m; i++ {
+			buf[i] = ChunkBody(index, level, off+i)
+		}
+		if err := s.bucket.Take(s.ctx, int(m)); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf[:m]); err != nil {
+			return err
+		}
+		if f, okF := w.(*bufio.Writer); okF {
+			if err := f.Flush(); err != nil {
+				return err
+			}
+		}
+		off += m
+		remaining -= m
+		s.mu.Lock()
+		s.served += m
+		s.mu.Unlock()
+	}
+	return nil
+}

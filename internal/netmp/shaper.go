@@ -1,0 +1,70 @@
+// Package netmp is the real-socket counterpart of the simulator: a
+// userspace multipath chunk fetcher over plain TCP connections (the
+// "userspace multi-socket chunk scheduler" approximation of MP-DASH). A
+// ChunkServer serves deterministic chunk bytes over per-path
+// rate-shaped listeners; a Fetcher downloads each chunk over a preferred
+// and a secondary connection with MP-DASH's deadline logic: the secondary
+// socket is engaged only when the preferred path alone would miss the
+// chunk deadline.
+package netmp
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// TokenBucket shapes a byte stream to an average rate with a burst
+// allowance. It is safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // max accumulated bytes
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket creates a bucket; rate in bytes/second. A non-positive
+// rate means unshaped (Take returns immediately).
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// Take blocks until n bytes of budget are available or ctx is done. It
+// returns ctx.Err if cancelled. Requests larger than the burst are
+// honoured by letting the balance go negative (a debt the bucket must
+// refill before the next request), which preserves the long-run rate for
+// any request size.
+func (tb *TokenBucket) Take(ctx context.Context, n int) error {
+	if tb.rate <= 0 {
+		return nil
+	}
+	for {
+		tb.mu.Lock()
+		now := time.Now()
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+		if tb.tokens > 0 {
+			tb.tokens -= float64(n)
+			tb.mu.Unlock()
+			return nil
+		}
+		need := -tb.tokens / tb.rate
+		tb.mu.Unlock()
+		wait := time.Duration(need * float64(time.Second))
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package netmp
+
+import (
+	"fmt"
+	"time"
+
+	"mpdash/internal/dash"
+)
+
+// Streamer is a real-time DASH playback loop over the dual-socket
+// Fetcher: the wall clock drains the buffer, a dash.RateAdapter picks
+// levels, and each chunk gets an MP-DASH deadline (duration- or
+// rate-based with the §5.1 deadline extension) that the fetcher enforces
+// by engaging the secondary socket only under pressure. It is the
+// end-to-end userspace analogue of the kernel prototype.
+type Streamer struct {
+	Fetcher *Fetcher
+	ABR     dash.RateAdapter
+	// RateBased selects the rate-based deadline policy (else duration).
+	RateBased bool
+	// BufferCap defaults to 8 chunk durations.
+	BufferCap time.Duration
+	// PhiFrac is the deadline-extension threshold as a fraction of
+	// BufferCap (default 0.8).
+	PhiFrac float64
+}
+
+// StreamResult summarizes a real-time playback.
+type StreamResult struct {
+	Chunks          int
+	PrimaryBytes    int64
+	SecondaryBytes  int64
+	Stalls          int
+	StallTime       time.Duration
+	QualitySwitches int
+	AvgLevel        float64
+	Wall            time.Duration
+	AllVerified     bool
+}
+
+// Stream plays n chunks (0 = whole video) and blocks until done.
+func (s *Streamer) Stream(n int) (*StreamResult, error) {
+	if s.Fetcher == nil || s.ABR == nil {
+		return nil, fmt.Errorf("netmp: streamer needs a fetcher and an ABR")
+	}
+	video := s.Fetcher.Video
+	if n <= 0 || n > video.NumChunks {
+		n = video.NumChunks
+	}
+	bufferCap := s.BufferCap
+	if bufferCap == 0 {
+		bufferCap = 8 * video.ChunkDuration
+	}
+	phiFrac := s.PhiFrac
+	if phiFrac == 0 {
+		phiFrac = 0.8
+	}
+
+	res := &StreamResult{AllVerified: true}
+	start := time.Now()
+	var buffer time.Duration
+	playing := false
+	lastLevel := -1
+	var throughputs []float64
+	var levelSum float64
+
+	for i := 0; i < n; i++ {
+		// Wait for buffer room (playback drains in real time).
+		if playing && buffer > bufferCap-video.ChunkDuration {
+			wait := buffer - (bufferCap - video.ChunkDuration)
+			time.Sleep(wait)
+			buffer -= wait
+		}
+
+		st := dash.PlayerState{
+			Now:              time.Since(start),
+			ChunkIndex:       i,
+			LastLevel:        lastLevel,
+			Buffer:           buffer,
+			BufferCap:        bufferCap,
+			Video:            video,
+			ChunkThroughputs: throughputs,
+		}
+		level := s.ABR.SelectLevel(st)
+		if level < 0 {
+			level = 0
+		}
+		if level > video.HighestLevel() {
+			level = video.HighestLevel()
+		}
+		if lastLevel >= 0 && level != lastLevel {
+			res.QualitySwitches++
+		}
+
+		size := s.Fetcher.chunkSize(i, level)
+		deadline := video.ChunkDuration
+		if s.RateBased {
+			deadline = time.Duration(float64(size*8) / (video.Levels[level].AvgBitrateMbps * 1e6) * float64(time.Second))
+		}
+		if phi := time.Duration(phiFrac * float64(bufferCap)); buffer > phi {
+			deadline += buffer - phi
+		}
+		if !playing {
+			// Startup: no buffer cushion; fetch as fast as possible by
+			// declaring a minimal deadline so the secondary path helps.
+			deadline = time.Millisecond
+		}
+
+		dlStart := time.Now()
+		fr, err := s.Fetcher.FetchChunk(i, level, deadline)
+		if err != nil {
+			return nil, fmt.Errorf("netmp: chunk %d: %w", i, err)
+		}
+		dl := time.Since(dlStart)
+
+		res.PrimaryBytes += fr.PrimaryBytes
+		res.SecondaryBytes += fr.SecondaryBytes
+		if !fr.Verified {
+			res.AllVerified = false
+		}
+		if dl > 0 {
+			throughputs = append(throughputs, float64(size*8)/dl.Seconds())
+		}
+		if playing {
+			if buffer >= dl {
+				buffer -= dl
+			} else {
+				res.Stalls++
+				res.StallTime += dl - buffer
+				buffer = 0
+			}
+		}
+		buffer += video.ChunkDuration
+		if buffer > bufferCap {
+			buffer = bufferCap
+		}
+		playing = true
+		lastLevel = level
+		levelSum += float64(level)
+		res.Chunks++
+	}
+	res.Wall = time.Since(start)
+	if res.Chunks > 0 {
+		res.AvgLevel = levelSum / float64(res.Chunks)
+	}
+	return res, nil
+}

@@ -1,0 +1,45 @@
+package pcaplite
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzRead: the trace parser must never panic, and anything it accepts
+// must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, []string{"wifi", "lte"})
+	w.Write(Record{TS: time.Millisecond, Path: 1, Size: 1460})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x4d, 0x50, 0x44, 0x54})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tr, err := Read(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		w, err := NewWriter(&out, tr.Paths)
+		if err != nil {
+			t.Fatalf("accepted trace has unwritable path table: %v", err)
+		}
+		for _, r := range tr.Records {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if len(tr2.Records) != len(tr.Records) {
+			t.Fatalf("records %d vs %d", len(tr2.Records), len(tr.Records))
+		}
+	})
+}

@@ -1,0 +1,169 @@
+// Package pcaplite is a compact packet-trace format for multipath video
+// analysis. The paper's analysis tool (§6) takes "a network packet trace
+// containing the video content, as well as a player's event logs" and
+// correlates them; this package provides the trace half: per-segment
+// records (timestamp, path, size, DSS option bytes) with a binary
+// writer/reader, captured live from an mptcp connection via its Recorder
+// hook.
+package pcaplite
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Record is one delivered transport segment.
+type Record struct {
+	// TS is the virtual capture time.
+	TS time.Duration
+	// Path is the index into the trace's path-name table.
+	Path uint8
+	// Size is the segment payload size in bytes.
+	Size uint16
+	// DSS is the raw encoded DSS option carried by the segment.
+	DSS [14]byte
+}
+
+const (
+	magic   = 0x4d504454 // "MPDT"
+	version = 1
+	// recordLen is ts(8) + path(1) + size(2) + dss(14).
+	recordLen = 25
+)
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("pcaplite: bad trace")
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count int64
+}
+
+// NewWriter writes the header (path-name table) and returns a Writer.
+func NewWriter(w io.Writer, paths []string) (*Writer, error) {
+	if len(paths) == 0 || len(paths) > 255 {
+		return nil, fmt.Errorf("pcaplite: %d paths", len(paths))
+	}
+	bw := bufio.NewWriter(w)
+	var hdr [10]byte
+	binary.BigEndian.PutUint32(hdr[0:4], magic)
+	binary.BigEndian.PutUint16(hdr[4:6], version)
+	hdr[6] = byte(len(paths))
+	if _, err := bw.Write(hdr[:7]); err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		if len(p) > 255 {
+			return nil, fmt.Errorf("pcaplite: path name too long")
+		}
+		if err := bw.WriteByte(byte(len(p))); err != nil {
+			return nil, err
+		}
+		if _, err := bw.WriteString(p); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	var b [recordLen]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(r.TS))
+	b[8] = r.Path
+	binary.BigEndian.PutUint16(b[9:11], r.Size)
+	copy(b[11:25], r.DSS[:])
+	if _, err := w.w.Write(b[:]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns how many records have been written.
+func (w *Writer) Count() int64 { return w.count }
+
+// Flush commits buffered records.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Trace is a fully parsed packet trace.
+type Trace struct {
+	Paths   []string
+	Records []Record
+}
+
+// Read parses a trace stream.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [7]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadTrace, err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != magic {
+		return nil, fmt.Errorf("%w: magic", ErrBadTrace)
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadTrace, v)
+	}
+	nPaths := int(hdr[6])
+	if nPaths == 0 {
+		return nil, fmt.Errorf("%w: no paths", ErrBadTrace)
+	}
+	t := &Trace{}
+	for i := 0; i < nPaths; i++ {
+		n, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: path table: %v", ErrBadTrace, err)
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: path name: %v", ErrBadTrace, err)
+		}
+		t.Paths = append(t.Paths, string(name))
+	}
+	for {
+		var b [recordLen]byte
+		_, err := io.ReadFull(br, b[:])
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated record: %v", ErrBadTrace, err)
+		}
+		var rec Record
+		rec.TS = time.Duration(binary.BigEndian.Uint64(b[0:8]))
+		rec.Path = b[8]
+		if int(rec.Path) >= len(t.Paths) {
+			return nil, fmt.Errorf("%w: path index %d", ErrBadTrace, rec.Path)
+		}
+		rec.Size = binary.BigEndian.Uint16(b[9:11])
+		copy(rec.DSS[:], b[11:25])
+		t.Records = append(t.Records, rec)
+	}
+}
+
+// PathBytes sums payload bytes per path name.
+func (t *Trace) PathBytes() map[string]int64 {
+	out := map[string]int64{}
+	for _, r := range t.Records {
+		out[t.Paths[r.Path]] += int64(r.Size)
+	}
+	return out
+}
+
+// Between returns the records with from <= TS < to (records are expected
+// in capture order).
+func (t *Trace) Between(from, to time.Duration) []Record {
+	var out []Record
+	for _, r := range t.Records {
+		if r.TS >= from && r.TS < to {
+			out = append(out, r)
+		}
+	}
+	return out
+}

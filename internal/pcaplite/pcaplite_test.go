@@ -1,0 +1,105 @@
+package pcaplite
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	var dss [14]byte
+	dss[0] = 30
+	return []Record{
+		{TS: 10 * time.Millisecond, Path: 0, Size: 1460, DSS: dss},
+		{TS: 20 * time.Millisecond, Path: 1, Size: 1000, DSS: dss},
+		{TS: 30 * time.Millisecond, Path: 0, Size: 500, DSS: dss},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, []string{"wifi", "lte"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Paths) != 2 || tr.Paths[0] != "wifi" || tr.Paths[1] != "lte" {
+		t.Fatalf("paths = %v", tr.Paths)
+	}
+	if len(tr.Records) != 3 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+	for i, want := range sampleRecords() {
+		if tr.Records[i] != want {
+			t.Errorf("record %d = %+v, want %+v", i, tr.Records[i], want)
+		}
+	}
+}
+
+func TestNewWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, nil); err == nil {
+		t.Error("zero paths accepted")
+	}
+	many := make([]string, 300)
+	for i := range many {
+		many[i] = "p"
+	}
+	if _, err := NewWriter(&buf, many); err == nil {
+		t.Error("300 paths accepted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Garbage.
+	if _, err := Read(bytes.NewReader([]byte{1, 2, 3})); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("garbage: %v", err)
+	}
+	// Valid header, truncated record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, []string{"a"})
+	w.Write(Record{Size: 10})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Read(bytes.NewReader(trunc)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("truncated: %v", err)
+	}
+	// Record referencing a nonexistent path.
+	var buf2 bytes.Buffer
+	w2, _ := NewWriter(&buf2, []string{"a"})
+	w2.Write(Record{Path: 7, Size: 10})
+	w2.Flush()
+	if _, err := Read(&buf2); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad path index: %v", err)
+	}
+}
+
+func TestPathBytesAndBetween(t *testing.T) {
+	tr := &Trace{Paths: []string{"wifi", "lte"}, Records: sampleRecords()}
+	pb := tr.PathBytes()
+	if pb["wifi"] != 1960 || pb["lte"] != 1000 {
+		t.Errorf("PathBytes = %v", pb)
+	}
+	mid := tr.Between(15*time.Millisecond, 25*time.Millisecond)
+	if len(mid) != 1 || mid[0].Path != 1 {
+		t.Errorf("Between = %+v", mid)
+	}
+	if got := tr.Between(time.Second, 2*time.Second); got != nil {
+		t.Errorf("empty window = %v", got)
+	}
+}

@@ -1,0 +1,273 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"mpdash/internal/abr"
+	"mpdash/internal/core"
+	"mpdash/internal/dash"
+	"mpdash/internal/mptcp"
+	"mpdash/internal/sim"
+	"mpdash/internal/trace"
+)
+
+func TestStatic(t *testing.T) {
+	p := Static{Costs: map[string]float64{"lte": 5}, DefaultCost: 1}
+	if p.Cost("lte", 0, 0) != 5 || p.Cost("wifi", 0, 0) != 1 {
+		t.Error("static costs wrong")
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestDataCapRamp(t *testing.T) {
+	p := DataCap{Path: "lte", CapBytes: 1000, BaseCost: 1, OverCost: 100, SoftFrac: 0.8, Other: 0.1}
+	if got := p.Cost("wifi", 999999, 0); got != 0.1 {
+		t.Errorf("other path cost = %v", got)
+	}
+	if got := p.Cost("lte", 0, 0); got != 1 {
+		t.Errorf("fresh quota cost = %v", got)
+	}
+	if got := p.Cost("lte", 800, 0); got != 1 {
+		t.Errorf("at soft threshold cost = %v", got)
+	}
+	mid := p.Cost("lte", 900, 0)
+	if mid <= 1 || mid >= 100 {
+		t.Errorf("mid-ramp cost = %v, want between base and over", mid)
+	}
+	if got := p.Cost("lte", 1000, 0); got != 100 {
+		t.Errorf("at cap cost = %v", got)
+	}
+	if got := p.Cost("lte", 5000, 0); got != 100 {
+		t.Errorf("over cap cost = %v", got)
+	}
+	// Degenerate cap.
+	zero := DataCap{Path: "lte", CapBytes: 0, OverCost: 7}
+	if zero.Cost("lte", 0, 0) != 7 {
+		t.Error("zero cap should price at OverCost")
+	}
+}
+
+func TestTimeOfDay(t *testing.T) {
+	p := TimeOfDay{
+		Path:        "lte",
+		WindowStart: 2 * time.Hour,
+		WindowEnd:   6 * time.Hour,
+		InWindow:    0.2,
+		OutOfWindow: 5,
+	}
+	if got := p.Cost("lte", 0, 3*time.Hour); got != 0.2 {
+		t.Errorf("in-window cost = %v", got)
+	}
+	if got := p.Cost("lte", 0, 12*time.Hour); got != 5 {
+		t.Errorf("out-of-window cost = %v", got)
+	}
+	// Wraps daily.
+	if got := p.Cost("lte", 0, 27*time.Hour); got != 0.2 {
+		t.Errorf("next-day in-window cost = %v", got)
+	}
+}
+
+func TestBatteryRamp(t *testing.T) {
+	level := 1.0
+	p := Battery{
+		Path:     "lte",
+		Level:    func(time.Duration) float64 { return level },
+		BaseCost: 1, OverCost: 40, Other: 0.1,
+	}
+	if got := p.Cost("wifi", 0, 0); got != 0.1 {
+		t.Errorf("other = %v", got)
+	}
+	if got := p.Cost("lte", 0, 0); got != 1 {
+		t.Errorf("full battery = %v", got)
+	}
+	level = 0.35 // mid-ramp between defaults 0.5 and 0.2
+	mid := p.Cost("lte", 0, 0)
+	if mid <= 1 || mid >= 40 {
+		t.Errorf("mid ramp = %v", mid)
+	}
+	level = 0.1
+	if got := p.Cost("lte", 0, 0); got != 40 {
+		t.Errorf("drained battery = %v", got)
+	}
+	// Nil gauge falls back to the base cost.
+	nilGauge := Battery{Path: "lte", BaseCost: 2}
+	if got := nilGauge.Cost("lte", 0, 0); got != 2 {
+		t.Errorf("nil gauge = %v", got)
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	s := sim.New()
+	conn, _ := mptcp.NewConn(s, mptcp.Config{Paths: []mptcp.PathSpec{
+		{Name: "w", Rate: trace.Constant("w", 1, time.Second, 1), Primary: true},
+	}})
+	if _, err := NewManager(nil, conn, Static{}); err == nil {
+		t.Error("nil sim accepted")
+	}
+	if _, err := NewManager(s, nil, Static{}); err == nil {
+		t.Error("nil conn accepted")
+	}
+	if _, err := NewManager(s, conn, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestManagerPushesCosts(t *testing.T) {
+	s := sim.New()
+	conn, err := mptcp.NewConn(s, mptcp.Config{Paths: []mptcp.PathSpec{
+		{Name: "wifi", Rate: trace.Constant("w", 5, time.Second, 1), RTT: 50 * time.Millisecond, Cost: 0.1, Primary: true},
+		{Name: "lte", Rate: trace.Constant("l", 5, time.Second, 1), RTT: 60 * time.Millisecond, Cost: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(s, conn, Static{Costs: map[string]float64{"lte": 42}, DefaultCost: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Path("lte").Cost != 42 {
+		t.Errorf("lte cost = %v, want 42 (applied at construction)", conn.Path("lte").Cost)
+	}
+	if conn.Path("wifi").Cost != 0.1 {
+		t.Errorf("primary cost changed to %v", conn.Path("wifi").Cost)
+	}
+	s.Advance(5 * time.Second)
+	if m.Updates() < 5 {
+		t.Errorf("updates = %d after 5s", m.Updates())
+	}
+	m.Stop()
+	u := m.Updates()
+	s.Advance(5 * time.Second)
+	if m.Updates() != u {
+		t.Error("manager kept updating after Stop")
+	}
+}
+
+func TestDataCapWithCeilingDegradesGracefully(t *testing.T) {
+	// Full stack: a metered LTE path whose quota burns mid-video, a
+	// scheduler cost ceiling, and a FESTIVE player. After the quota
+	// crosses the ceiling LTE must go dark and the player must settle at
+	// the rate WiFi sustains — with zero stalls.
+	s := sim.New()
+	conn, err := mptcp.NewConn(s, mptcp.Config{
+		Paths: []mptcp.PathSpec{
+			{Name: "wifi", Rate: trace.Constant("w", 3.6, time.Second, 1), RTT: 50 * time.Millisecond, Cost: 0.1, Primary: true},
+			{Name: "lte", Rate: trace.Constant("l", 8.0, time.Second, 1), RTT: 60 * time.Millisecond, Cost: 1.0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.NewScheduler(s, conn, core.DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.MaxCost = 10
+	mgr, err := NewManager(s, conn, DataCap{
+		Path: "lte", CapBytes: 10_000_000,
+		BaseCost: 1, OverCost: 50, SoftFrac: 0.5, Other: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	adapter, err := abr.NewAdapter(sched, conn, abr.AdapterConfig{Policy: abr.RateBased})
+	if err != nil {
+		t.Fatal(err)
+	}
+	player, err := dash.NewPlayer(s, conn, dash.BigBuckBunny(), abr.NewFESTIVE(), adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := player.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stalls != 0 {
+		t.Errorf("stalls = %d; ceiling-degradation must not stall", rep.Stalls)
+	}
+	var lateLTE int64
+	for _, r := range rep.Results[70:] {
+		lateLTE += r.PathBytes["lte"]
+	}
+	if lateLTE != 0 {
+		t.Errorf("LTE carried %d bytes after the quota blew the ceiling", lateLTE)
+	}
+	if float64(rep.PathBytes["lte"]) > 50_000_000*0.5 {
+		t.Errorf("total LTE %d wildly over the quota", rep.PathBytes["lte"])
+	}
+}
+
+func TestDataCapShiftsTrafficBetweenSecondaries(t *testing.T) {
+	// Three paths: preferred WiFi (too slow alone), metered lte-a
+	// (initially cheap, tiny quota), unmetered-but-pricey lte-b. As
+	// lte-a's quota burns, the cost ramp must push the deadline
+	// scheduler onto lte-b.
+	s := sim.New()
+	conn, err := mptcp.NewConn(s, mptcp.Config{Paths: []mptcp.PathSpec{
+		{Name: "wifi", Rate: trace.Constant("w", 1.5, time.Second, 1), RTT: 50 * time.Millisecond, Cost: 0.01, Primary: true},
+		{Name: "lte-a", Rate: trace.Constant("a", 4, time.Second, 1), RTT: 60 * time.Millisecond, Cost: 1},
+		{Name: "lte-b", Rate: trace.Constant("b", 4, time.Second, 1), RTT: 60 * time.Millisecond, Cost: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quota sized so the warmup plus the first governed download stay
+	// under the soft threshold, and later downloads blow through it.
+	capPolicy := DataCap{
+		Path: "lte-a", CapBytes: 12_000_000,
+		BaseCost: 1, OverCost: 50, SoftFrac: 0.5, Other: 2,
+	}
+	// The policy's Other cost applies to lte-b (2) — so lte-a starts
+	// cheaper and ends far more expensive.
+	mgr, err := NewManager(s, conn, capPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Interval = 200 * time.Millisecond
+
+	sch, err := core.NewScheduler(s, conn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm all paths so estimates exist.
+	wt, _ := conn.StartTransfer(3_000_000)
+	if !wt.RunUntilComplete(time.Minute) {
+		t.Fatal("warmup stuck")
+	}
+
+	run := func(size int64, window time.Duration) (a, b int64) {
+		a0 := conn.Path("lte-a").DeliveredBytes()
+		b0 := conn.Path("lte-b").DeliveredBytes()
+		tr, err := conn.StartTransfer(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch.Govern(tr)
+		if err := sch.Enable(size, window); err != nil {
+			t.Fatal(err)
+		}
+		if !tr.RunUntilComplete(s.Now() + 10*time.Minute) {
+			t.Fatal("transfer stuck")
+		}
+		return conn.Path("lte-a").DeliveredBytes() - a0, conn.Path("lte-b").DeliveredBytes() - b0
+	}
+
+	// First download: quota fresh → lte-a is the cheap helper.
+	a1, b1 := run(4_000_000, 8*time.Second)
+	if a1 <= b1 {
+		t.Fatalf("fresh quota: lte-a %d should dominate lte-b %d", a1, b1)
+	}
+	// Burn more downloads until the cap is blown, then check the shift.
+	run(4_000_000, 8*time.Second)
+	a3, b3 := run(4_000_000, 8*time.Second)
+	if b3 <= a3 {
+		t.Errorf("exhausted quota: lte-b %d should dominate lte-a %d", b3, a3)
+	}
+}

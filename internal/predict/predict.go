@@ -1,0 +1,159 @@
+// Package predict implements the throughput predictors used by the MP-DASH
+// scheduler. The paper (§6) estimates per-subflow throughput with the
+// non-seasonal Holt-Winters (HW) predictor — double exponential smoothing
+// that tracks both level and trend — because it is more robust than EWMA for
+// non-stationary processes (He et al., SIGCOMM'05). EWMA and last-sample
+// predictors are included as ablation baselines.
+package predict
+
+import "fmt"
+
+// Predictor consumes one throughput sample at a time and forecasts the next
+// value of the process. Implementations are not safe for concurrent use.
+type Predictor interface {
+	// Observe feeds one sample (any consistent unit; MP-DASH uses bits/s).
+	Observe(sample float64)
+	// Predict returns the one-step-ahead forecast. Before any sample has
+	// been observed it returns 0.
+	Predict() float64
+	// Reset clears all state.
+	Reset()
+}
+
+// HoltWinters is the non-seasonal Holt-Winters double exponential smoother:
+//
+//	level_t = alpha*x_t + (1-alpha)*(level_{t-1} + trend_{t-1})
+//	trend_t = beta*(level_t - level_{t-1}) + (1-beta)*trend_{t-1}
+//	forecast = level_t + trend_t
+//
+// Alpha and Beta follow the configuration suggested by He et al. for TCP
+// throughput prediction (responsive level, damped trend). Forecasts are
+// floored at zero: a negative extrapolated throughput is meaningless.
+type HoltWinters struct {
+	Alpha float64
+	Beta  float64
+
+	level   float64
+	trend   float64
+	samples int
+}
+
+// DefaultAlpha and DefaultBeta are the smoothing constants used throughout
+// the reproduction (He et al.-style: track the level quickly, damp the
+// trend so single spikes do not swing the forecast).
+const (
+	DefaultAlpha = 0.5
+	DefaultBeta  = 0.3
+)
+
+// NewHoltWinters returns a HW predictor with the given smoothing constants.
+// It panics if either constant is outside (0, 1]; construction-time misuse
+// is a programming error, not a runtime condition.
+func NewHoltWinters(alpha, beta float64) *HoltWinters {
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		panic(fmt.Sprintf("predict: invalid Holt-Winters constants alpha=%v beta=%v", alpha, beta))
+	}
+	return &HoltWinters{Alpha: alpha, Beta: beta}
+}
+
+// NewDefaultHoltWinters returns a HW predictor with the default constants.
+func NewDefaultHoltWinters() *HoltWinters {
+	return NewHoltWinters(DefaultAlpha, DefaultBeta)
+}
+
+// Observe implements Predictor.
+func (h *HoltWinters) Observe(x float64) {
+	switch h.samples {
+	case 0:
+		h.level = x
+		h.trend = 0
+	case 1:
+		prev := h.level
+		h.level = x
+		h.trend = x - prev
+	default:
+		prevLevel := h.level
+		h.level = h.Alpha*x + (1-h.Alpha)*(h.level+h.trend)
+		h.trend = h.Beta*(h.level-prevLevel) + (1-h.Beta)*h.trend
+	}
+	h.samples++
+}
+
+// Predict implements Predictor.
+func (h *HoltWinters) Predict() float64 {
+	if h.samples == 0 {
+		return 0
+	}
+	f := h.level + h.trend
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Reset implements Predictor.
+func (h *HoltWinters) Reset() { h.level, h.trend, h.samples = 0, 0, 0 }
+
+// Samples returns how many samples have been observed.
+func (h *HoltWinters) Samples() int { return h.samples }
+
+// EWMA is an exponentially weighted moving average predictor, the classical
+// baseline the paper contrasts HW against.
+type EWMA struct {
+	Alpha float64
+
+	value float64
+	seen  bool
+}
+
+// NewEWMA returns an EWMA predictor; alpha must be in (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("predict: invalid EWMA alpha=%v", alpha))
+	}
+	return &EWMA{Alpha: alpha}
+}
+
+// Observe implements Predictor.
+func (e *EWMA) Observe(x float64) {
+	if !e.seen {
+		e.value = x
+		e.seen = true
+		return
+	}
+	e.value = e.Alpha*x + (1-e.Alpha)*e.value
+}
+
+// Predict implements Predictor.
+func (e *EWMA) Predict() float64 {
+	if !e.seen {
+		return 0
+	}
+	return e.value
+}
+
+// Reset implements Predictor.
+func (e *EWMA) Reset() { e.value, e.seen = 0, false }
+
+// LastSample predicts that the next value equals the most recent sample.
+type LastSample struct {
+	value float64
+	seen  bool
+}
+
+// NewLastSample returns a last-sample predictor.
+func NewLastSample() *LastSample { return &LastSample{} }
+
+// Observe implements Predictor.
+func (l *LastSample) Observe(x float64) { l.value, l.seen = x, true }
+
+// Predict implements Predictor.
+func (l *LastSample) Predict() float64 {
+	if !l.seen {
+		return 0
+	}
+	return l.value
+}
+
+// Reset implements Predictor.
+func (l *LastSample) Reset() { l.value, l.seen = 0, false }

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndStep(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i%100)*time.Microsecond, func() {})
+		if i%64 == 0 {
+			for s.Step() {
+			}
+		}
+	}
+	for s.Step() {
+	}
+}
+
+func BenchmarkDeepQueue(b *testing.B) {
+	// 10k pending events, repeatedly push/pop.
+	s := New()
+	for i := 0; i < 10_000; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i%10_000)*time.Millisecond, func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	s := New()
+	evs := make([]*Event, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		evs = append(evs, s.Schedule(time.Hour, func() {}))
+	}
+	b.ResetTimer()
+	for _, ev := range evs {
+		ev.Cancel()
+	}
+}

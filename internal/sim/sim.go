@@ -1,0 +1,173 @@
+// Package sim is the discrete-event simulation kernel underneath the
+// reproduction's network stack. It provides a virtual clock and an event
+// queue with deterministic ordering: events fire in (time, sequence) order,
+// so two runs of the same experiment are bit-for-bit identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Simulator owns the virtual clock and the pending event set.
+// The zero value is ready to use. Simulator is not safe for concurrent use;
+// the whole network stack runs single-threaded on one Simulator, which is
+// what makes experiments deterministic.
+type Simulator struct {
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+}
+
+// New returns a Simulator starting at virtual time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time (duration since simulation start).
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Schedule enqueues fn to run after delay. A negative delay is treated as
+// zero (fires at the current time, after already-queued events at that
+// time). It returns a handle that can cancel the event.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn to run at absolute virtual time at. Times in the
+// past are clamped to now.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil function")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	ev := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// Step runs the single earliest pending event. It reports whether an event
+// was run (false means the queue is empty).
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", ev.at, s.now))
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events until the predicate returns true, the queue
+// drains, or the virtual clock passes limit. It reports whether the
+// predicate was satisfied.
+func (s *Simulator) RunUntil(limit time.Duration, done func() bool) bool {
+	for {
+		if done != nil && done() {
+			return true
+		}
+		next, ok := s.peekTime()
+		if !ok || next > limit {
+			return done != nil && done()
+		}
+		s.Step()
+	}
+}
+
+// AdvanceTo moves the virtual clock forward to at, firing any events due on
+// the way. Events scheduled exactly at `at` fire too. If at is in the past
+// it is a no-op.
+func (s *Simulator) AdvanceTo(at time.Duration) {
+	for {
+		next, ok := s.peekTime()
+		if !ok || next > at {
+			break
+		}
+		s.Step()
+	}
+	if at > s.now {
+		s.now = at
+	}
+}
+
+// Advance moves the clock forward by d, firing due events. See AdvanceTo.
+func (s *Simulator) Advance(d time.Duration) { s.AdvanceTo(s.now + d) }
+
+// Pending returns the number of live (non-cancelled) queued events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Simulator) peekTime() (time.Duration, bool) {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if ev.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}
+
+// Event is a handle to a scheduled callback.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Time returns the virtual time the event is (or was) due.
+func (e *Event) Time() time.Duration { return e.at }
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

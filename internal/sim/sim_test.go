@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(3*time.Second, func() { got = append(got, 3) })
+	s.Schedule(1*time.Second, func() { got = append(got, 1) })
+	s.Schedule(2*time.Second, func() { got = append(got, 2) })
+	for s.Step() {
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	for s.Step() {
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(-time.Second, func() { fired = true })
+	s.Step()
+	if !fired || s.Now() != 0 {
+		t.Errorf("fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	s := New()
+	s.Schedule(time.Second, func() {})
+	s.Step()
+	fired := time.Duration(-1)
+	s.ScheduleAt(0, func() { fired = s.Now() })
+	s.Step()
+	if fired != time.Second {
+		t.Errorf("past event fired at %v, want clamp to 1s", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	ev := s.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	for s.Step() {
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.AdvanceTo(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+	s.Advance(10 * time.Second)
+	if len(fired) != 3 || s.Now() != 12*time.Second {
+		t.Errorf("fired=%v now=%v", fired, s.Now())
+	}
+	// AdvanceTo into the past is a no-op.
+	s.AdvanceTo(time.Second)
+	if s.Now() != 12*time.Second {
+		t.Errorf("Now moved backwards: %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.Schedule(time.Second, tick)
+	}
+	s.Schedule(time.Second, tick)
+	ok := s.RunUntil(time.Hour, func() bool { return count >= 5 })
+	if !ok || count != 5 {
+		t.Errorf("ok=%v count=%d", ok, count)
+	}
+	// Limit reached before predicate.
+	s2 := New()
+	s2.Schedule(10*time.Second, func() {})
+	if s2.RunUntil(time.Second, func() bool { return false }) {
+		t.Error("RunUntil should report predicate unsatisfied")
+	}
+}
+
+func TestEventsScheduledDuringEvents(t *testing.T) {
+	s := New()
+	var got []string
+	s.Schedule(time.Second, func() {
+		got = append(got, "a")
+		s.Schedule(0, func() { got = append(got, "a.child") })
+	})
+	s.Schedule(time.Second, func() { got = append(got, "b") })
+	for s.Step() {
+	}
+	want := []string{"a", "b", "a.child"}
+	// A zero-delay child scheduled during "a" carries a later sequence
+	// number than "b", which was queued first at the same timestamp... but
+	// the child fires at t=1s with seq greater than b's, so order is a, b, child.
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(nil) did not panic")
+		}
+	}()
+	New().Schedule(0, nil)
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		var times []time.Duration
+		for i := 0; i < 50; i++ {
+			d := time.Duration(rng.Intn(1000)) * time.Millisecond
+			s.Schedule(d, func() { times = append(times, s.Now()) })
+		}
+		for s.Step() {
+		}
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := New()
+		rng := rand.New(rand.NewSource(99))
+		var out []time.Duration
+		var spawn func()
+		spawn = func() {
+			out = append(out, s.Now())
+			if len(out) < 100 {
+				s.Schedule(time.Duration(rng.Intn(100))*time.Millisecond, spawn)
+			}
+		}
+		s.Schedule(0, spawn)
+		for s.Step() {
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

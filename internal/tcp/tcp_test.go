@@ -1,0 +1,242 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"mpdash/internal/link"
+	"mpdash/internal/sim"
+	"mpdash/internal/trace"
+)
+
+// harness wires a subflow over a symmetric path and provides a greedy
+// sender that keeps the window full until totalBytes have been handed to
+// the subflow.
+type harness struct {
+	s  *sim.Simulator
+	f  *Subflow
+	t  *testing.T
+	in int64 // bytes handed to Send so far
+}
+
+func newHarness(t *testing.T, mbps float64, owd time.Duration) *harness {
+	t.Helper()
+	s := sim.New()
+	fwd, err := link.New(s, link.Config{Name: "fwd", Rate: trace.Constant("f", mbps, time.Second, 1), PropDelay: owd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := link.New(s, link.Config{Name: "rev", Rate: trace.Constant("r", 100, time.Second, 1), PropDelay: owd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, Config{Name: "sf", Fwd: fwd, Rev: rev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{s: s, f: f, t: t}
+}
+
+// saturate keeps the subflow's window full with MSS segments until the
+// simulator reaches limit.
+func (h *harness) saturate(limit time.Duration) {
+	pump := func() {
+		for h.f.HasSpace() {
+			h.f.Send(Segment{Size: h.f.MSS()})
+			h.in += int64(h.f.MSS())
+		}
+	}
+	h.f.OnAcked = pump
+	pump()
+	h.s.AdvanceTo(limit)
+}
+
+func TestNewValidation(t *testing.T) {
+	s := sim.New()
+	l, _ := link.New(s, link.Config{Name: "l", Rate: trace.Constant("c", 1, time.Second, 1)})
+	if _, err := New(nil, Config{Fwd: l, Rev: l}); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	if _, err := New(s, Config{Fwd: l}); err == nil {
+		t.Error("missing rev link accepted")
+	}
+	if _, err := New(s, Config{Fwd: l, Rev: l, MSS: -1}); err == nil {
+		t.Error("negative MSS accepted")
+	}
+	f, err := New(s, Config{Fwd: l, Rev: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MSS() != DefaultMSS {
+		t.Errorf("MSS = %d", f.MSS())
+	}
+}
+
+func TestSaturatesLink(t *testing.T) {
+	// A greedy sender over a 3.8 Mbps, 50ms RTT path should achieve close
+	// to link rate over 30 seconds despite AIMD sawtooth.
+	h := newHarness(t, 3.8, 25*time.Millisecond)
+	h.saturate(30 * time.Second)
+	gotMbps := float64(h.f.DeliveredBytes()) * 8 / 30 / 1e6
+	if gotMbps < 3.8*0.80 || gotMbps > 3.8*1.02 {
+		t.Errorf("goodput = %.2f Mbps, want ≈3.8", gotMbps)
+	}
+}
+
+func TestSlowStartRampUp(t *testing.T) {
+	h := newHarness(t, 10, 25*time.Millisecond)
+	startCwnd := h.f.Cwnd()
+	if startCwnd != InitialWindow {
+		t.Fatalf("initial cwnd = %v", startCwnd)
+	}
+	h.saturate(500 * time.Millisecond)
+	if h.f.Cwnd() <= startCwnd {
+		t.Errorf("cwnd did not grow: %v", h.f.Cwnd())
+	}
+}
+
+func TestLossCutsWindow(t *testing.T) {
+	// A slow link floods quickly: expect loss events and ssthresh set.
+	h := newHarness(t, 1.0, 10*time.Millisecond)
+	h.saturate(10 * time.Second)
+	if h.f.LossEvents() == 0 {
+		t.Error("expected loss events on a 1 Mbps link under greedy load")
+	}
+	// Despite losses, goodput should still be near the link rate.
+	gotMbps := float64(h.f.DeliveredBytes()) * 8 / 10 / 1e6
+	if gotMbps < 0.75 {
+		t.Errorf("goodput = %.2f Mbps under loss, want > 0.75", gotMbps)
+	}
+}
+
+func TestRTTEstimate(t *testing.T) {
+	h := newHarness(t, 10, 25*time.Millisecond)
+	if h.f.SRTT() != 50*time.Millisecond {
+		t.Errorf("pre-sample SRTT = %v, want 50ms (2*prop)", h.f.SRTT())
+	}
+	h.saturate(2 * time.Second)
+	srtt := h.f.SRTT()
+	if srtt < 50*time.Millisecond || srtt > 300*time.Millisecond {
+		t.Errorf("SRTT = %v, want within [50ms, 300ms]", srtt)
+	}
+}
+
+func TestAllBytesDelivered(t *testing.T) {
+	// Conservation: every byte handed to Send is eventually delivered
+	// exactly once (retransmissions must not duplicate deliveries beyond
+	// the retransmitted copy... our model delivers the dropped segment
+	// only via its retransmission).
+	h := newHarness(t, 2.0, 10*time.Millisecond)
+	var delivered int64
+	h.f.OnDelivered = func(seg Segment) { delivered += int64(seg.Size) }
+	const want = 500 * 1460
+	sent := 0
+	pump := func() {
+		for sent < 500 && h.f.HasSpace() {
+			h.f.Send(Segment{Size: 1460})
+			sent++
+		}
+	}
+	h.f.OnAcked = pump
+	pump()
+	h.s.AdvanceTo(10 * time.Second)
+	if h.f.Inflight() != 0 {
+		t.Fatalf("inflight = %d after drain", h.f.Inflight())
+	}
+	if delivered < want {
+		t.Errorf("delivered = %d, want >= %d", delivered, want)
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	h := newHarness(t, 10, time.Millisecond)
+	type meta struct{ seq int }
+	var got []int
+	h.f.OnDelivered = func(seg Segment) { got = append(got, seg.Meta.(meta).seq) }
+	for i := 0; i < 3; i++ {
+		h.f.Send(Segment{Size: 100, Meta: meta{seq: i}})
+	}
+	h.s.AdvanceTo(time.Second)
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("meta = %v", got)
+	}
+}
+
+func TestSendWithoutSpacePanics(t *testing.T) {
+	h := newHarness(t, 1, 50*time.Millisecond)
+	for h.f.HasSpace() {
+		h.f.Send(Segment{Size: 1460})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Send over full window did not panic")
+		}
+	}()
+	h.f.Send(Segment{Size: 1460})
+}
+
+func TestSendZeroSizePanics(t *testing.T) {
+	h := newHarness(t, 1, time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size Send did not panic")
+		}
+	}()
+	h.f.Send(Segment{Size: 0})
+}
+
+func TestIdleRestart(t *testing.T) {
+	h := newHarness(t, 10, 25*time.Millisecond)
+	h.saturate(5 * time.Second)
+	h.f.OnAcked = nil
+	h.s.AdvanceTo(6 * time.Second) // drain inflight
+	grown := h.f.Cwnd()
+	if grown <= InitialWindow {
+		t.Skipf("cwnd %v did not grow beyond IW; cannot test restart", grown)
+	}
+	// Idle for 10 seconds, then the window must restart at IW.
+	h.s.AdvanceTo(16 * time.Second)
+	if !h.f.HasSpace() {
+		t.Fatal("no space after idle")
+	}
+	if h.f.Cwnd() != InitialWindow {
+		t.Errorf("cwnd after idle = %v, want %v", h.f.Cwnd(), InitialWindow)
+	}
+}
+
+func TestIdleRestartDisabled(t *testing.T) {
+	s := sim.New()
+	fwd, _ := link.New(s, link.Config{Name: "fwd", Rate: trace.Constant("f", 10, time.Second, 1), PropDelay: 25 * time.Millisecond})
+	rev, _ := link.New(s, link.Config{Name: "rev", Rate: trace.Constant("r", 100, time.Second, 1), PropDelay: 25 * time.Millisecond})
+	f, err := New(s, Config{Name: "nf", Fwd: fwd, Rev: rev, DisableIdleRestart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump := func() {
+		for f.HasSpace() {
+			f.Send(Segment{Size: f.MSS()})
+		}
+	}
+	f.OnAcked = pump
+	pump()
+	s.AdvanceTo(5 * time.Second)
+	f.OnAcked = nil
+	s.AdvanceTo(6 * time.Second)
+	grown := f.Cwnd()
+	s.AdvanceTo(20 * time.Second)
+	f.HasSpace() // would trigger restart if enabled
+	if f.Cwnd() != grown {
+		t.Errorf("cwnd changed across idle with restart disabled: %v -> %v", grown, f.Cwnd())
+	}
+}
+
+func TestFasterLinkDeliversMore(t *testing.T) {
+	slow := newHarness(t, 2, 25*time.Millisecond)
+	fast := newHarness(t, 8, 25*time.Millisecond)
+	slow.saturate(10 * time.Second)
+	fast.saturate(10 * time.Second)
+	if fast.f.DeliveredBytes() <= slow.f.DeliveredBytes() {
+		t.Errorf("fast link delivered %d <= slow link %d",
+			fast.f.DeliveredBytes(), slow.f.DeliveredBytes())
+	}
+}

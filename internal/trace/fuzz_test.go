@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReadCSV: the CSV parser must never panic, and anything it accepts
+// must be a valid trace that survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Constant("seed", 3.8, 100*time.Millisecond, 5).WriteCSV(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("# name=x slot_ms=50\n0.000,1.5\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("1.0,2.0\n2.0,3.0\n"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tr, err := ReadCSV(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadCSV accepted an invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := tr.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted trace fails to write: %v", err)
+		}
+		tr2, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round trip read failed: %v", err)
+		}
+		if len(tr2.Mbps) != len(tr.Mbps) {
+			t.Fatalf("round trip lost samples: %d vs %d", len(tr2.Mbps), len(tr.Mbps))
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteCSV writes the trace as "seconds,mbps" rows preceded by a header
+// comment carrying the name and slot, so a trace round-trips losslessly.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# name=%s slot_us=%d\n", t.Name, t.Slot.Microseconds()); err != nil {
+		return err
+	}
+	for i, v := range t.Mbps {
+		sec := (time.Duration(i) * t.Slot).Seconds()
+		if _, err := fmt.Fprintf(bw, "%.3f,%.6f\n", sec, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Rows are "seconds,mbps"; the
+// optional header comment restores name and slot. Without a header the slot
+// is inferred from the first two timestamps (default 100ms for single-row
+// traces).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	t := &Trace{Slot: 100 * time.Millisecond}
+	headerSlot := false
+	var times []float64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, f := range strings.Fields(strings.TrimPrefix(line, "#")) {
+				if v, ok := strings.CutPrefix(f, "name="); ok {
+					t.Name = v
+				}
+				if v, ok := strings.CutPrefix(f, "slot_us="); ok {
+					us, err := strconv.Atoi(v)
+					if err != nil || us <= 0 {
+						return nil, fmt.Errorf("trace: bad slot_us %q", v)
+					}
+					t.Slot = time.Duration(us) * time.Microsecond
+					headerSlot = true
+				}
+				if v, ok := strings.CutPrefix(f, "slot_ms="); ok { // legacy header
+					ms, err := strconv.Atoi(v)
+					if err != nil || ms <= 0 {
+						return nil, fmt.Errorf("trace: bad slot_ms %q", v)
+					}
+					t.Slot = time.Duration(ms) * time.Millisecond
+					headerSlot = true
+				}
+			}
+			continue
+		}
+		sec, mbpsStr, ok := strings.Cut(line, ",")
+		if !ok {
+			return nil, fmt.Errorf("trace: malformed row %q", line)
+		}
+		ts, err := strconv.ParseFloat(strings.TrimSpace(sec), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad timestamp %q: %w", sec, err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(mbpsStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad bandwidth %q: %w", mbpsStr, err)
+		}
+		times = append(times, ts)
+		t.Mbps = append(t.Mbps, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Without an explicit header, infer the slot from the first two
+	// timestamps; the header wins when present because row timestamps
+	// are written at millisecond precision.
+	if !headerSlot && len(times) >= 2 && times[1] > times[0] {
+		t.Slot = time.Duration((times[1] - times[0]) * float64(time.Second))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// traceJSON is the stable on-disk JSON shape.
+type traceJSON struct {
+	Name   string    `json:"name"`
+	SlotMS int64     `json:"slot_ms"`
+	Mbps   []float64 `json:"mbps"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(traceJSON{Name: t.Name, SlotMS: t.Slot.Milliseconds(), Mbps: t.Mbps})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Trace) UnmarshalJSON(b []byte) error {
+	var j traceJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	t.Name = j.Name
+	t.Slot = time.Duration(j.SlotMS) * time.Millisecond
+	t.Mbps = j.Mbps
+	return t.Validate()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Composition operators: experiments often splice measured segments,
+// repeat short captures, or perturb a trace for sensitivity analysis.
+
+// Concat joins traces end to end. All inputs must share a slot width; the
+// result takes the first trace's name with a "+" suffix per extra part.
+func Concat(parts ...*Trace) (*Trace, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("trace: concat of nothing")
+	}
+	out := &Trace{Name: parts[0].Name, Slot: parts[0].Slot}
+	for i, p := range parts {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: concat part %d: %w", i, err)
+		}
+		if p.Slot != out.Slot {
+			return nil, fmt.Errorf("trace: concat slot mismatch %v vs %v", p.Slot, out.Slot)
+		}
+		out.Mbps = append(out.Mbps, p.Mbps...)
+		if i > 0 {
+			out.Name += "+" + p.Name
+		}
+	}
+	return out, nil
+}
+
+// Repeat tiles the trace n times.
+func (t *Trace) Repeat(n int) (*Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: repeat %d", n)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Trace{Name: fmt.Sprintf("%s-x%d", t.Name, n), Slot: t.Slot}
+	for i := 0; i < n; i++ {
+		out.Mbps = append(out.Mbps, t.Mbps...)
+	}
+	return out, nil
+}
+
+// Slice returns the samples covering [from, to) as a new trace.
+func (t *Trace) Slice(from, to time.Duration) (*Trace, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if from < 0 || to <= from {
+		return nil, fmt.Errorf("trace: slice [%v, %v)", from, to)
+	}
+	lo := int(from / t.Slot)
+	hi := int((to + t.Slot - 1) / t.Slot)
+	if hi > len(t.Mbps) {
+		hi = len(t.Mbps)
+	}
+	if lo >= hi {
+		return nil, fmt.Errorf("trace: slice [%v, %v) outside trace", from, to)
+	}
+	return &Trace{
+		Name: fmt.Sprintf("%s[%v:%v]", t.Name, from, to),
+		Slot: t.Slot,
+		Mbps: append([]float64(nil), t.Mbps[lo:hi]...),
+	}, nil
+}
+
+// AddNoise returns a copy with multiplicative Gaussian noise
+// (sigmaFrac of each sample), floored at 1% of the sample — for
+// sensitivity analysis around a measured trace.
+func (t *Trace) AddNoise(sigmaFrac float64, seed int64) (*Trace, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if sigmaFrac < 0 {
+		return nil, fmt.Errorf("trace: negative noise %v", sigmaFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := t.Clone()
+	out.Name = fmt.Sprintf("%s~%g", t.Name, sigmaFrac)
+	for i, v := range out.Mbps {
+		n := v * (1 + rng.NormFloat64()*sigmaFrac)
+		if floor := v * 0.01; n < floor {
+			n = floor
+		}
+		out.Mbps[i] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestConcat(t *testing.T) {
+	a := Constant("a", 1, time.Second, 3)
+	b := Constant("b", 2, time.Second, 2)
+	got, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Mbps) != 5 || got.Mbps[0] != 1 || got.Mbps[4] != 2 {
+		t.Errorf("concat = %v", got.Mbps)
+	}
+	if got.Name != "a+b" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if _, err := Concat(); err == nil {
+		t.Error("empty concat accepted")
+	}
+	c := Constant("c", 1, time.Millisecond, 1)
+	if _, err := Concat(a, c); err == nil {
+		t.Error("slot mismatch accepted")
+	}
+	if _, err := Concat(a, &Trace{Slot: time.Second}); err == nil {
+		t.Error("invalid part accepted")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	a := Constant("a", 3, time.Second, 2)
+	got, err := a.Repeat(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Mbps) != 6 {
+		t.Errorf("len = %d", len(got.Mbps))
+	}
+	if _, err := a.Repeat(0); err == nil {
+		t.Error("repeat 0 accepted")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := &Trace{Name: "x", Slot: time.Second, Mbps: []float64{0, 1, 2, 3, 4}}
+	got, err := tr.Slice(1*time.Second, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Mbps) != 2 || got.Mbps[0] != 1 || got.Mbps[1] != 2 {
+		t.Errorf("slice = %v", got.Mbps)
+	}
+	// A slice is a copy.
+	got.Mbps[0] = 99
+	if tr.Mbps[1] != 1 {
+		t.Error("slice aliases the original")
+	}
+	if _, err := tr.Slice(3*time.Second, time.Second); err == nil {
+		t.Error("inverted slice accepted")
+	}
+	if _, err := tr.Slice(10*time.Second, 20*time.Second); err == nil {
+		t.Error("out-of-range slice accepted")
+	}
+	if _, err := tr.Slice(-time.Second, time.Second); err == nil {
+		t.Error("negative from accepted")
+	}
+}
+
+func TestAddNoise(t *testing.T) {
+	base := Constant("flat", 5, time.Second, 2000)
+	noisy, err := base.AddNoise(0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noisy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(noisy.Avg()-5) > 0.2 {
+		t.Errorf("noisy mean %v drifted from 5", noisy.Avg())
+	}
+	if StdDevOf(noisy.Mbps) < 0.5 {
+		t.Errorf("noise too small: sd=%v", StdDevOf(noisy.Mbps))
+	}
+	// Deterministic per seed.
+	noisy2, _ := base.AddNoise(0.2, 9)
+	for i := range noisy.Mbps {
+		if noisy.Mbps[i] != noisy2.Mbps[i] {
+			t.Fatal("noise not deterministic")
+		}
+	}
+	if _, err := base.AddNoise(-1, 0); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	// Original untouched.
+	if base.Mbps[0] != 5 {
+		t.Error("AddNoise mutated the receiver")
+	}
+}
+
+// StdDevOf is a tiny local helper (stats would be an import cycle risk
+// only in spirit; keep the test self-contained).
+func StdDevOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - m) * (x - m)
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}

@@ -1,0 +1,231 @@
+// Package trace models time-varying path bandwidth. Every experiment in the
+// MP-DASH reproduction is driven by one Trace per network path: synthetic
+// fluctuating profiles (paper §7.2.2, Table 1), field-measurement-style
+// profiles for the 33-location study (paper §7.3.3), and a mobility profile
+// (paper §7.3.4). Traces are deterministic given their seed.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Trace is a piecewise-constant bandwidth process sampled every Slot.
+// Reads beyond the last sample wrap around, so a short measured trace can
+// drive an arbitrarily long experiment (the paper replays its field traces
+// the same way).
+type Trace struct {
+	Name string
+	Slot time.Duration
+	Mbps []float64
+}
+
+// ErrInvalid reports a structurally invalid trace.
+var ErrInvalid = errors.New("trace: invalid")
+
+// Validate checks structural invariants: a positive slot, at least one
+// sample, and no negative or non-finite bandwidth.
+func (t *Trace) Validate() error {
+	if t == nil {
+		return fmt.Errorf("%w: nil trace", ErrInvalid)
+	}
+	if t.Slot <= 0 {
+		return fmt.Errorf("%w: slot %v", ErrInvalid, t.Slot)
+	}
+	if len(t.Mbps) == 0 {
+		return fmt.Errorf("%w: no samples", ErrInvalid)
+	}
+	for i, v := range t.Mbps {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: sample %d = %v", ErrInvalid, i, v)
+		}
+	}
+	return nil
+}
+
+// At returns the bandwidth in Mbps at virtual time d since the start of the
+// trace. Negative times read the first sample; times past the end wrap.
+func (t *Trace) At(d time.Duration) float64 {
+	if len(t.Mbps) == 0 {
+		return 0
+	}
+	if d < 0 {
+		return t.Mbps[0]
+	}
+	idx := int(d / t.Slot)
+	return t.Mbps[idx%len(t.Mbps)]
+}
+
+// AtBps returns the bandwidth at time d in bits per second.
+func (t *Trace) AtBps(d time.Duration) float64 { return t.At(d) * 1e6 }
+
+// Duration returns the natural (non-wrapped) length of the trace.
+func (t *Trace) Duration() time.Duration {
+	return time.Duration(len(t.Mbps)) * t.Slot
+}
+
+// Avg returns the mean bandwidth in Mbps over the natural length.
+func (t *Trace) Avg() float64 {
+	if len(t.Mbps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range t.Mbps {
+		s += v
+	}
+	return s / float64(len(t.Mbps))
+}
+
+// Scale returns a copy of the trace with every sample multiplied by k.
+func (t *Trace) Scale(k float64) *Trace {
+	out := &Trace{Name: t.Name, Slot: t.Slot, Mbps: make([]float64, len(t.Mbps))}
+	for i, v := range t.Mbps {
+		out.Mbps[i] = v * k
+	}
+	return out
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	return &Trace{Name: t.Name, Slot: t.Slot, Mbps: append([]float64(nil), t.Mbps...)}
+}
+
+// Cap returns a copy where every sample is limited to at most capMbps.
+// This reproduces Dummynet-style throttling (paper §7.1, §7.3.1).
+func (t *Trace) Cap(capMbps float64) *Trace {
+	out := t.Clone()
+	out.Name = fmt.Sprintf("%s-cap%.1f", t.Name, capMbps)
+	for i, v := range out.Mbps {
+		if v > capMbps {
+			out.Mbps[i] = capMbps
+		}
+	}
+	return out
+}
+
+// Window returns the samples covering [from, to) without wrapping,
+// clamped to the natural length.
+func (t *Trace) Window(from, to time.Duration) []float64 {
+	if from < 0 {
+		from = 0
+	}
+	lo := int(from / t.Slot)
+	hi := int((to + t.Slot - 1) / t.Slot)
+	if hi > len(t.Mbps) {
+		hi = len(t.Mbps)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return t.Mbps[lo:hi]
+}
+
+// Constant builds a flat trace of n slots at mbps.
+func Constant(name string, mbps float64, slot time.Duration, n int) *Trace {
+	t := &Trace{Name: name, Slot: slot, Mbps: make([]float64, n)}
+	for i := range t.Mbps {
+		t.Mbps[i] = mbps
+	}
+	return t
+}
+
+// Synthetic builds the paper's synthetic profile: instantaneous throughput
+// normally distributed around mean with standard deviation sigmaFrac*mean
+// (paper Table 1 uses sigmaFrac of 0.10 and 0.30), clamped at a small
+// positive floor so links never fully stall.
+func Synthetic(name string, meanMbps, sigmaFrac float64, slot time.Duration, n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{Name: name, Slot: slot, Mbps: make([]float64, n)}
+	floor := meanMbps * 0.05
+	for i := range t.Mbps {
+		v := meanMbps + rng.NormFloat64()*sigmaFrac*meanMbps
+		if v < floor {
+			v = floor
+		}
+		t.Mbps[i] = v
+	}
+	return t
+}
+
+// Field builds a field-measurement-style trace. stability in [0,1] controls
+// how well-behaved the WiFi is: 1 is a steady office link, 0 is a heavily
+// shared hotel AP. The process is a mean-reverting random walk (AR(1)) with
+// occasional deep fades whose frequency and depth grow as stability drops —
+// matching the paper's observation that open WiFi "tends to be fluctuating"
+// rather than dropping steeply and continuously (§7.2.2, Fig. 5).
+func Field(name string, meanMbps, stability float64, slot time.Duration, n int, seed int64) *Trace {
+	if stability < 0 {
+		stability = 0
+	}
+	if stability > 1 {
+		stability = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{Name: name, Slot: slot, Mbps: make([]float64, n)}
+	sigma := (0.08 + 0.35*(1-stability)) * meanMbps
+	fadeP := 0.002 + 0.03*(1-stability) // per-slot probability of a fade
+	cur := meanMbps
+	fadeLeft := 0
+	fadeDepth := 1.0
+	for i := range t.Mbps {
+		// Mean-reverting walk.
+		cur += 0.3*(meanMbps-cur) + rng.NormFloat64()*sigma*0.5
+		if fadeLeft > 0 {
+			fadeLeft--
+		} else if rng.Float64() < fadeP {
+			fadeLeft = 2 + rng.Intn(8)
+			fadeDepth = 0.15 + 0.35*rng.Float64()
+		}
+		v := cur
+		if fadeLeft > 0 {
+			v *= fadeDepth
+		}
+		floor := meanMbps * 0.03
+		if v < floor {
+			v = floor
+		}
+		t.Mbps[i] = v
+	}
+	return t
+}
+
+// Mobility builds the walking-around-an-AP profile of paper §7.3.4: WiFi
+// throughput follows a smooth periodic swing between near-zero (far from the
+// AP) and roughly 2*mean (next to it), with mild noise. period is the time
+// of one full walk loop.
+func Mobility(name string, meanMbps float64, period, slot time.Duration, n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{Name: name, Slot: slot, Mbps: make([]float64, n)}
+	for i := range t.Mbps {
+		phase := 2 * math.Pi * float64(time.Duration(i)*slot) / float64(period)
+		base := meanMbps * (1 + 0.95*math.Cos(phase)) // [0.05, 1.95] * mean
+		v := base + rng.NormFloat64()*0.05*meanMbps
+		floor := meanMbps * 0.02
+		if v < floor {
+			v = floor
+		}
+		t.Mbps[i] = v
+	}
+	return t
+}
+
+// Step builds a trace from explicit (durationSlots, mbps) steps; useful in
+// tests and for hand-crafted scenarios.
+func Step(name string, slot time.Duration, steps ...StepSpec) *Trace {
+	t := &Trace{Name: name, Slot: slot}
+	for _, s := range steps {
+		for i := 0; i < s.Slots; i++ {
+			t.Mbps = append(t.Mbps, s.Mbps)
+		}
+	}
+	return t
+}
+
+// StepSpec is one constant-rate segment of a Step trace.
+type StepSpec struct {
+	Slots int
+	Mbps  float64
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	good := Constant("c", 3.8, 50*time.Millisecond, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := []*Trace{
+		nil,
+		{Slot: 0, Mbps: []float64{1}},
+		{Slot: time.Second},
+		{Slot: time.Second, Mbps: []float64{-1}},
+		{Slot: time.Second, Mbps: []float64{math.NaN()}},
+		{Slot: time.Second, Mbps: []float64{math.Inf(1)}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestAtWrapsAndClamps(t *testing.T) {
+	tr := &Trace{Name: "x", Slot: time.Second, Mbps: []float64{1, 2, 3}}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{-time.Second, 1},
+		{0, 1},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 3},
+		{3 * time.Second, 1},  // wrap
+		{10 * time.Second, 2}, // 10 % 3 == 1
+	}
+	for _, c := range cases {
+		if got := tr.At(c.at); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if got := tr.AtBps(0); got != 1e6 {
+		t.Errorf("AtBps = %v, want 1e6", got)
+	}
+}
+
+func TestAvgScaleCapClone(t *testing.T) {
+	tr := &Trace{Name: "x", Slot: time.Second, Mbps: []float64{2, 4, 6}}
+	if tr.Avg() != 4 {
+		t.Errorf("Avg = %v", tr.Avg())
+	}
+	s := tr.Scale(0.5)
+	if s.Mbps[2] != 3 || tr.Mbps[2] != 6 {
+		t.Error("Scale must not mutate the original")
+	}
+	c := tr.Cap(3)
+	if c.Mbps[0] != 2 || c.Mbps[1] != 3 || c.Mbps[2] != 3 {
+		t.Errorf("Cap = %v", c.Mbps)
+	}
+	cl := tr.Clone()
+	cl.Mbps[0] = 99
+	if tr.Mbps[0] != 2 {
+		t.Error("Clone must deep-copy")
+	}
+	if tr.Duration() != 3*time.Second {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := &Trace{Slot: time.Second, Mbps: []float64{0, 1, 2, 3, 4}}
+	got := tr.Window(1*time.Second, 3*time.Second)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Window = %v", got)
+	}
+	if got := tr.Window(4*time.Second, 100*time.Second); len(got) != 1 || got[0] != 4 {
+		t.Errorf("clamped Window = %v", got)
+	}
+	if got := tr.Window(10*time.Second, 20*time.Second); got != nil {
+		t.Errorf("out-of-range Window = %v", got)
+	}
+	if got := tr.Window(-5*time.Second, 1*time.Second); len(got) != 1 || got[0] != 0 {
+		t.Errorf("negative-from Window = %v", got)
+	}
+}
+
+func TestSyntheticProperties(t *testing.T) {
+	tr := Synthetic("s", 3.8, 0.10, 50*time.Millisecond, 2000, 42)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Avg()-3.8) > 0.15 {
+		t.Errorf("synthetic mean %v far from 3.8", tr.Avg())
+	}
+	// Determinism: same seed, same trace.
+	tr2 := Synthetic("s", 3.8, 0.10, 50*time.Millisecond, 2000, 42)
+	for i := range tr.Mbps {
+		if tr.Mbps[i] != tr2.Mbps[i] {
+			t.Fatal("synthetic traces not deterministic")
+		}
+	}
+	// Different seed, different trace.
+	tr3 := Synthetic("s", 3.8, 0.10, 50*time.Millisecond, 2000, 43)
+	same := true
+	for i := range tr.Mbps {
+		if tr.Mbps[i] != tr3.Mbps[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestSyntheticSigmaOrdering(t *testing.T) {
+	lo := Synthetic("lo", 3.8, 0.10, 50*time.Millisecond, 5000, 1)
+	hi := Synthetic("hi", 3.8, 0.30, 50*time.Millisecond, 5000, 1)
+	sd := func(tr *Trace) float64 {
+		m := tr.Avg()
+		var ss float64
+		for _, v := range tr.Mbps {
+			ss += (v - m) * (v - m)
+		}
+		return math.Sqrt(ss / float64(len(tr.Mbps)))
+	}
+	if sd(lo) >= sd(hi) {
+		t.Errorf("sigma ordering violated: sd10=%v sd30=%v", sd(lo), sd(hi))
+	}
+}
+
+func TestFieldStability(t *testing.T) {
+	stable := Field("office", 28.4, 0.95, 100*time.Millisecond, 6000, 7)
+	flaky := Field("hotel", 2.9, 0.2, 100*time.Millisecond, 6000, 7)
+	if err := stable.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := flaky.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cv := func(tr *Trace) float64 {
+		m := tr.Avg()
+		var ss float64
+		for _, v := range tr.Mbps {
+			ss += (v - m) * (v - m)
+		}
+		return math.Sqrt(ss/float64(len(tr.Mbps))) / m
+	}
+	if cv(stable) >= cv(flaky) {
+		t.Errorf("stable trace should have lower CV: stable=%v flaky=%v", cv(stable), cv(flaky))
+	}
+}
+
+func TestMobilityPeriodicity(t *testing.T) {
+	period := 60 * time.Second
+	tr := Mobility("walk", 5, period, 100*time.Millisecond, 1200, 3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Peak near t=0, trough near t=period/2.
+	peak := tr.At(0)
+	trough := tr.At(period / 2)
+	if peak < 2*trough+1 {
+		t.Errorf("mobility swing too small: peak=%v trough=%v", peak, trough)
+	}
+}
+
+func TestStep(t *testing.T) {
+	tr := Step("s", time.Second, StepSpec{Slots: 2, Mbps: 1}, StepSpec{Slots: 3, Mbps: 5})
+	if len(tr.Mbps) != 5 || tr.Mbps[0] != 1 || tr.Mbps[4] != 5 {
+		t.Errorf("Step = %v", tr.Mbps)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Synthetic("rt", 3.0, 0.2, 50*time.Millisecond, 37, 5)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || got.Slot != tr.Slot || len(got.Mbps) != len(tr.Mbps) {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	for i := range tr.Mbps {
+		if math.Abs(got.Mbps[i]-tr.Mbps[i]) > 1e-6 {
+			t.Fatalf("sample %d: %v != %v", i, got.Mbps[i], tr.Mbps[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"not-a-row\n",
+		"1.0,abc\n",
+		"abc,1.0\n",
+		"", // empty -> invalid (no samples)
+	} {
+		if _, err := ReadCSV(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted", in)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := Field("j", 6.0, 0.6, 100*time.Millisecond, 50, 9)
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Slot != tr.Slot || len(got.Mbps) != len(tr.Mbps) {
+		t.Fatalf("json round-trip mismatch: %+v", got)
+	}
+}
+
+func TestScalePreservesAvgRatio(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := Synthetic("q", 4, 0.3, 50*time.Millisecond, 100, seed)
+		s := tr.Scale(2)
+		return math.Abs(s.Avg()-2*tr.Avg()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

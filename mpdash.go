@@ -1,0 +1,232 @@
+// Package mpdash is a from-scratch Go reproduction of "MP-DASH: Adaptive
+// Video Streaming Over Preference-Aware Multipath" (Han, Qian, Ji,
+// Gopalakrishnan — CoNEXT 2016).
+//
+// MP-DASH makes multipath transport preference-aware for DASH video: the
+// user's preferred interface (WiFi) carries the traffic, and the costly
+// interface (cellular) is switched on only when a video chunk would
+// otherwise miss its playback deadline. The package tree contains the
+// complete system: a deterministic packet-level multipath transport
+// simulator, the deadline-aware scheduler (paper Algorithm 1) with its
+// offline-optimal counterpart, the MP-DASH video adapter, four DASH
+// rate-adaptation algorithms plus MPC, a radio energy model, the
+// 33-location field-study harness, the multipath video analysis tool, and
+// a real-socket dual-TCP chunk fetcher.
+//
+// This root package is the public façade: it re-exports the experiment
+// API (sessions, file downloads, the field study, the slot-granularity
+// scheduler simulation) and defines one constructor per paper experiment
+// in experiments.go. Everything underneath lives in internal/ packages:
+//
+//	internal/sim      discrete-event kernel
+//	internal/link     time-varying bottleneck links
+//	internal/tcp      per-subflow congestion control
+//	internal/mptcp    multipath transport (MPTCP stand-in) + wire codecs
+//	internal/core     MP-DASH deadline-aware scheduler (the contribution)
+//	internal/abr      GPAC / FESTIVE / BBA / BBA-C / MPC + video adapter
+//	internal/dash     manifests, videos, player
+//	internal/energy   LTE/WiFi radio energy model
+//	internal/field    33-location field study
+//	internal/analysis multipath video analysis tool
+//	internal/netmp    real-socket multipath chunk fetcher
+package mpdash
+
+import (
+	"time"
+
+	"mpdash/internal/core"
+	"mpdash/internal/dash"
+	"mpdash/internal/energy"
+	"mpdash/internal/field"
+	"mpdash/internal/harness"
+	"mpdash/internal/mptcp"
+	"mpdash/internal/predict"
+	"mpdash/internal/stats"
+	"mpdash/internal/trace"
+)
+
+// Session API: configure and run one streaming session.
+
+// SessionConfig configures a streaming session; see the field docs in the
+// underlying type.
+type SessionConfig = harness.SessionConfig
+
+// SessionResult is a session's outcome: playback report, energy, traffic
+// series.
+type SessionResult = harness.SessionResult
+
+// RunSession plays a DASH session over two-path multipath and returns its
+// report.
+func RunSession(cfg SessionConfig) (*SessionResult, error) { return harness.RunSession(cfg) }
+
+// PathConfig describes one path of an N-path session.
+type PathConfig = harness.PathConfig
+
+// MultiSessionConfig configures an N-path session with optional dynamic
+// cost policies and the scheduler's cost ceiling.
+type MultiSessionConfig = harness.MultiSessionConfig
+
+// MultiSessionResult is an N-path session's outcome.
+type MultiSessionResult = harness.MultiSessionResult
+
+// RunMultiSession plays a DASH session over any number of paths.
+func RunMultiSession(cfg MultiSessionConfig) (*MultiSessionResult, error) {
+	return harness.RunMultiSession(cfg)
+}
+
+// FileConfig configures a single-file deadline download (paper §7.2).
+type FileConfig = harness.FileConfig
+
+// FileResult is a file download's outcome.
+type FileResult = harness.FileResult
+
+// RunFileDownload runs the scheduler-only workload.
+func RunFileDownload(cfg FileConfig) (*FileResult, error) { return harness.RunFileDownload(cfg) }
+
+// Scheme selects the transport configuration of a session.
+type Scheme = harness.Scheme
+
+// Schemes.
+const (
+	Baseline       = harness.Baseline
+	MPDashRate     = harness.MPDashRate
+	MPDashDuration = harness.MPDashDuration
+	WiFiOnly       = harness.WiFiOnly
+	ThrottleLTE    = harness.ThrottleLTE
+)
+
+// Algorithm names a DASH rate-adaptation algorithm.
+type Algorithm = harness.Algorithm
+
+// Algorithms.
+const (
+	GPAC    = harness.GPAC
+	FESTIVE = harness.FESTIVE
+	BBA     = harness.BBA
+	BBAC    = harness.BBAC
+	MPC     = harness.MPC
+	FastMPC = harness.FastMPC
+	SVAA    = harness.SVAA
+)
+
+// Algorithms lists every supported rate-adaptation algorithm.
+func Algorithms() []Algorithm { return harness.Algorithms() }
+
+// SchedulerKind selects the underlying MPTCP packet scheduler.
+type SchedulerKind = mptcp.SchedulerKind
+
+// Packet schedulers.
+const (
+	MinRTT     = mptcp.MinRTT
+	RoundRobin = mptcp.RoundRobin
+)
+
+// Video model.
+
+// Video is a DASH asset (ladder + chunk grid).
+type Video = dash.Video
+
+// The paper's four test videos (Table 3).
+var (
+	BigBuckBunny       = dash.BigBuckBunny
+	RedBullPlaystreets = dash.RedBullPlaystreets
+	TearsOfSteel       = dash.TearsOfSteel
+	TearsOfSteelHD     = dash.TearsOfSteelHD
+)
+
+// VideoCatalog returns all Table 3 videos.
+func VideoCatalog() []*Video { return dash.Catalog() }
+
+// Traces.
+
+// Trace is a time-varying bandwidth process.
+type Trace = trace.Trace
+
+// Trace constructors.
+var (
+	ConstantTrace  = trace.Constant
+	SyntheticTrace = trace.Synthetic
+	FieldTrace     = trace.Field
+	MobilityTrace  = trace.Mobility
+)
+
+// Scheduler-level simulation (Table 2).
+
+// SlotSimConfig parameterizes the slot-granularity Algorithm 1 simulation.
+type SlotSimConfig = core.SlotSimConfig
+
+// SlotSimResult is its outcome.
+type SlotSimResult = core.SlotSimResult
+
+// SimulateOnline runs Algorithm 1 at slot granularity.
+func SimulateOnline(cfg SlotSimConfig) (SlotSimResult, error) { return core.SimulateOnline(cfg) }
+
+// SimulateOptimal computes the offline optimum for the same setup.
+func SimulateOptimal(cfg SlotSimConfig) (float64, bool, error) { return core.SimulateOptimal(cfg) }
+
+// Field study (Figures 9/10, Table 5).
+
+// Location is one field-study site.
+type Location = field.Location
+
+// StudyConfig configures the 33-location study.
+type StudyConfig = field.StudyConfig
+
+// StudyResult is the study outcome with CDF helpers.
+type StudyResult = field.StudyResult
+
+// FieldLocations returns the 33-site catalogue.
+func FieldLocations() []Location { return field.Locations() }
+
+// RunFieldStudy executes the experiment matrix over the catalogue.
+func RunFieldStudy(cfg StudyConfig) (*StudyResult, error) { return field.RunStudy(cfg) }
+
+// Energy model devices.
+
+// Device pairs LTE and WiFi radio power models.
+type Device = energy.Device
+
+// Devices the paper evaluates with.
+var (
+	GalaxyNote = energy.GalaxyNote
+	GalaxyS3   = energy.GalaxyS3
+)
+
+// Predictors.
+
+// Predictor forecasts throughput from samples.
+type Predictor = predict.Predictor
+
+// Predictor constructors.
+var (
+	NewHoltWinters = predict.NewDefaultHoltWinters
+	NewEWMA        = predict.NewEWMA
+	NewLastSample  = predict.NewLastSample
+)
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint = stats.CDFPoint
+
+// Convenience: the paper's canonical lab network conditions.
+
+// LabCondition is one of the §7.3.2 controlled network settings.
+type LabCondition struct {
+	Name     string
+	WiFiMbps float64
+	LTEMbps  float64
+}
+
+// LabConditions returns the three §7.3.2 conditions.
+func LabConditions() []LabCondition {
+	return []LabCondition{
+		{Name: "W3.8/L3.0", WiFiMbps: 3.8, LTEMbps: 3.0},
+		{Name: "W2.8/L3.0", WiFiMbps: 2.8, LTEMbps: 3.0},
+		{Name: "W2.2/L1.2", WiFiMbps: 2.2, LTEMbps: 1.2},
+	}
+}
+
+// Constant builds a flat lab trace (helper for LabCondition).
+func (c LabCondition) Traces() (wifi, lte *Trace) {
+	return trace.Constant("wifi-"+c.Name, c.WiFiMbps, time.Second, 1),
+		trace.Constant("lte-"+c.Name, c.LTEMbps, time.Second, 1)
+}

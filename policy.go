@@ -1,0 +1,52 @@
+package mpdash
+
+import (
+	"mpdash/internal/field"
+	"mpdash/internal/netmp"
+	"mpdash/internal/policy"
+)
+
+// Re-exports for the dynamic preference-policy framework (paper §4: path
+// costs "configured either statically or dynamically"; §6 future work)
+// and the real-socket multipath fetcher.
+
+// PathPolicy computes per-path unit-data costs over time.
+type PathPolicy = policy.Policy
+
+// Policy implementations.
+type (
+	// StaticPolicy assigns fixed per-path costs.
+	StaticPolicy = policy.Static
+	// DataCapPolicy prices a metered path up as its quota burns.
+	DataCapPolicy = policy.DataCap
+	// TimeOfDayPolicy prices a path by a daily window.
+	TimeOfDayPolicy = policy.TimeOfDay
+	// BatteryPolicy prices the energy-hungry path by battery level.
+	BatteryPolicy = policy.Battery
+	// PolicyManager pushes a policy's costs into a connection.
+	PolicyManager = policy.Manager
+)
+
+// Real-socket components (internal/netmp): rate-shaped chunk servers, the
+// dual-TCP deadline-aware fetcher, and a real-time streaming loop.
+type (
+	// ChunkServer serves DASH chunks over one shaped TCP listener.
+	ChunkServer = netmp.ChunkServer
+	// Fetcher downloads chunks over two sockets with MP-DASH deadlines.
+	Fetcher = netmp.Fetcher
+	// Streamer is a real-time playback loop over a Fetcher.
+	Streamer = netmp.Streamer
+)
+
+// Real-socket constructors.
+var (
+	NewChunkServer = netmp.NewChunkServer
+	NewFetcher     = netmp.NewFetcher
+	FetchManifest  = netmp.FetchManifest
+)
+
+// Field-study schemes (Figures 9/10 arm keys).
+type FieldSchemeKey = field.SchemeKey
+
+// FieldSchemeKeys lists the four study arms.
+func FieldSchemeKeys() []FieldSchemeKey { return field.SchemeKeys() }
