@@ -3,6 +3,10 @@
 // manifest, then plays chunks in real time with MP-DASH deadline
 // governance (secondary socket engaged only under deadline pressure).
 //
+// The path supervisor's retry knobs are exposed so fault-injected
+// sessions (see mpdash-netserve's -reset-prob and friends) can be tuned:
+// I/O timeouts, backoff, redial and per-segment budgets.
+//
 // Usage:
 //
 //	mpdash-netfetch -wifi 127.0.0.1:43210 -lte 127.0.0.1:43211 -chunks 10
@@ -24,6 +28,12 @@ func main() {
 		lteAddr  = flag.String("lte", "", "secondary-path server address (required)")
 		chunks   = flag.Int("chunks", 10, "chunks to play")
 		rateBase = flag.Bool("rate", true, "rate-based deadlines (false = duration-based)")
+
+		ioTimeoutMs = flag.Int("io-timeout-ms", 2000, "per-I/O deadline on path sockets")
+		retryBaseMs = flag.Int("retry-base-ms", 50, "base retry backoff")
+		retryMaxMs  = flag.Int("retry-max-ms", 2000, "backoff ceiling")
+		segBudget   = flag.Int("segment-budget", 3, "attempts per segment per path before requeueing")
+		maxRedials  = flag.Int("max-redials", 5, "consecutive failed redials before a path is declared down")
 	)
 	flag.Parse()
 	if *wifiAddr == "" || *lteAddr == "" {
@@ -47,18 +57,43 @@ func main() {
 	}
 	defer f.Close()
 	f.Sizes = sizes // manifest sizes are authoritative
+	f.Retry = netmp.RetryPolicy{
+		IOTimeout:     time.Duration(*ioTimeoutMs) * time.Millisecond,
+		BaseBackoff:   time.Duration(*retryBaseMs) * time.Millisecond,
+		MaxBackoff:    time.Duration(*retryMaxMs) * time.Millisecond,
+		SegmentBudget: *segBudget,
+		MaxRedials:    *maxRedials,
+	}
 
 	st := &netmp.Streamer{Fetcher: f, ABR: abr.NewGPAC(), RateBased: *rateBase}
 	res, err := st.Stream(*chunks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if res == nil {
+			os.Exit(1)
+		}
+		fmt.Printf("partial session before failure:\n")
 	}
 	total := res.PrimaryBytes + res.SecondaryBytes
 	fmt.Printf("played %d chunks in %v\n", res.Chunks, res.Wall.Round(time.Millisecond))
-	fmt.Printf("wifi %0.1f MB, lte %0.1f MB (%.1f%% on the secondary)\n",
-		float64(res.PrimaryBytes)/1e6, float64(res.SecondaryBytes)/1e6,
-		100*float64(res.SecondaryBytes)/float64(total))
+	if total > 0 {
+		fmt.Printf("wifi %0.1f MB, lte %0.1f MB (%.1f%% on the secondary)\n",
+			float64(res.PrimaryBytes)/1e6, float64(res.SecondaryBytes)/1e6,
+			100*float64(res.SecondaryBytes)/float64(total))
+	}
 	fmt.Printf("stalls %d (%.2fs), avg level %.2f, switches %d, verified=%v\n",
 		res.Stalls, res.StallTime.Seconds(), res.AvgLevel, res.QualitySwitches, res.AllVerified)
+	if res.FaultsSurvived > 0 || res.Redials > 0 || res.LostChunks > 0 {
+		fmt.Printf("faults survived %d (retries %d, requeued %d), redials %d, refetches %d, lost chunks %d\n",
+			res.FaultsSurvived, res.Retries, res.Requeued, res.Redials, res.Refetches, res.LostChunks)
+		fmt.Printf("wasted %0.1f KB, degraded %v\n",
+			float64(res.WastedBytes)/1e3, res.DegradedTime.Round(time.Millisecond))
+	}
+	for _, ps := range f.PathStats() {
+		fmt.Printf("path %-9s %-8s bytes=%d retries=%d redials=%d reconnects=%d\n",
+			ps.Name, ps.State, ps.Bytes, ps.Retries, ps.Redials, ps.Reconnects)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
 }

@@ -3,9 +3,14 @@
 // (possibly from another process or machine). It serves the Table 3
 // catalogue's Big Buck Bunny with its MPD at /manifest.mpd.
 //
+// A fault plan can be attached to either listener to rehearse hostile
+// networks: scripted or probabilistic connection resets, mid-body
+// stalls, premature closes, payload corruption, and blackout windows.
+//
 // Usage:
 //
 //	mpdash-netserve -wifi-mbps 4 -lte-mbps 12
+//	mpdash-netserve -fault-path wifi -reset-prob 0.05 -blackouts 20s:5s
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"mpdash"
 	"mpdash/internal/netmp"
@@ -23,6 +29,15 @@ func main() {
 		wifiMbps  = flag.Float64("wifi-mbps", 4.0, "shaped rate of the WiFi-role listener")
 		lteMbps   = flag.Float64("lte-mbps", 12.0, "shaped rate of the LTE-role listener")
 		videoName = flag.String("video", "Big Buck Bunny", "video from the Table 3 catalogue")
+
+		faultPath   = flag.String("fault-path", "wifi", "listener the fault plan applies to: wifi, lte, or both")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault probability draws (deterministic replay)")
+		resetProb   = flag.Float64("reset-prob", 0, "per-request probability of a connection reset")
+		stallProb   = flag.Float64("stall-prob", 0, "per-request probability of a mid-body stall")
+		closeProb   = flag.Float64("close-prob", 0, "per-request probability of a premature close")
+		corruptProb = flag.Float64("corrupt-prob", 0, "per-request probability of payload corruption")
+		stallMs     = flag.Int("stall-ms", 2000, "duration of injected stalls")
+		blackouts   = flag.String("blackouts", "", "blackout windows as start:duration[,start:duration...] e.g. 8s:3s,40s:5s")
 	)
 	flag.Parse()
 
@@ -37,13 +52,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	wifiSrv, err := netmp.NewChunkServer(video, *wifiMbps)
+	windows, err := netmp.ParseBlackouts(*blackouts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var plan *netmp.FaultPlan
+	if *resetProb > 0 || *stallProb > 0 || *closeProb > 0 || *corruptProb > 0 || len(windows) > 0 {
+		plan = &netmp.FaultPlan{
+			Seed:        *faultSeed,
+			ResetProb:   *resetProb,
+			StallProb:   *stallProb,
+			CloseProb:   *closeProb,
+			CorruptProb: *corruptProb,
+			StallFor:    time.Duration(*stallMs) * time.Millisecond,
+			Blackouts:   windows,
+		}
+	}
+	wifiPlan, ltePlan := plan, plan
+	switch *faultPath {
+	case "wifi":
+		ltePlan = nil
+	case "lte":
+		wifiPlan = nil
+	case "both":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fault-path %q (want wifi, lte, or both)\n", *faultPath)
+		os.Exit(2)
+	}
+
+	wifiSrv, err := netmp.NewChunkServerWithFaults(video, *wifiMbps, wifiPlan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer wifiSrv.Close()
-	lteSrv, err := netmp.NewChunkServer(video, *lteMbps)
+	lteSrv, err := netmp.NewChunkServerWithFaults(video, *lteMbps, ltePlan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -51,8 +95,8 @@ func main() {
 	defer lteSrv.Close()
 
 	fmt.Printf("serving %q\n", video.Name)
-	fmt.Printf("wifi path: %s (%.1f Mbps)\n", wifiSrv.Addr(), *wifiMbps)
-	fmt.Printf("lte  path: %s (%.1f Mbps)\n", lteSrv.Addr(), *lteMbps)
+	fmt.Printf("wifi path: %s (%.1f Mbps)%s\n", wifiSrv.Addr(), *wifiMbps, planTag(wifiPlan))
+	fmt.Printf("lte  path: %s (%.1f Mbps)%s\n", lteSrv.Addr(), *lteMbps, planTag(ltePlan))
 	fmt.Printf("\nfetch with:\n  mpdash-netfetch -wifi %s -lte %s\n", wifiSrv.Addr(), lteSrv.Addr())
 	fmt.Println("\nCtrl-C to stop")
 
@@ -60,4 +104,14 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Printf("\nserved %d + %d payload bytes\n", wifiSrv.ServedBytes(), lteSrv.ServedBytes())
+	if plan != nil {
+		fmt.Printf("faults injected: wifi %s | lte %s\n", wifiSrv.FaultStats(), lteSrv.FaultStats())
+	}
+}
+
+func planTag(p *netmp.FaultPlan) string {
+	if p == nil {
+		return ""
+	}
+	return " [faulty]"
 }

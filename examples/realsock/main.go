@@ -86,4 +86,50 @@ func main() {
 		res.Chunks, res.Wall.Round(time.Millisecond),
 		float64(res.PrimaryBytes)/1e3, float64(res.SecondaryBytes)/1e3,
 		res.Stalls, res.AllVerified)
+
+	// Fault survival: the WiFi server injects a scripted connection reset
+	// and probabilistic corruption, then dies for good (redial blackhole)
+	// partway into the session. The supervised fetcher retries, redials,
+	// requeues segments to LTE, and finishes every chunk byte-verified in
+	// degraded single-path mode.
+	fmt.Println("\nfault survival — WiFi resets, corrupts, then dies mid-session:")
+	plan := &netmp.FaultPlan{
+		Seed:        7,
+		CorruptProb: 0.15,
+		Script:      map[int]netmp.FaultKind{2: netmp.FaultReset},
+	}
+	wifiSrv3, err := netmp.NewChunkServerWithFaults(mini, 4.0, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wifiSrv3.Close()
+	lteSrv3, err := netmp.NewChunkServer(mini, 12.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lteSrv3.Close()
+	f3, err := netmp.NewFetcher(mini, wifiSrv3.Addr(), lteSrv3.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f3.Close()
+	f3.Retry = netmp.RetryPolicy{
+		IOTimeout:   300 * time.Millisecond,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxRedials:  3,
+	}
+	time.AfterFunc(1200*time.Millisecond, wifiSrv3.Blackhole)
+	st3 := &netmp.Streamer{Fetcher: f3, ABR: abr.NewGPAC(), RateBased: true}
+	res3, err := st3.Stream(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("played %d chunks, verified=%v, lost=%d\n", res3.Chunks, res3.AllVerified, res3.LostChunks)
+	fmt.Printf("survived %d faults (retries %d, requeued %d), redials %d, degraded for %v\n",
+		res3.FaultsSurvived, res3.Retries, res3.Requeued, res3.Redials,
+		res3.DegradedTime.Round(time.Millisecond))
+	fmt.Printf("server injected: %s\n", wifiSrv3.FaultStats())
+	for _, ps := range f3.PathStats() {
+		fmt.Printf("path %-9s state=%s bytes=%d\n", ps.Name, ps.State, ps.Bytes)
+	}
 }

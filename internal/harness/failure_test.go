@@ -9,7 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"mpdash/internal/abr"
 	"mpdash/internal/dash"
+	"mpdash/internal/netmp"
 	"mpdash/internal/trace"
 )
 
@@ -205,4 +207,135 @@ func TestSixSecondChunks(t *testing.T) {
 func dashVideoWithDuration(t *testing.T, d time.Duration) *dash.Video {
 	t.Helper()
 	return dash.BigBuckBunny().WithChunkDuration(d)
+}
+
+// ---------------------------------------------------------------------------
+// Real-socket chaos: the same robustness claims exercised end-to-end over
+// TCP with the netmp path supervisor and fault-injection layer.
+
+// chaosVideo is a small fast asset for real-time socket sessions.
+func chaosVideo() *dash.Video {
+	return &dash.Video{
+		Name:          "chaos",
+		ChunkDuration: 300 * time.Millisecond,
+		NumChunks:     12,
+		SizeSeed:      11,
+		Levels: []dash.Level{
+			{ID: 1, AvgBitrateMbps: 0.4},
+			{ID: 2, AvgBitrateMbps: 0.8},
+			{ID: 3, AvgBitrateMbps: 1.6},
+		},
+	}
+}
+
+// realSocketRig wires two fault-capable chunk servers and a supervised
+// fetcher with a chaos-friendly retry policy.
+func realSocketRig(t *testing.T, video *dash.Video, mbps float64, pplan, splan *netmp.FaultPlan) (*netmp.ChunkServer, *netmp.ChunkServer, *netmp.Fetcher) {
+	t.Helper()
+	ps, err := netmp.NewChunkServerWithFaults(video, mbps, pplan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := netmp.NewChunkServerWithFaults(video, mbps, splan)
+	if err != nil {
+		ps.Close()
+		t.Fatal(err)
+	}
+	f, err := netmp.NewFetcher(video, ps.Addr(), ss.Addr())
+	if err != nil {
+		ps.Close()
+		ss.Close()
+		t.Fatal(err)
+	}
+	f.Retry = netmp.RetryPolicy{
+		IOTimeout:     300 * time.Millisecond,
+		BaseBackoff:   5 * time.Millisecond,
+		MaxBackoff:    40 * time.Millisecond,
+		MaxRedials:    3,
+		SegmentBudget: 3,
+		RequeueBudget: 6,
+		Seed:          1,
+	}
+	t.Cleanup(func() {
+		f.Close()
+		ps.Close()
+		ss.Close()
+	})
+	return ps, ss, f
+}
+
+func TestRealSocketPreferredPathDeathMidSession(t *testing.T) {
+	// Acceptance: kill the preferred path mid-session — connection reset
+	// plus a redial blackhole — and the session must still deliver every
+	// chunk, byte-verified, on the surviving path, reporting the redials
+	// and the degraded interval.
+	video := chaosVideo()
+	ps, _, f := realSocketRig(t, video, 8, nil, nil)
+	time.AfterFunc(60*time.Millisecond, ps.Blackhole)
+
+	st := &netmp.Streamer{Fetcher: f, ABR: abr.NewGPAC(), RateBased: true}
+	res, err := st.Stream(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks != 10 {
+		t.Fatalf("chunks = %d, want 10", res.Chunks)
+	}
+	if !res.AllVerified {
+		t.Error("byte verification failed")
+	}
+	if res.LostChunks != 0 {
+		t.Errorf("lost chunks = %d", res.LostChunks)
+	}
+	if res.Redials == 0 {
+		t.Error("no redial attempts reported after path death")
+	}
+	if res.DegradedTime == 0 {
+		t.Error("degraded interval not reported")
+	}
+	if stats := f.PathStats(); stats[0].State != netmp.PathDown {
+		t.Errorf("primary state = %v, want down", stats[0].State)
+	}
+}
+
+func TestRealSocketFaultStorm(t *testing.T) {
+	// Scripted and probabilistic faults on both paths at once: resets,
+	// stalls, premature closes, corruption. The supervisor must absorb all
+	// of it — every chunk plays, every byte verifies.
+	video := chaosVideo()
+	pplan := &netmp.FaultPlan{
+		Seed:        21,
+		ResetProb:   0.08,
+		CloseProb:   0.08,
+		CorruptProb: 0.08,
+		Script:      map[int]netmp.FaultKind{3: netmp.FaultStall, 9: netmp.FaultReset},
+		StallFor:    time.Second,
+	}
+	splan := &netmp.FaultPlan{
+		Seed:        22,
+		ResetProb:   0.05,
+		CorruptProb: 0.10,
+	}
+	ps, ss, f := realSocketRig(t, video, 8, pplan, splan)
+
+	st := &netmp.Streamer{Fetcher: f, ABR: abr.NewGPAC(), RateBased: true}
+	res, err := st.Stream(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks+res.LostChunks != 12 {
+		t.Fatalf("chunks %d + lost %d != 12", res.Chunks, res.LostChunks)
+	}
+	if !res.AllVerified {
+		t.Error("byte verification failed")
+	}
+	injected := ps.FaultStats().Total() + ss.FaultStats().Total()
+	if injected == 0 {
+		t.Fatal("fault storm injected nothing; the test proves nothing")
+	}
+	if res.FaultsSurvived == 0 {
+		t.Error("no faults absorbed by the supervisor")
+	}
+	t.Logf("storm: injected=%d survived=%d retries=%d redials=%d requeued=%d refetches=%d lost=%d",
+		injected, res.FaultsSurvived, res.Retries, res.Redials, res.Requeued, res.Refetches, res.LostChunks)
 }

@@ -1,10 +1,9 @@
 package netmp
 
 import (
-	"bufio"
+	"errors"
 	"fmt"
 	"io"
-	"net"
 	"strconv"
 	"strings"
 	"sync"
@@ -16,12 +15,26 @@ import (
 // DefaultSegmentSize is the range granularity of the dual-socket fetcher.
 const DefaultSegmentSize = 32 * 1024
 
+// controllerTick is the cadence at which the secondary-path controller
+// re-evaluates deadline pressure while standing by; pressureWarmup is the
+// minimum elapsed time before the first throughput-based evaluation (no
+// sample exists earlier).
+const (
+	controllerTick  = 20 * time.Millisecond
+	pressureWarmup  = controllerTick
+	ledgerIdleSleep = time.Millisecond
+)
+
 // Fetcher downloads chunks over two TCP connections with MP-DASH's
 // deadline logic: the preferred connection pulls ranges from the front of
 // the chunk; the secondary connection is engaged to pull from the back
 // only while the preferred path's measured throughput cannot finish the
 // remainder within α·D, and it stands down as soon as it can (Algorithm 1
-// lines 16–21 in userspace).
+// lines 16–21 in userspace). Both paths run under supervision (see
+// supervise.go): transient I/O faults are retried through redials with
+// backoff, failed segments are requeued to the surviving path, and the
+// fetcher keeps working in degraded single-path mode — on either path
+// alone — when one path dies for good.
 type Fetcher struct {
 	Video *dash.Video
 	// Sizes optionally overrides the video's generated chunk sizes with
@@ -32,6 +45,9 @@ type Fetcher struct {
 	Alpha float64
 	// SegmentSize is the range-request granularity.
 	SegmentSize int64
+	// Retry bounds the fault-tolerance behaviour; the zero value selects
+	// the defaults documented on RetryPolicy.
+	Retry RetryPolicy
 
 	primary   *pathConn
 	secondary *pathConn
@@ -43,20 +59,6 @@ func (f *Fetcher) chunkSize(index, level int) int64 {
 		return f.Sizes[level][index]
 	}
 	return f.Video.ChunkSize(index, level)
-}
-
-type pathConn struct {
-	name string
-	conn net.Conn
-	r    *bufio.Reader
-}
-
-func dialPath(name, addr string) (*pathConn, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("netmp: dial %s (%s): %w", name, addr, err)
-	}
-	return &pathConn{name: name, conn: conn, r: bufio.NewReader(conn)}, nil
 }
 
 // NewFetcher dials both paths.
@@ -76,14 +78,24 @@ func NewFetcher(video *dash.Video, primaryAddr, secondaryAddr string) (*Fetcher,
 	return &Fetcher{Video: video, Alpha: 1, SegmentSize: DefaultSegmentSize, primary: p, secondary: s}, nil
 }
 
-// Close tears down both connections.
+// Close tears down both connections, reporting every failure.
 func (f *Fetcher) Close() error {
-	err1 := f.primary.conn.Close()
-	err2 := f.secondary.conn.Close()
-	if err1 != nil {
-		return err1
+	return errors.Join(f.primary.close(), f.secondary.close())
+}
+
+// PathStats returns health snapshots for the primary then secondary path.
+func (f *Fetcher) PathStats() []PathStats {
+	return []PathStats{f.primary.stats(), f.secondary.stats()}
+}
+
+// DegradedFor returns the total time paths have spent down — the
+// session's degraded single-path interval.
+func (f *Fetcher) DegradedFor() time.Duration {
+	var d time.Duration
+	for _, ps := range f.PathStats() {
+		d += ps.DownFor
 	}
-	return err2
+	return d
 }
 
 // FetchResult reports one chunk download.
@@ -95,61 +107,197 @@ type FetchResult struct {
 	// MissedBy is zero when the deadline was met.
 	MissedBy time.Duration
 	// Verified is true when every received byte matched the expected
-	// deterministic payload (reassembly correctness).
+	// deterministic payload (reassembly correctness). Corrupted attempts
+	// are discarded and re-fetched, so a successful fetch is verified.
 	Verified bool
+
+	// Retries counts failed range-request attempts absorbed by the
+	// supervisor during this fetch.
+	Retries int64
+	// Redials counts reconnect attempts (successful or not).
+	Redials int64
+	// Requeued counts segments handed back to the ledger after one
+	// path's per-segment budget ran out, for the other path to complete.
+	Requeued int64
+	// WastedBytes counts payload bytes discarded from failed or
+	// corrupted attempts.
+	WastedBytes int64
+	// Degraded is true when part of the chunk was fetched with a path
+	// down (single-path mode).
+	Degraded bool
 }
 
-// fetchState is the shared segment ledger.
+// fetchState is the shared segment ledger. Segments move from unclaimed
+// to in-flight to done; a segment whose path fails is requeued so the
+// surviving path can retake it. Completion means done == total, not an
+// empty queue — in-flight segments may yet fail back into the queue.
 type fetchState struct {
-	mu    sync.Mutex
-	front int // next unclaimed segment from the start
-	back  int // last unclaimed segment at the end
+	mu            sync.Mutex
+	front         int // next fresh segment from the start
+	back          int // last fresh segment at the end
+	requeued      []requeuedSeg
+	requeues      map[int]int // per-segment requeue counts
+	inflight      int
+	done          int
+	total         int
+	failed        bool // requeue budget blown: abort the chunk
+	requeueBudget int
+	requeueCount  int64
 }
 
-// claimFront hands the primary the next segment, or -1.
-func (st *fetchState) claimFront() int {
+type requeuedSeg struct {
+	seg int
+	by  *pathConn // the path that failed it
+}
+
+func newFetchState(total, requeueBudget int) *fetchState {
+	return &fetchState{front: 0, back: total - 1, total: total, requeueBudget: requeueBudget}
+}
+
+// takeRequeuedLocked pops a requeued segment for pc, preferring segments
+// failed by a different path; retrying your own failed segment only makes
+// sense once no fresh work remains (selfOK).
+func (st *fetchState) takeRequeuedLocked(pc *pathConn, selfOK bool) (int, bool) {
+	for i, rq := range st.requeued {
+		if rq.by != pc || selfOK {
+			st.requeued = append(st.requeued[:i], st.requeued[i+1:]...)
+			st.inflight++
+			return rq.seg, true
+		}
+	}
+	return 0, false
+}
+
+// claimFrontFor hands pc the next segment from the start, or -1 when
+// nothing is claimable right now.
+func (st *fetchState) claimFrontFor(pc *pathConn) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.front > st.back {
+	if st.failed {
 		return -1
 	}
-	seg := st.front
-	st.front++
-	return seg
+	if seg, ok := st.takeRequeuedLocked(pc, false); ok {
+		return seg
+	}
+	if st.front <= st.back {
+		seg := st.front
+		st.front++
+		st.inflight++
+		return seg
+	}
+	if seg, ok := st.takeRequeuedLocked(pc, true); ok {
+		return seg
+	}
+	return -1
 }
 
-// claimBack hands the secondary the last segment, or -1.
-func (st *fetchState) claimBack() int {
+// claimBackFor hands pc the last segment, or -1.
+func (st *fetchState) claimBackFor(pc *pathConn) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.front > st.back {
+	if st.failed {
 		return -1
 	}
-	seg := st.back
-	st.back--
-	return seg
+	if st.front <= st.back {
+		seg := st.back
+		st.back--
+		st.inflight++
+		return seg
+	}
+	if seg, ok := st.takeRequeuedLocked(pc, false); ok {
+		return seg
+	}
+	if seg, ok := st.takeRequeuedLocked(pc, true); ok {
+		return seg
+	}
+	return -1
 }
 
-// remainingSegments reports how many segments are still unclaimed.
+// complete marks a claimed segment fetched and verified.
+func (st *fetchState) complete() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.inflight--
+	st.done++
+}
+
+// requeue returns a claimed segment to the ledger after pc failed it.
+// Blowing the per-segment requeue budget aborts the whole chunk.
+func (st *fetchState) requeue(seg int, by *pathConn) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.inflight--
+	st.requeueCount++
+	if st.requeues == nil {
+		st.requeues = make(map[int]int)
+	}
+	st.requeues[seg]++
+	if st.requeues[seg] > st.requeueBudget {
+		st.failed = true
+		return
+	}
+	st.requeued = append(st.requeued, requeuedSeg{seg: seg, by: by})
+}
+
+// finished reports whether every segment has been fetched.
+func (st *fetchState) finished() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.done == st.total
+}
+
+// aborted reports whether the chunk's requeue budget is blown.
+func (st *fetchState) aborted() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.failed
+}
+
+// remainingSegments reports how many segments are still unclaimed
+// (including requeued ones awaiting a new owner).
 func (st *fetchState) remainingSegments() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	n := st.back - st.front + 1
 	if n < 0 {
-		return 0
+		n = 0
 	}
-	return n
+	return n + len(st.requeued)
 }
 
-// FetchChunk downloads chunk (index, level) with deadline window d.
+// underPressure is the Algorithm 1 engagement test: true when the
+// cumulative throughput cannot move the remaining bytes within what is
+// left of the α·D window.
+func underPressure(start time.Time, d time.Duration, alpha float64, got int64, remaining float64) bool {
+	elapsed := time.Since(start)
+	windowLeft := alpha*d.Seconds() - elapsed.Seconds()
+	if windowLeft <= 0 {
+		return true
+	}
+	if elapsed < pressureWarmup {
+		return false // no throughput sample yet
+	}
+	rate := float64(got) / elapsed.Seconds()
+	return rate*windowLeft < remaining
+}
+
+// FetchChunk downloads chunk (index, level) with deadline window d. It
+// survives transient path faults (retry + redial + requeue) and runs
+// single-path when one path is down; it fails only when both paths die
+// (ErrAllPathsDown) or a segment exhausts its requeue budget on every
+// live path (ErrChunkExhausted).
 func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, error) {
 	size := f.chunkSize(index, level)
+	pol := f.Retry.withDefaults()
 	segSize := f.SegmentSize
 	if segSize <= 0 {
 		segSize = DefaultSegmentSize
 	}
+	if f.primary.isDown() && f.secondary.isDown() {
+		return nil, ErrAllPathsDown
+	}
 	nSegs := int((size + segSize - 1) / segSize)
-	st := &fetchState{front: 0, back: nSegs - 1}
+	st := newFetchState(nSegs, pol.RequeueBudget)
 	alpha := f.Alpha
 	if alpha <= 0 || alpha > 1 {
 		alpha = 1
@@ -157,9 +305,18 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 
 	start := time.Now()
 	res := &FetchResult{Size: size, Verified: true}
-	var mu sync.Mutex // guards res byte counters and Verified
+	pRet0, pRed0, pWaste0 := f.primary.counters()
+	sRet0, sRed0, sWaste0 := f.secondary.counters()
+	var mu sync.Mutex // guards res byte counters
 	var wg sync.WaitGroup
-	errCh := make(chan error, 2)
+	var errMu sync.Mutex
+	var workerErrs []error
+
+	recordErr := func(err error) {
+		errMu.Lock()
+		workerErrs = append(workerErrs, err)
+		errMu.Unlock()
+	}
 
 	fetchSeg := func(pc *pathConn, seg int) error {
 		from := int64(seg) * segSize
@@ -167,7 +324,7 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 		if to >= size {
 			to = size - 1
 		}
-		n, ok, err := f.requestRange(pc, index, level, from, to)
+		n, err := f.fetchSegSupervised(pc, pol, index, level, from, to)
 		if err != nil {
 			return err
 		}
@@ -177,73 +334,157 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 		} else {
 			res.SecondaryBytes += n
 		}
-		if !ok {
-			res.Verified = false
-		}
 		mu.Unlock()
 		return nil
 	}
 
-	// Primary: drain from the front.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for {
-			seg := st.claimFront()
-			if seg < 0 {
-				return
-			}
-			if err := fetchSeg(f.primary, seg); err != nil {
-				errCh <- err
-				return
-			}
+	// handle routes a segment outcome; it reports whether the worker
+	// should keep claiming.
+	handle := func(pc *pathConn, seg int, err error) bool {
+		switch {
+		case err == nil:
+			st.complete()
+			return true
+		case errors.Is(err, errSegmentFailed):
+			st.requeue(seg, pc)
+			return true
+		case errors.Is(err, errPathDown):
+			st.requeue(seg, pc)
+			return false
+		default: // fatal protocol error; the path was marked down
+			st.requeue(seg, pc)
+			recordErr(err)
+			return false
 		}
-	}()
+	}
 
-	// Controller + secondary: engage the costly path only under deadline
-	// pressure, re-evaluated every tick.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		tick := time.NewTicker(20 * time.Millisecond)
-		defer tick.Stop()
-		for range tick.C {
-			if st.remainingSegments() == 0 {
-				return
+	// Primary: drain from the front while the path lives.
+	if !f.primary.isDown() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if st.finished() || st.aborted() {
+					return
+				}
+				seg := st.claimFrontFor(f.primary)
+				if seg < 0 {
+					// Nothing claimable now; a segment in flight on the
+					// other path may yet fail back into the ledger.
+					time.Sleep(ledgerIdleSleep)
+					continue
+				}
+				if !handle(f.primary, seg, fetchSeg(f.primary, seg)) {
+					return
+				}
 			}
-			elapsed := time.Since(start)
-			windowLeft := alpha*d.Seconds() - elapsed.Seconds()
-			mu.Lock()
-			got := res.PrimaryBytes + res.SecondaryBytes
-			mu.Unlock()
-			rate := float64(got) / elapsed.Seconds() // bytes/s, cumulative
-			remaining := float64(st.remainingSegments()) * float64(segSize)
-			needSecondary := windowLeft <= 0 || rate*windowLeft < remaining
-			if !needSecondary {
-				continue
+		}()
+	}
+
+	// Controller + secondary: engage the costly path under deadline
+	// pressure, or unconditionally once the preferred path is down
+	// (degraded mode inverts the cost preference to honor the deadline).
+	// While engaged it keeps claiming back-segments — re-evaluating
+	// pressure per segment, not per tick — so a fast secondary saturates
+	// and still stands down as soon as the primary suffices again.
+	if !f.secondary.isDown() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if st.finished() || st.aborted() {
+					return
+				}
+				if !f.primary.isDown() {
+					mu.Lock()
+					got := res.PrimaryBytes + res.SecondaryBytes
+					mu.Unlock()
+					remaining := float64(st.remainingSegments()) * float64(segSize)
+					if !underPressure(start, d, alpha, got, remaining) {
+						time.Sleep(controllerTick)
+						continue
+					}
+				}
+				seg := st.claimBackFor(f.secondary)
+				if seg < 0 {
+					if st.finished() || st.aborted() {
+						return
+					}
+					time.Sleep(ledgerIdleSleep)
+					continue
+				}
+				if !handle(f.secondary, seg, fetchSeg(f.secondary, seg)) {
+					return
+				}
 			}
-			seg := st.claimBack()
-			if seg < 0 {
-				return
-			}
-			if err := fetchSeg(f.secondary, seg); err != nil {
-				errCh <- err
-				return
-			}
-		}
-	}()
+		}()
+	}
 
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+
+	pRet, pRed, pWaste := f.primary.counters()
+	sRet, sRed, sWaste := f.secondary.counters()
+	res.Retries = (pRet - pRet0) + (sRet - sRet0)
+	res.Redials = (pRed - pRed0) + (sRed - sRed0)
+	res.WastedBytes = (pWaste - pWaste0) + (sWaste - sWaste0)
+	st.mu.Lock()
+	res.Requeued = st.requeueCount
+	st.mu.Unlock()
+	res.Degraded = f.primary.isDown() || f.secondary.isDown()
+
+	// On failure the partial result still carries the fault accounting,
+	// so callers can fold retries/redials into session totals.
+	if !st.finished() {
+		if st.aborted() {
+			return res, fmt.Errorf("netmp: chunk %d level %d: %w after %d requeues", index, level, ErrChunkExhausted, res.Requeued)
+		}
+		errMu.Lock()
+		joined := errors.Join(workerErrs...)
+		errMu.Unlock()
+		if f.primary.isDown() && f.secondary.isDown() {
+			return res, errors.Join(ErrAllPathsDown, joined)
+		}
+		if joined == nil {
+			joined = fmt.Errorf("netmp: chunk %d level %d incomplete", index, level)
+		}
+		return res, joined
 	}
 	res.Duration = time.Since(start)
 	if res.Duration > d {
 		res.MissedBy = res.Duration - d
 	}
 	return res, nil
+}
+
+// fetchSegSupervised downloads one segment on pc, absorbing transient
+// faults: a corrupted payload is re-requested on the intact connection,
+// and an I/O error triggers a redial (exponential backoff + jitter)
+// because the connection's framing state is unknown. It returns the
+// verified byte count, or errSegmentFailed once the per-segment budget is
+// spent (the caller requeues the segment), or errPathDown when the path's
+// redial budget is gone or the failure was fatal.
+func (f *Fetcher) fetchSegSupervised(pc *pathConn, pol RetryPolicy, index, level int, from, to int64) (int64, error) {
+	for attempt := 0; ; attempt++ {
+		n, verified, err := f.requestRange(pc, index, level, from, to)
+		if err == nil && verified {
+			pc.noteSuccess(n)
+			return n, nil
+		}
+		pc.noteFault(n)
+		if err != nil && !isTransient(err) {
+			pc.markDown()
+			return 0, err
+		}
+		if err != nil {
+			if derr := pc.redial(pol); derr != nil {
+				return 0, derr
+			}
+		}
+		if attempt+1 >= pol.SegmentBudget {
+			return 0, errSegmentFailed
+		}
+		time.Sleep(pol.backoff(attempt, pc.jitterRNG(pol)))
+	}
 }
 
 // FetchManifest downloads and parses the server's MPD over a fresh
@@ -276,7 +517,7 @@ func FetchManifest(addr string) (*dash.Video, [][]int64, error) {
 		if h == "" {
 			break
 		}
-		if v, found := strings.CutPrefix(h, "Content-Length: "); found {
+		if v, found := headerCut(h, "Content-Length"); found {
 			if contentLength, err = strconv.ParseInt(v, 10, 64); err != nil {
 				return nil, nil, fmt.Errorf("netmp: manifest length: %w", err)
 			}
@@ -297,11 +538,18 @@ func FetchManifest(addr string) (*dash.Video, [][]int64, error) {
 }
 
 // requestRange performs one HTTP range request on a path connection and
-// verifies the payload. It returns the byte count and whether every byte
-// matched.
+// verifies the payload. Every I/O operation (the write, the status and
+// header reads, and each body block read) runs under the policy's
+// IOTimeout so a stalled path surfaces as a timeout instead of hanging
+// the worker. It returns the byte count and whether every byte matched.
 func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (int64, bool, error) {
+	timeout := f.Retry.withDefaults().IOTimeout
+	extend := func() { pc.conn.SetDeadline(time.Now().Add(timeout)) }
+	defer pc.conn.SetDeadline(time.Time{})
+
 	lvlID := f.Video.Levels[level].ID
 	req := fmt.Sprintf("GET /seg-l%d-c%04d.m4s HTTP/1.1\r\nHost: x\r\nRange: bytes=%d-%d\r\n\r\n", lvlID, index, from, to)
+	extend()
 	if _, err := io.WriteString(pc.conn, req); err != nil {
 		return 0, false, fmt.Errorf("netmp: %s write: %w", pc.name, err)
 	}
@@ -310,7 +558,7 @@ func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (
 		return 0, false, fmt.Errorf("netmp: %s status: %w", pc.name, err)
 	}
 	if !strings.Contains(status, "206") {
-		return 0, false, fmt.Errorf("netmp: %s unexpected status %q", pc.name, strings.TrimSpace(status))
+		return 0, false, fmt.Errorf("netmp: %s %w %q", pc.name, errBadStatus, strings.TrimSpace(status))
 	}
 	var contentLength int64 = -1
 	for {
@@ -322,7 +570,7 @@ func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (
 		if h == "" {
 			break
 		}
-		if v, found := strings.CutPrefix(h, "Content-Length: "); found {
+		if v, found := headerCut(h, "Content-Length"); found {
 			contentLength, err = strconv.ParseInt(v, 10, 64)
 			if err != nil {
 				return 0, false, fmt.Errorf("netmp: %s content-length %q: %w", pc.name, v, err)
@@ -340,6 +588,7 @@ func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (
 		if m > contentLength-got {
 			m = contentLength - got
 		}
+		extend()
 		n, err := io.ReadFull(pc.r, buf[:m])
 		for i := 0; i < n; i++ {
 			if buf[i] != ChunkBody(index, level, from+got+int64(i)) {

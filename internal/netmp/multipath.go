@@ -1,6 +1,7 @@
 package netmp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -11,7 +12,11 @@ import (
 // MultiFetcher generalizes Fetcher to N secondary connections ordered by
 // cost, mirroring the generalized MP-DASH scheduler (§4): under deadline
 // pressure it engages secondaries from cheapest to costliest, and each
-// stands down as soon as the cheaper set suffices again.
+// stands down as soon as the cheaper set suffices again. Supervision
+// generalizes too: a path that dies stays down for the session, its
+// claimed segments requeue to survivors, and secondary k is forced on
+// unconditionally once every cheaper path (the primary and secondaries
+// 0..k-1) is down.
 type MultiFetcher struct {
 	*Fetcher
 	// extra are additional secondaries in ascending cost order; the
@@ -41,15 +46,32 @@ func NewMultiFetcher(video *dash.Video, primaryAddr string, secondaryAddrs ...st
 	return m, nil
 }
 
-// Close tears down every connection.
+// Close tears down every connection, reporting every failure.
 func (m *MultiFetcher) Close() error {
-	err := m.Fetcher.Close()
+	errs := []error{m.Fetcher.Close()}
 	for _, pc := range m.extra {
-		if cerr := pc.conn.Close(); err == nil {
-			err = cerr
-		}
+		errs = append(errs, pc.close())
 	}
-	return err
+	return errors.Join(errs...)
+}
+
+// PathStats returns health snapshots for the primary and then every
+// secondary in cost order.
+func (m *MultiFetcher) PathStats() []PathStats {
+	out := m.Fetcher.PathStats()
+	for _, pc := range m.extra {
+		out = append(out, pc.stats())
+	}
+	return out
+}
+
+// DegradedFor returns the total time paths have spent down.
+func (m *MultiFetcher) DegradedFor() time.Duration {
+	var d time.Duration
+	for _, ps := range m.PathStats() {
+		d += ps.DownFor
+	}
+	return d
 }
 
 // MultiResult extends FetchResult with per-secondary byte counts
@@ -59,29 +81,57 @@ type MultiResult struct {
 	SecondaryBytesByPath []int64
 }
 
-// FetchChunk downloads one chunk engaging secondaries by cost order.
+// FetchChunk downloads one chunk engaging secondaries by cost order,
+// with the same fault tolerance as Fetcher.FetchChunk: transient faults
+// retry, failed segments requeue to surviving paths, and the fetch
+// completes on any non-empty subset of live paths.
 func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResult, error) {
 	size := m.chunkSize(index, level)
+	pol := m.Retry.withDefaults()
 	segSize := m.SegmentSize
 	if segSize <= 0 {
 		segSize = DefaultSegmentSize
 	}
+	secondaries := append([]*pathConn{m.secondary}, m.extra...)
+	allPaths := append([]*pathConn{m.primary}, secondaries...)
+	anyUp := false
+	for _, pc := range allPaths {
+		if !pc.isDown() {
+			anyUp = true
+		}
+	}
+	if !anyUp {
+		return nil, ErrAllPathsDown
+	}
 	nSegs := int((size + segSize - 1) / segSize)
-	st := &fetchState{front: 0, back: nSegs - 1}
+	st := newFetchState(nSegs, pol.RequeueBudget)
 	alpha := m.Alpha
 	if alpha <= 0 || alpha > 1 {
 		alpha = 1
 	}
 
-	secondaries := append([]*pathConn{m.secondary}, m.extra...)
 	res := &MultiResult{SecondaryBytesByPath: make([]int64, len(secondaries))}
 	res.Size = size
 	res.Verified = true
 
+	ret0 := make([]int64, len(allPaths))
+	red0 := make([]int64, len(allPaths))
+	waste0 := make([]int64, len(allPaths))
+	for i, pc := range allPaths {
+		ret0[i], red0[i], waste0[i] = pc.counters()
+	}
+
 	start := time.Now()
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	errCh := make(chan error, 1+len(secondaries))
+	var errMu sync.Mutex
+	var workerErrs []error
+
+	recordErr := func(err error) {
+		errMu.Lock()
+		workerErrs = append(workerErrs, err)
+		errMu.Unlock()
+	}
 
 	fetchSeg := func(pc *pathConn, secIdx, seg int) error {
 		from := int64(seg) * segSize
@@ -89,7 +139,7 @@ func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResu
 		if to >= size {
 			to = size - 1
 		}
-		n, ok, err := m.requestRange(pc, index, level, from, to)
+		n, err := m.fetchSegSupervised(pc, pol, index, level, from, to)
 		if err != nil {
 			return err
 		}
@@ -100,65 +150,98 @@ func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResu
 			res.SecondaryBytes += n
 			res.SecondaryBytesByPath[secIdx] += n
 		}
-		if !ok {
-			res.Verified = false
-		}
 		mu.Unlock()
 		return nil
 	}
 
-	// Primary drains from the front.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for {
-			seg := st.claimFront()
-			if seg < 0 {
-				return
-			}
-			if err := fetchSeg(m.primary, -1, seg); err != nil {
-				errCh <- err
-				return
-			}
+	handle := func(pc *pathConn, seg int, err error) bool {
+		switch {
+		case err == nil:
+			st.complete()
+			return true
+		case errors.Is(err, errSegmentFailed):
+			st.requeue(seg, pc)
+			return true
+		case errors.Is(err, errPathDown):
+			st.requeue(seg, pc)
+			return false
+		default:
+			st.requeue(seg, pc)
+			recordErr(err)
+			return false
 		}
-	}()
+	}
+
+	// Primary drains from the front while it lives.
+	if !m.primary.isDown() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if st.finished() || st.aborted() {
+					return
+				}
+				seg := st.claimFrontFor(m.primary)
+				if seg < 0 {
+					time.Sleep(ledgerIdleSleep)
+					continue
+				}
+				if !handle(m.primary, seg, fetchSeg(m.primary, -1, seg)) {
+					return
+				}
+			}
+		}()
+	}
 
 	// One controller per secondary: secondary k engages only when the
 	// measured shortfall exceeds what paths 0..k-1 plus the primary can
 	// plausibly cover — the cheapest secondary reacts first, costlier
-	// ones need proportionally larger deficits.
+	// ones need proportionally larger deficits. Once every cheaper path
+	// is down, k is forced on unconditionally. An engaged controller
+	// keeps claiming back-segments, re-evaluating per segment.
 	for k, pc := range secondaries {
+		if pc.isDown() {
+			continue
+		}
 		k, pc := k, pc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tick := time.NewTicker(20 * time.Millisecond)
-			defer tick.Stop()
-			for range tick.C {
-				if st.remainingSegments() == 0 {
+			for {
+				if st.finished() || st.aborted() {
 					return
 				}
-				elapsed := time.Since(start)
-				windowLeft := alpha*d.Seconds() - elapsed.Seconds()
-				mu.Lock()
-				got := res.PrimaryBytes + res.SecondaryBytes
-				mu.Unlock()
-				rate := float64(got) / elapsed.Seconds()
-				remaining := float64(st.remainingSegments()) * float64(segSize)
-				// Path k joins only when even a (k+1)-fold rate cannot
-				// make the deadline — a pragmatic stand-in for summing
-				// per-path estimates, which a userspace fetcher lacks
-				// until a path has carried traffic.
-				pressure := windowLeft <= 0 || rate*windowLeft*float64(k+1) < remaining
-				if !pressure {
+				forced := m.primary.isDown()
+				for j := 0; j < k && forced; j++ {
+					forced = secondaries[j].isDown()
+				}
+				if !forced {
+					elapsed := time.Since(start)
+					windowLeft := alpha*d.Seconds() - elapsed.Seconds()
+					mu.Lock()
+					got := res.PrimaryBytes + res.SecondaryBytes
+					mu.Unlock()
+					remaining := float64(st.remainingSegments()) * float64(segSize)
+					// Path k joins only when even a (k+1)-fold rate cannot
+					// make the deadline — a pragmatic stand-in for summing
+					// per-path estimates, which a userspace fetcher lacks
+					// until a path has carried traffic.
+					pressure := windowLeft <= 0 ||
+						(elapsed >= pressureWarmup && float64(got)/elapsed.Seconds()*windowLeft*float64(k+1) < remaining)
+					if !pressure {
+						time.Sleep(controllerTick)
+						continue
+					}
+				}
+				seg := st.claimBackFor(pc)
+				if seg < 0 {
+					if st.finished() || st.aborted() {
+						return
+					}
+					time.Sleep(ledgerIdleSleep)
 					continue
 				}
-				seg := st.claimBack()
-				if seg < 0 {
-					return
-				}
-				if err := fetchSeg(pc, k, seg); err != nil {
-					errCh <- err
+				if !handle(pc, seg, fetchSeg(pc, k, seg)) {
 					return
 				}
 			}
@@ -166,10 +249,40 @@ func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResu
 	}
 
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+
+	for i, pc := range allPaths {
+		ret, red, waste := pc.counters()
+		res.Retries += ret - ret0[i]
+		res.Redials += red - red0[i]
+		res.WastedBytes += waste - waste0[i]
+		if pc.isDown() {
+			res.Degraded = true
+		}
+	}
+	st.mu.Lock()
+	res.Requeued = st.requeueCount
+	st.mu.Unlock()
+
+	if !st.finished() {
+		if st.aborted() {
+			return res, fmt.Errorf("netmp: chunk %d level %d: %w after %d requeues", index, level, ErrChunkExhausted, res.Requeued)
+		}
+		errMu.Lock()
+		joined := errors.Join(workerErrs...)
+		errMu.Unlock()
+		stillUp := false
+		for _, pc := range allPaths {
+			if !pc.isDown() {
+				stillUp = true
+			}
+		}
+		if !stillUp {
+			return res, errors.Join(ErrAllPathsDown, joined)
+		}
+		if joined == nil {
+			joined = fmt.Errorf("netmp: chunk %d level %d incomplete", index, level)
+		}
+		return res, joined
 	}
 	res.Duration = time.Since(start)
 	if res.Duration > d {

@@ -1,0 +1,120 @@
+package netmp
+
+// Regression tests for fixed defects: the secondary controller's one-
+// segment-per-tick throughput cap, silent Range mis-parses, and
+// case-sensitive header matching.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mpdash/internal/dash"
+)
+
+// TestSecondarySaturatesUnderPressure pins the fix for the controller
+// loop that claimed at most one 32 KiB segment per 20 ms tick (~13 Mbps
+// ceiling regardless of capacity). With a starved primary and an
+// unshaped secondary under an immediate deadline, the secondary must
+// move strictly more segments than one-per-tick could.
+func TestSecondarySaturatesUnderPressure(t *testing.T) {
+	_, _, f := rig(t, 1, 0) // primary 1 Mbps, secondary unshaped
+	res, err := f.FetchChunk(0, 4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("verification failed")
+	}
+	segs := int(res.SecondaryBytes / DefaultSegmentSize)
+	ticks := int(res.Duration / controllerTick)
+	if segs <= ticks+2 {
+		t.Errorf("secondary moved %d segments in %d ticks (%v): still rate-capped at one per tick",
+			segs, ticks, res.Duration)
+	}
+}
+
+// rawRequest sends one raw HTTP request and returns the status line.
+func rawRequest(t *testing.T, addr, req string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.WriteString(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	status, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading status: %v", err)
+	}
+	return strings.TrimSpace(status)
+}
+
+func TestMalformedRangeRejected(t *testing.T) {
+	video := dash.BigBuckBunny()
+	s, err := NewChunkServer(video, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for _, rng := range []string{
+		"bytes=abc-100", // non-numeric start: used to be silently read as 0
+		"bytes=0-xyz",   // non-numeric end
+		"bytes=100",     // missing dash
+		"smoots=0-100",  // wrong unit
+	} {
+		req := fmt.Sprintf("GET /seg-l1-c0000.m4s HTTP/1.1\r\nHost: x\r\nRange: %s\r\n\r\n", rng)
+		if status := rawRequest(t, s.Addr(), req); !strings.Contains(status, "400") {
+			t.Errorf("Range %q: status %q, want 400", rng, status)
+		}
+	}
+}
+
+func TestHeaderFieldsCaseInsensitive(t *testing.T) {
+	// RFC 9110 field names are case-insensitive: a lowercase range header
+	// must be honored, not ignored.
+	video := dash.BigBuckBunny()
+	s, err := NewChunkServer(video, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	req := "GET /seg-l1-c0000.m4s HTTP/1.1\r\nHost: x\r\nrange: BYTES=0-99\r\n\r\n"
+	if status := rawRequest(t, s.Addr(), req); !strings.Contains(status, "206") {
+		t.Errorf("lowercase range header: status %q, want 206", status)
+	}
+}
+
+func TestPathStatsAccessor(t *testing.T) {
+	_, _, f := rig(t, 0, 0)
+	if _, err := f.FetchChunk(0, 0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := f.PathStats()
+	if len(st) != 2 {
+		t.Fatalf("got %d paths", len(st))
+	}
+	if st[0].Name != "primary" || st[1].Name != "secondary" {
+		t.Errorf("names %q/%q", st[0].Name, st[1].Name)
+	}
+	if st[0].State != PathUp || st[1].State != PathUp {
+		t.Errorf("healthy rig reports states %v/%v", st[0].State, st[1].State)
+	}
+	if st[0].Bytes == 0 {
+		t.Error("primary byte count not tracked")
+	}
+	if st[0].Retries != 0 || st[0].Redials != 0 || st[0].DownFor != 0 {
+		t.Errorf("healthy rig reports faults: %+v", st[0])
+	}
+	if s := PathDown.String(); s != "down" {
+		t.Errorf("PathDown.String() = %q", s)
+	}
+}

@@ -3,12 +3,15 @@ package netmp
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mpdash/internal/dash"
 )
@@ -16,7 +19,10 @@ import (
 // ChunkServer serves DASH chunk bytes over a minimal HTTP/1.1 on one
 // listener, rate-shaped to emulate one network path's bandwidth. Chunk
 // contents are deterministic (a function of the byte offset), so clients
-// can verify multipath reassembly byte-for-byte.
+// can verify multipath reassembly byte-for-byte. An optional FaultPlan
+// makes the server misbehave on purpose (resets, stalls, premature
+// closes, corruption, blackouts) to exercise the client-side path
+// supervisor.
 type ChunkServer struct {
 	Video *dash.Video
 
@@ -25,14 +31,37 @@ type ChunkServer struct {
 	wg      sync.WaitGroup
 	ctx     context.Context
 	cancel  context.CancelFunc
+	start   time.Time
 	mu      sync.Mutex
 	served  int64
 	chunkSz func(index, level int) int64
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	lnOnce sync.Once
+	lnErr  error
+
+	plan    *FaultPlan
+	faultMu sync.Mutex
+	faultRN *rand.Rand
+	reqN    int64
+	fstats  FaultStats
 }
+
+// errInjected marks handler exits caused by an injected fault (the
+// connection is torn down, which is the point).
+var errInjected = errors.New("netmp: injected fault")
 
 // NewChunkServer starts a server on a loopback port, shaped to rateMbps
 // (non-positive = unshaped).
 func NewChunkServer(video *dash.Video, rateMbps float64) (*ChunkServer, error) {
+	return NewChunkServerWithFaults(video, rateMbps, nil)
+}
+
+// NewChunkServerWithFaults starts a shaped server that injects faults
+// according to plan (nil = no faults).
+func NewChunkServerWithFaults(video *dash.Video, rateMbps float64, plan *FaultPlan) (*ChunkServer, error) {
 	if err := video.Validate(); err != nil {
 		return nil, err
 	}
@@ -47,7 +76,17 @@ func NewChunkServer(video *dash.Video, rateMbps float64) (*ChunkServer, error) {
 		bucket:  NewTokenBucket(rateMbps*1e6/8, 64*1024),
 		ctx:     ctx,
 		cancel:  cancel,
+		start:   time.Now(),
 		chunkSz: video.ChunkSize,
+		conns:   make(map[net.Conn]struct{}),
+		plan:    plan,
+	}
+	if plan != nil {
+		seed := plan.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		s.faultRN = rand.New(rand.NewSource(seed))
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -64,12 +103,46 @@ func (s *ChunkServer) ServedBytes() int64 {
 	return s.served
 }
 
-// Close stops the server and waits for handlers to finish.
+// FaultStats returns a snapshot of the faults injected so far.
+func (s *ChunkServer) FaultStats() FaultStats {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	return s.fstats
+}
+
+// SetRateMbps changes the path's shaped rate in place (non-positive =
+// unshaped), emulating fades and recoveries without restarting the
+// server.
+func (s *ChunkServer) SetRateMbps(mbps float64) {
+	s.bucket.SetRate(mbps * 1e6 / 8)
+}
+
+// Blackhole kills the path permanently mid-session: the listener closes
+// so client redials are refused, and every active connection is reset.
+// The server object remains valid (Close is still required).
+func (s *ChunkServer) Blackhole() {
+	s.lnOnce.Do(func() { s.lnErr = s.ln.Close() })
+	s.cancel() // unblock shaped writes
+	s.connMu.Lock()
+	for c := range s.conns {
+		hardClose(c)
+	}
+	s.connMu.Unlock()
+}
+
+// Close stops the server and waits for handlers to finish. Active
+// connections are closed too — a handler parked in readRequest on an
+// idle keep-alive connection would otherwise park Close forever.
 func (s *ChunkServer) Close() error {
 	s.cancel()
-	err := s.ln.Close()
+	s.lnOnce.Do(func() { s.lnErr = s.ln.Close() })
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
-	return err
+	return s.lnErr
 }
 
 func (s *ChunkServer) acceptLoop() {
@@ -79,13 +152,30 @@ func (s *ChunkServer) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				conn.Close()
+			}()
 			s.serve(conn)
 		}()
 	}
+}
+
+// hardClose drops a connection with an RST (SO_LINGER 0) instead of a
+// clean FIN, the way a dying radio link looks to the peer.
+func hardClose(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
 }
 
 // ChunkBody returns the deterministic payload byte at absolute offset off
@@ -99,20 +189,84 @@ func ChunkBody(index, level int, off int64) byte {
 	return byte(x)
 }
 
+// nextFault decides the fault (if any) for a chunk request at level:
+// blackout windows first, then the scripted schedule, then seeded
+// probability draws evaluated in a fixed order.
+func (s *ChunkServer) nextFault(level int) FaultKind {
+	if s.plan == nil || !s.plan.appliesTo(level) {
+		return FaultNone
+	}
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	s.reqN++
+	now := time.Since(s.start)
+	for _, b := range s.plan.Blackouts {
+		if now >= b.From && now < b.To {
+			s.fstats.BlackoutResets++
+			return FaultReset
+		}
+	}
+	if k, ok := s.plan.Script[int(s.reqN)]; ok {
+		s.countFaultLocked(k)
+		return k
+	}
+	// Always draw all four so the random sequence depends only on the
+	// seed and request ordinal, not on which probabilities are set.
+	r1, r2, r3, r4 := s.faultRN.Float64(), s.faultRN.Float64(), s.faultRN.Float64(), s.faultRN.Float64()
+	switch {
+	case r1 < s.plan.ResetProb:
+		s.fstats.Resets++
+		return FaultReset
+	case r2 < s.plan.StallProb:
+		s.fstats.Stalls++
+		return FaultStall
+	case r3 < s.plan.CloseProb:
+		s.fstats.PrematureCloses++
+		return FaultClose
+	case r4 < s.plan.CorruptProb:
+		s.fstats.Corruptions++
+		return FaultCorrupt
+	}
+	return FaultNone
+}
+
+func (s *ChunkServer) countFaultLocked(k FaultKind) {
+	switch k {
+	case FaultReset:
+		s.fstats.Resets++
+	case FaultStall:
+		s.fstats.Stalls++
+	case FaultClose:
+		s.fstats.PrematureCloses++
+	case FaultCorrupt:
+		s.fstats.Corruptions++
+	}
+}
+
 // serve handles one keep-alive connection.
 func (s *ChunkServer) serve(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
-		index, level, from, to, manifest, ok := s.readRequest(r)
+		index, level, from, to, manifest, bad, ok := s.readRequest(r)
 		if !ok {
 			return
+		}
+		if bad {
+			fmt.Fprintf(w, "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n")
+			w.Flush()
+			continue
 		}
 		if manifest {
 			if err := s.writeManifest(w); err != nil {
 				return
 			}
 			continue
+		}
+		fault := s.nextFault(level)
+		if fault == FaultReset {
+			hardClose(conn)
+			return
 		}
 		size := s.chunkSz(index, level)
 		if to < 0 || to >= size {
@@ -125,7 +279,8 @@ func (s *ChunkServer) serve(conn net.Conn) {
 		}
 		n := to - from + 1
 		fmt.Fprintf(w, "HTTP/1.1 206 Partial Content\r\nContent-Length: %d\r\nContent-Range: bytes %d-%d/%d\r\n\r\n", n, from, to, size)
-		if err := s.writeBody(w, index, level, from, n); err != nil {
+		if err := s.writeBody(w, index, level, from, n, fault); err != nil {
+			w.Flush() // deliver whatever was produced before the fault
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -135,50 +290,68 @@ func (s *ChunkServer) serve(conn net.Conn) {
 }
 
 // readRequest parses "GET /seg-lL-cCCCC.m4s HTTP/1.1" (or
-// "GET /manifest.mpd") plus headers; it returns ok=false on any protocol
-// error or EOF.
-func (s *ChunkServer) readRequest(r *bufio.Reader) (index, level int, from, to int64, manifest, ok bool) {
+// "GET /manifest.mpd") plus headers. Header field names and the range
+// unit match case-insensitively (RFC 9110); a syntactically malformed
+// Range value sets bad=true so the caller answers 400 instead of
+// silently serving from offset 0. ok=false means protocol error or EOF.
+func (s *ChunkServer) readRequest(r *bufio.Reader) (index, level int, from, to int64, manifest, bad, ok bool) {
 	line, err := r.ReadString('\n')
 	if err != nil {
-		return 0, 0, 0, 0, false, false
+		return 0, 0, 0, 0, false, false, false
 	}
 	parts := strings.Fields(strings.TrimSpace(line))
 	if len(parts) != 3 || parts[0] != "GET" {
-		return 0, 0, 0, 0, false, false
+		return 0, 0, 0, 0, false, false, false
 	}
 	isManifest := parts[1] == "/manifest.mpd"
 	var lvlID, idx int
 	if !isManifest {
 		if _, err := fmt.Sscanf(parts[1], "/seg-l%d-c%d.m4s", &lvlID, &idx); err != nil {
-			return 0, 0, 0, 0, false, false
+			return 0, 0, 0, 0, false, false, false
 		}
 	}
 	from, to = 0, -1
 	for {
 		h, err := r.ReadString('\n')
 		if err != nil {
-			return 0, 0, 0, 0, false, false
+			return 0, 0, 0, 0, false, false, false
 		}
 		h = strings.TrimSpace(h)
 		if h == "" {
 			break
 		}
-		if v, found := strings.CutPrefix(h, "Range: bytes="); found {
-			a, b, _ := strings.Cut(v, "-")
-			from, _ = strconv.ParseInt(a, 10, 64)
-			if b != "" {
-				to, _ = strconv.ParseInt(b, 10, 64)
+		if v, found := headerCut(h, "Range"); found {
+			unit, spec, cut := strings.Cut(v, "=")
+			if !cut || !strings.EqualFold(strings.TrimSpace(unit), "bytes") {
+				bad = true
+				continue
+			}
+			a, b, dashed := strings.Cut(spec, "-")
+			if !dashed { // "bytes=100": no range at all
+				bad = true
+				continue
+			}
+			from, err = strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+			if err != nil {
+				bad = true
+				continue
+			}
+			if b = strings.TrimSpace(b); b != "" {
+				if to, err = strconv.ParseInt(b, 10, 64); err != nil {
+					bad = true
+					continue
+				}
 			}
 		}
 	}
 	if isManifest {
-		return 0, 0, 0, 0, true, true
+		return 0, 0, 0, 0, true, bad, true
 	}
 	lvl := lvlID - 1
 	if lvl < 0 || lvl >= len(s.Video.Levels) || idx < 0 || idx >= s.Video.NumChunks {
-		return 0, 0, 0, 0, false, false
+		return 0, 0, 0, 0, false, false, false
 	}
-	return idx, lvl, from, to, false, true
+	return idx, lvl, from, to, false, bad, true
 }
 
 // writeManifest serves the video's MPD (unshaped: manifests are tiny).
@@ -196,19 +369,51 @@ func (s *ChunkServer) writeManifest(w *bufio.Writer) error {
 	return w.Flush()
 }
 
-// writeBody streams n deterministic bytes through the rate shaper.
-func (s *ChunkServer) writeBody(w io.Writer, index, level int, from, n int64) error {
+// writeBody streams n deterministic bytes through the rate shaper,
+// applying the chosen mid-body fault: a stall freezes at the halfway
+// point, a premature close stops after half the advertised length, and
+// corruption flips a short run of bytes in the first block.
+func (s *ChunkServer) writeBody(w io.Writer, index, level int, from, n int64, fault FaultKind) error {
 	const block = 16 * 1024
 	buf := make([]byte, block)
 	off := from
 	remaining := n
+	stalled := false
+	// A premature close stops after roughly half the advertised length
+	// (at least one byte short, so single-block bodies truncate too).
+	closeAt := n
+	if fault == FaultClose {
+		if closeAt = (n + 1) / 2; closeAt >= n {
+			closeAt = n - 1
+		}
+	}
 	for remaining > 0 {
+		written := n - remaining
+		if fault == FaultStall && !stalled && (written >= n/2 || n <= block) {
+			stalled = true
+			select {
+			case <-time.After(s.plan.stallFor()):
+			case <-s.ctx.Done():
+				return s.ctx.Err()
+			}
+		}
+		if fault == FaultClose && written >= closeAt {
+			return errInjected
+		}
 		m := int64(block)
 		if m > remaining {
 			m = remaining
 		}
+		if fault == FaultClose && m > closeAt-written {
+			m = closeAt - written
+		}
 		for i := int64(0); i < m; i++ {
 			buf[i] = ChunkBody(index, level, off+i)
+		}
+		if fault == FaultCorrupt && off == from {
+			for i := int64(0); i < m && i < 16; i++ {
+				buf[i] ^= 0xA5
+			}
 		}
 		if err := s.bucket.Take(s.ctx, int(m)); err != nil {
 			return err

@@ -39,11 +39,12 @@ func NewTokenBucket(rate, burst float64) *TokenBucket {
 // refill before the next request), which preserves the long-run rate for
 // any request size.
 func (tb *TokenBucket) Take(ctx context.Context, n int) error {
-	if tb.rate <= 0 {
-		return nil
-	}
 	for {
 		tb.mu.Lock()
+		if tb.rate <= 0 {
+			tb.mu.Unlock()
+			return nil
+		}
 		now := time.Now()
 		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
 		if tb.tokens > tb.burst {
@@ -67,4 +68,22 @@ func (tb *TokenBucket) Take(ctx context.Context, n int) error {
 		case <-time.After(wait):
 		}
 	}
+}
+
+// SetRate changes the bucket's rate in place (bytes/second; non-positive
+// = unshaped), settling accrued tokens at the old rate first. Safe for
+// concurrent use with Take — blocked takers observe the new rate on
+// their next refill check.
+func (tb *TokenBucket) SetRate(rate float64) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	if tb.rate > 0 {
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	tb.rate = rate
 }

@@ -1,6 +1,7 @@
 package netmp
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -13,6 +14,13 @@ import (
 // rate-based with the §5.1 deadline extension) that the fetcher enforces
 // by engaging the secondary socket only under pressure. It is the
 // end-to-end userspace analogue of the kernel prototype.
+//
+// The loop degrades rather than dies: a chunk that exhausts its retry
+// budget is refetched once at the lowest level (smallest payload, best
+// odds) before being counted as a stall and skipped, and the session
+// continues on one path when the other is down. Only ErrAllPathsDown —
+// or a fatal protocol error — ends a session early, and even then the
+// partial result is returned alongside the error.
 type Streamer struct {
 	Fetcher *Fetcher
 	ABR     dash.RateAdapter
@@ -36,9 +44,34 @@ type StreamResult struct {
 	AvgLevel        float64
 	Wall            time.Duration
 	AllVerified     bool
+
+	// Retries counts failed range-request attempts absorbed by the path
+	// supervisor across the session.
+	Retries int64
+	// Redials counts reconnect attempts (successful or not).
+	Redials int64
+	// Requeued counts segments completed by the other path after a local
+	// retry budget ran out.
+	Requeued int64
+	// WastedBytes counts payload discarded from failed/corrupt attempts.
+	WastedBytes int64
+	// FaultsSurvived totals the transient faults the session absorbed
+	// without losing a chunk (retries plus requeues).
+	FaultsSurvived int64
+	// Refetches counts chunks refetched at the lowest level after their
+	// retry budget ran out at the selected level.
+	Refetches int
+	// LostChunks counts chunks abandoned after the lowest-level lifeline
+	// refetch also failed; each one is accounted as a stall.
+	LostChunks int
+	// DegradedTime is how long the session has run with a path down
+	// (single-path mode).
+	DegradedTime time.Duration
 }
 
-// Stream plays n chunks (0 = whole video) and blocks until done.
+// Stream plays n chunks (0 = whole video) and blocks until done. On an
+// unrecoverable error (all paths down, fatal protocol error) it returns
+// the partial result alongside the error.
 func (s *Streamer) Stream(n int) (*StreamResult, error) {
 	if s.Fetcher == nil || s.ABR == nil {
 		return nil, fmt.Errorf("netmp: streamer needs a fetcher and an ABR")
@@ -64,6 +97,15 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 	var throughputs []float64
 	var levelSum float64
 
+	finish := func() {
+		res.Wall = time.Since(start)
+		if res.Chunks > 0 {
+			res.AvgLevel = levelSum / float64(res.Chunks)
+		}
+		res.FaultsSurvived = res.Retries + res.Requeued
+		res.DegradedTime = s.Fetcher.DegradedFor()
+	}
+
 	for i := 0; i < n; i++ {
 		// Wait for buffer room (playback drains in real time).
 		if playing && buffer > bufferCap-video.ChunkDuration {
@@ -88,9 +130,6 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 		if level > video.HighestLevel() {
 			level = video.HighestLevel()
 		}
-		if lastLevel >= 0 && level != lastLevel {
-			res.QualitySwitches++
-		}
 
 		size := s.Fetcher.chunkSize(i, level)
 		deadline := video.ChunkDuration
@@ -106,15 +145,50 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			deadline = time.Millisecond
 		}
 
+		// absorbFaults folds a failed fetch's fault accounting into the
+		// session totals; its partial payload counts as wasted.
+		absorbFaults := func(fr *FetchResult) {
+			if fr == nil {
+				return
+			}
+			res.Retries += fr.Retries
+			res.Redials += fr.Redials
+			res.Requeued += fr.Requeued
+			res.WastedBytes += fr.WastedBytes + fr.PrimaryBytes + fr.SecondaryBytes
+		}
+
 		dlStart := time.Now()
 		fr, err := s.Fetcher.FetchChunk(i, level, deadline)
+		if err != nil && errors.Is(err, ErrChunkExhausted) && level != 0 {
+			// Lifeline: one refetch at the lowest level before declaring
+			// the chunk lost.
+			absorbFaults(fr)
+			res.Refetches++
+			level = 0
+			size = s.Fetcher.chunkSize(i, level)
+			fr, err = s.Fetcher.FetchChunk(i, level, deadline)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("netmp: chunk %d: %w", i, err)
+			absorbFaults(fr)
+			if errors.Is(err, ErrChunkExhausted) {
+				// Chunk lost even at the lowest level: account a stall of
+				// one chunk duration and move on.
+				res.LostChunks++
+				res.Stalls++
+				res.StallTime += video.ChunkDuration
+				continue
+			}
+			finish()
+			return res, fmt.Errorf("netmp: chunk %d: %w", i, err)
 		}
 		dl := time.Since(dlStart)
 
 		res.PrimaryBytes += fr.PrimaryBytes
 		res.SecondaryBytes += fr.SecondaryBytes
+		res.Retries += fr.Retries
+		res.Redials += fr.Redials
+		res.Requeued += fr.Requeued
+		res.WastedBytes += fr.WastedBytes
 		if !fr.Verified {
 			res.AllVerified = false
 		}
@@ -135,13 +209,13 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			buffer = bufferCap
 		}
 		playing = true
+		if lastLevel >= 0 && level != lastLevel {
+			res.QualitySwitches++
+		}
 		lastLevel = level
 		levelSum += float64(level)
 		res.Chunks++
 	}
-	res.Wall = time.Since(start)
-	if res.Chunks > 0 {
-		res.AvgLevel = levelSum / float64(res.Chunks)
-	}
+	finish()
 	return res, nil
 }

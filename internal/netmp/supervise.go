@@ -1,0 +1,316 @@
+package netmp
+
+// Path supervision: the fault-tolerance layer under the dual-socket
+// fetcher. Every range request runs under an I/O deadline; a transient
+// failure (reset, stall, premature close, corrupted payload) is absorbed
+// by retrying the segment — redialling the path with exponential backoff
+// and jitter when the connection's framing state is unknown — and a path
+// whose redial budget is exhausted is declared down for the session. The
+// fetcher then runs in degraded single-path mode on whichever path
+// survives: if the preferred path dies, the secondary is forced on
+// unconditionally (inverting Algorithm 1's cost preference to honor the
+// deadline) rather than aborting the stream.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PathState is a supervised path's health.
+type PathState int32
+
+const (
+	// PathUp: the path is connected and its last request succeeded.
+	PathUp PathState = iota
+	// PathDegraded: the path recently faulted and is retrying/redialling.
+	PathDegraded
+	// PathDown: the redial budget is exhausted (or a fatal protocol error
+	// occurred); the path is out for the rest of the session.
+	PathDown
+)
+
+func (ps PathState) String() string {
+	switch ps {
+	case PathUp:
+		return "up"
+	case PathDegraded:
+		return "degraded"
+	case PathDown:
+		return "down"
+	}
+	return fmt.Sprintf("PathState(%d)", int32(ps))
+}
+
+// RetryPolicy bounds the supervisor's recovery behaviour. The zero value
+// selects the defaults noted on each field.
+type RetryPolicy struct {
+	// IOTimeout is the per-I/O-operation deadline on a range request
+	// (write, status/header read, and each body block read). Default 2s.
+	IOTimeout time.Duration
+	// BaseBackoff is the first retry/redial delay; it doubles per
+	// consecutive failure. Default 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Default 2s.
+	MaxBackoff time.Duration
+	// JitterFrac adds a uniform random fraction of the backoff on top of
+	// it, decorrelating the two paths' retries. Default 0.2.
+	JitterFrac float64
+	// MaxRedials is the number of consecutive failed reconnect attempts
+	// before the path is declared down. Default 5.
+	MaxRedials int
+	// SegmentBudget is how many times one path attempts a segment before
+	// requeueing it to the ledger for the other path. Default 3.
+	SegmentBudget int
+	// RequeueBudget is how many times a segment may be requeued in total
+	// before the whole chunk fails with ErrChunkExhausted. Default 6.
+	RequeueBudget int
+	// Seed seeds the jitter generator (0 = 1) for reproducible backoff
+	// schedules.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.IOTimeout <= 0 {
+		p.IOTimeout = 2 * time.Second
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.JitterFrac <= 0 {
+		p.JitterFrac = 0.2
+	}
+	if p.MaxRedials <= 0 {
+		p.MaxRedials = 5
+	}
+	if p.SegmentBudget <= 0 {
+		p.SegmentBudget = 3
+	}
+	if p.RequeueBudget <= 0 {
+		p.RequeueBudget = 6
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// backoff returns the delay before the n-th (0-based) consecutive retry,
+// exponential with jitter, capped at MaxBackoff.
+func (p RetryPolicy) backoff(n int, rng *rand.Rand) time.Duration {
+	d := p.BaseBackoff << uint(n)
+	if d <= 0 || d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d + time.Duration(rng.Float64()*p.JitterFrac*float64(d))
+}
+
+// PathStats is a snapshot of one supervised path's health counters.
+type PathStats struct {
+	Name  string
+	State PathState
+	// Retries counts failed range-request attempts that were absorbed
+	// (retried or requeued) rather than surfaced as errors.
+	Retries int64
+	// Redials counts reconnect attempts, successful or not.
+	Redials int64
+	// Reconnects counts redials that produced a live connection.
+	Reconnects int64
+	// Bytes counts verified payload bytes delivered by this path.
+	Bytes int64
+	// WastedBytes counts payload bytes discarded from failed or
+	// corrupted attempts.
+	WastedBytes int64
+	// DownFor is how long the path has been down (zero while it lives).
+	DownFor time.Duration
+}
+
+// Supervision errors. errSegmentFailed and errPathDown steer the worker
+// loops; ErrChunkExhausted and ErrAllPathsDown surface to callers.
+var (
+	errSegmentFailed = errors.New("netmp: segment retry budget exhausted on this path")
+	errPathDown      = errors.New("netmp: path down")
+	// errBadStatus marks a non-2xx response — a protocol-level (fatal)
+	// failure that no amount of redialling will fix.
+	errBadStatus = errors.New("netmp: unexpected status")
+
+	// ErrChunkExhausted reports a chunk whose segments kept failing on
+	// every live path until the requeue budget ran out. The Streamer
+	// responds by refetching the chunk once at the lowest level.
+	ErrChunkExhausted = errors.New("netmp: chunk retry budget exhausted")
+	// ErrAllPathsDown reports that no path remains to carry traffic.
+	ErrAllPathsDown = errors.New("netmp: all paths down")
+)
+
+// isTransient classifies a request error: anything I/O-shaped (reset,
+// timeout, EOF, broken pipe) is worth a redial; a parsed-but-wrong HTTP
+// status is a protocol mismatch and fatal for the path.
+func isTransient(err error) bool {
+	return !errors.Is(err, errBadStatus)
+}
+
+type pathConn struct {
+	name   string
+	addr   string
+	conn   net.Conn // owned by the single worker goroutine using the path
+	r      *bufio.Reader
+	rng    *rand.Rand // jitter; owner-goroutine only
+	closed bool       // set by Close; owner/Close coordination via mu
+
+	mu          sync.Mutex // guards the stats + state below
+	state       PathState
+	retries     int64
+	redials     int64
+	reconnects  int64
+	bytes       int64
+	wasted      int64
+	consecFails int // consecutive failed redials
+	downAt      time.Time
+}
+
+func dialPath(name, addr string) (*pathConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("netmp: dial %s (%s): %w", name, addr, err)
+	}
+	return &pathConn{name: name, addr: addr, conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+func (pc *pathConn) isDown() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.state == PathDown
+}
+
+// noteSuccess records n verified payload bytes and restores the path to
+// healthy.
+func (pc *pathConn) noteSuccess(n int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.bytes += n
+	pc.consecFails = 0
+	if pc.state != PathDown {
+		pc.state = PathUp
+	}
+}
+
+// noteFault records one absorbed failure with wasted bytes.
+func (pc *pathConn) noteFault(wasted int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.retries++
+	pc.wasted += wasted
+	if pc.state != PathDown {
+		pc.state = PathDegraded
+	}
+}
+
+// markDown declares the path dead for the session.
+func (pc *pathConn) markDown() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.state != PathDown {
+		pc.state = PathDown
+		pc.downAt = time.Now()
+	}
+}
+
+func (pc *pathConn) stats() PathStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	st := PathStats{
+		Name:        pc.name,
+		State:       pc.state,
+		Retries:     pc.retries,
+		Redials:     pc.redials,
+		Reconnects:  pc.reconnects,
+		Bytes:       pc.bytes,
+		WastedBytes: pc.wasted,
+	}
+	if pc.state == PathDown && !pc.downAt.IsZero() {
+		st.DownFor = time.Since(pc.downAt)
+	}
+	return st
+}
+
+// counters snapshots the cumulative fault counters — the per-fetch
+// delta basis.
+func (pc *pathConn) counters() (retries, redials, wasted int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.retries, pc.redials, pc.wasted
+}
+
+func (pc *pathConn) jitterRNG(pol RetryPolicy) *rand.Rand {
+	if pc.rng == nil {
+		var h int64
+		for _, c := range pc.name {
+			h = h*131 + int64(c)
+		}
+		pc.rng = rand.New(rand.NewSource(pol.Seed ^ h))
+	}
+	return pc.rng
+}
+
+// redial replaces the path's connection after a transient failure,
+// backing off exponentially between attempts. It returns errPathDown
+// once MaxRedials consecutive attempts fail. Owner-goroutine only.
+func (pc *pathConn) redial(pol RetryPolicy) error {
+	pc.conn.Close()
+	rng := pc.jitterRNG(pol)
+	for {
+		pc.mu.Lock()
+		if pc.closed || pc.state == PathDown {
+			pc.mu.Unlock()
+			return errPathDown
+		}
+		attempt := pc.consecFails
+		pc.redials++
+		pc.mu.Unlock()
+
+		conn, err := net.DialTimeout("tcp", pc.addr, pol.IOTimeout)
+		if err == nil {
+			pc.conn = conn
+			pc.r = bufio.NewReader(conn)
+			pc.mu.Lock()
+			pc.reconnects++
+			pc.consecFails = 0
+			pc.mu.Unlock()
+			return nil
+		}
+		pc.mu.Lock()
+		pc.consecFails++
+		exhausted := pc.consecFails >= pol.MaxRedials
+		pc.mu.Unlock()
+		if exhausted {
+			pc.markDown()
+			return fmt.Errorf("%w: %s after %d redials: %v", errPathDown, pc.name, pol.MaxRedials, err)
+		}
+		time.Sleep(pol.backoff(attempt, rng))
+	}
+}
+
+// close tears down the path's connection (session shutdown).
+func (pc *pathConn) close() error {
+	pc.mu.Lock()
+	pc.closed = true
+	pc.mu.Unlock()
+	return pc.conn.Close()
+}
+
+// headerCut matches "Key: value" case-insensitively (RFC 9110 field
+// names), returning the trimmed value.
+func headerCut(line, key string) (string, bool) {
+	if len(line) > len(key) && line[len(key)] == ':' && strings.EqualFold(line[:len(key)], key) {
+		return strings.TrimSpace(line[len(key)+1:]), true
+	}
+	return "", false
+}

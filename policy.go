@@ -28,7 +28,8 @@ type (
 )
 
 // Real-socket components (internal/netmp): rate-shaped chunk servers, the
-// dual-TCP deadline-aware fetcher, and a real-time streaming loop.
+// dual-TCP deadline-aware fetcher with path supervision, and a real-time
+// streaming loop.
 type (
 	// ChunkServer serves DASH chunks over one shaped TCP listener.
 	ChunkServer = netmp.ChunkServer
@@ -36,13 +37,23 @@ type (
 	Fetcher = netmp.Fetcher
 	// Streamer is a real-time playback loop over a Fetcher.
 	Streamer = netmp.Streamer
+	// RetryPolicy tunes the path supervisor (timeouts, backoff, budgets).
+	RetryPolicy = netmp.RetryPolicy
+	// PathStats is a per-path health and fault-accounting snapshot.
+	PathStats = netmp.PathStats
+	// FaultPlan scripts faults into a ChunkServer for chaos rehearsal.
+	FaultPlan = netmp.FaultPlan
+	// FaultStats counts the faults a server actually injected.
+	FaultStats = netmp.FaultStats
 )
 
 // Real-socket constructors.
 var (
-	NewChunkServer = netmp.NewChunkServer
-	NewFetcher     = netmp.NewFetcher
-	FetchManifest  = netmp.FetchManifest
+	NewChunkServer           = netmp.NewChunkServer
+	NewChunkServerWithFaults = netmp.NewChunkServerWithFaults
+	NewFetcher               = netmp.NewFetcher
+	FetchManifest            = netmp.FetchManifest
+	ParseBlackouts           = netmp.ParseBlackouts
 )
 
 // Field-study schemes (Figures 9/10 arm keys).
