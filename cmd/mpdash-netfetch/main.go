@@ -7,15 +7,23 @@
 // sessions (see mpdash-netserve's -reset-prob and friends) can be tuned:
 // I/O timeouts, backoff, redial and per-segment budgets.
 //
+// Each path accepts a ranked, comma-separated origin list; per-origin
+// circuit breakers drive automatic failover, and slow segments are
+// hedged to a backup origin when one is available. Ctrl-C ends the
+// session gracefully after the in-flight chunk.
+//
 // Usage:
 //
 //	mpdash-netfetch -wifi 127.0.0.1:43210 -lte 127.0.0.1:43211 -chunks 10
+//	mpdash-netfetch -wifi 10.0.0.1:80,10.0.0.2:80 -lte 10.0.1.1:80 -hedge-factor 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"mpdash/internal/abr"
@@ -24,24 +32,34 @@ import (
 
 func main() {
 	var (
-		wifiAddr = flag.String("wifi", "", "preferred-path server address (required)")
-		lteAddr  = flag.String("lte", "", "secondary-path server address (required)")
-		chunks   = flag.Int("chunks", 10, "chunks to play")
-		rateBase = flag.Bool("rate", true, "rate-based deadlines (false = duration-based)")
+		wifiAddrs = flag.String("wifi", "", "preferred-path origin address(es), comma-separated in preference order (required)")
+		lteAddrs  = flag.String("lte", "", "secondary-path origin address(es), comma-separated in preference order (required)")
+		chunks    = flag.Int("chunks", 10, "chunks to play")
+		rateBase  = flag.Bool("rate", true, "rate-based deadlines (false = duration-based)")
 
 		ioTimeoutMs = flag.Int("io-timeout-ms", 2000, "per-I/O deadline on path sockets")
 		retryBaseMs = flag.Int("retry-base-ms", 50, "base retry backoff")
 		retryMaxMs  = flag.Int("retry-max-ms", 2000, "backoff ceiling")
 		segBudget   = flag.Int("segment-budget", 3, "attempts per segment per path before requeueing")
 		maxRedials  = flag.Int("max-redials", 5, "consecutive failed redials before a path is declared down")
+
+		brkWindow     = flag.Int("breaker-window", 16, "per-origin breaker rolling sample window")
+		brkErrRate    = flag.Float64("breaker-error-rate", 0.5, "windowed error rate that opens an origin breaker")
+		brkCooldownMs = flag.Int("breaker-cooldown-ms", 1000, "open-breaker cooldown before a half-open probe")
+
+		hedge         = flag.Bool("hedge", true, "hedge slow segments to a backup origin when one exists")
+		hedgeFactor   = flag.Float64("hedge-factor", 2, "pace multiple of the predicted service time that arms a hedge")
+		hedgeBudgetKB = flag.Int64("hedge-budget-kb", 4096, "session budget of payload bytes wasted on hedge losers")
 	)
 	flag.Parse()
-	if *wifiAddr == "" || *lteAddr == "" {
+	wifi := splitOrigins(*wifiAddrs)
+	lte := splitOrigins(*lteAddrs)
+	if len(wifi) == 0 || len(lte) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	video, sizes, err := netmp.FetchManifest(*wifiAddr)
+	video, sizes, err := netmp.FetchManifest(wifi[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -50,7 +68,12 @@ func main() {
 		video.NumChunks, video.ChunkDuration, len(video.Levels),
 		video.Levels[video.HighestLevel()].AvgBitrateMbps)
 
-	f, err := netmp.NewFetcher(video, *wifiAddr, *lteAddr)
+	brk := netmp.BreakerPolicy{
+		Window:        *brkWindow,
+		TripErrorRate: *brkErrRate,
+		Cooldown:      time.Duration(*brkCooldownMs) * time.Millisecond,
+	}
+	f, err := netmp.NewFetcherOrigins(video, wifi, lte, brk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -64,8 +87,24 @@ func main() {
 		SegmentBudget: *segBudget,
 		MaxRedials:    *maxRedials,
 	}
+	f.Hedge = netmp.HedgePolicy{
+		Disabled:    !*hedge,
+		Factor:      *hedgeFactor,
+		BudgetBytes: *hedgeBudgetKB * 1024,
+	}
 
 	st := &netmp.Streamer{Fetcher: f, ABR: abr.NewGPAC(), RateBased: *rateBase}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "\ninterrupt: finishing in-flight chunk, then stopping")
+		st.Stop()
+		<-sig // second interrupt: hard exit
+		os.Exit(1)
+	}()
+
 	res, err := st.Stream(*chunks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -73,6 +112,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("partial session before failure:\n")
+	}
+	if res.Stopped {
+		fmt.Printf("stopped by signal after %d chunks\n", res.Chunks)
 	}
 	total := res.PrimaryBytes + res.SecondaryBytes
 	fmt.Printf("played %d chunks in %v\n", res.Chunks, res.Wall.Round(time.Millisecond))
@@ -89,11 +131,36 @@ func main() {
 		fmt.Printf("wasted %0.1f KB, degraded %v\n",
 			float64(res.WastedBytes)/1e3, res.DegradedTime.Round(time.Millisecond))
 	}
+	if res.Failovers > 0 || res.HedgesIssued > 0 {
+		fmt.Printf("origin failovers %d; hedges issued %d, won %d, cancelled %d, wasted %0.1f KB\n",
+			res.Failovers, res.HedgesIssued, res.HedgesWon, res.HedgesCancelled,
+			float64(res.HedgeWastedBytes)/1e3)
+	}
 	for _, ps := range f.PathStats() {
-		fmt.Printf("path %-9s %-8s bytes=%d retries=%d redials=%d reconnects=%d\n",
-			ps.Name, ps.State, ps.Bytes, ps.Retries, ps.Redials, ps.Reconnects)
+		fmt.Printf("path %-9s %-8s bytes=%d retries=%d redials=%d reconnects=%d origin=%s\n",
+			ps.Name, ps.State, ps.Bytes, ps.Retries, ps.Redials, ps.Reconnects, ps.Origin)
+		if len(ps.Origins) > 1 {
+			for _, o := range ps.Origins {
+				mark := " "
+				if o.Current {
+					mark = "*"
+				}
+				fmt.Printf("  %s origin %-21s breaker=%-9s trips=%d\n", mark, o.Addr, o.State, o.Trips)
+			}
+		}
 	}
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// splitOrigins parses a comma-separated origin list, dropping empties.
+func splitOrigins(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

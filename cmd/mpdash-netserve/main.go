@@ -38,6 +38,9 @@ func main() {
 		corruptProb = flag.Float64("corrupt-prob", 0, "per-request probability of payload corruption")
 		stallMs     = flag.Int("stall-ms", 2000, "duration of injected stalls")
 		blackouts   = flag.String("blackouts", "", "blackout windows as start:duration[,start:duration...] e.g. 8s:3s,40s:5s")
+
+		maxConns   = flag.Int("max-conns", 0, "per-listener concurrent connection cap; excess get 503 (0 = unlimited)")
+		maxReqConn = flag.Int("max-requests-per-conn", 0, "requests served per connection before it is closed (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -93,6 +96,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer lteSrv.Close()
+	limits := netmp.ServerLimits{MaxConns: *maxConns, MaxRequestsPerConn: *maxReqConn}
+	wifiSrv.SetLimits(limits)
+	lteSrv.SetLimits(limits)
 
 	fmt.Printf("serving %q\n", video.Name)
 	fmt.Printf("wifi path: %s (%.1f Mbps)%s\n", wifiSrv.Addr(), *wifiMbps, planTag(wifiPlan))
@@ -103,9 +109,23 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	fmt.Printf("\nserved %d + %d payload bytes\n", wifiSrv.ServedBytes(), lteSrv.ServedBytes())
+	// Graceful drain: stop accepting, let in-flight bodies finish.
+	fmt.Println("\ndraining...")
+	wifiSrv.Drain()
+	lteSrv.Drain()
+	fmt.Printf("served %d + %d payload bytes\n", wifiSrv.ServedBytes(), lteSrv.ServedBytes())
 	if plan != nil {
 		fmt.Printf("faults injected: wifi %s | lte %s\n", wifiSrv.FaultStats(), lteSrv.FaultStats())
+	}
+	for _, s := range []struct {
+		name string
+		srv  *netmp.ChunkServer
+	}{{"wifi", wifiSrv}, {"lte", lteSrv}} {
+		ov := s.srv.OverloadStats()
+		if ov.RejectedConns > 0 || ov.CappedConns > 0 || ov.PanicsRecovered > 0 || ov.AcceptRetries > 0 {
+			fmt.Printf("overload %s: rejected=%d capped=%d panics=%d accept-retries=%d\n",
+				s.name, ov.RejectedConns, ov.CappedConns, ov.PanicsRecovered, ov.AcceptRetries)
+		}
 	}
 }
 

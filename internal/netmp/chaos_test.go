@@ -473,6 +473,73 @@ func TestMultiFetchSurvivesPrimaryDeath(t *testing.T) {
 	}
 }
 
+func TestMultiFetchSurvivesExtraSecondaryDeath(t *testing.T) {
+	// Three paths under a tight deadline so every secondary engages; the
+	// costliest extra (secondary-2) is blackholed mid-fetch. Its claimed
+	// segments must requeue to the survivors exactly like the embedded
+	// paths' do, and the chunk completes verified.
+	if testing.Short() {
+		t.Skip("multipath chaos test in -short mode")
+	}
+	video := dash.BigBuckBunny()
+	var servers []*ChunkServer
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		s, err := NewChunkServer(video, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	m, err := NewMultiFetcher(video, addrs[0], addrs[1:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		m.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	m.Retry = fastRetry()
+	time.AfterFunc(60*time.Millisecond, servers[2].Blackhole)
+	res, err := m.FetchChunk(0, 2, 200*time.Millisecond) // tight: all paths engage
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("verification failed")
+	}
+	if res.PrimaryBytes+res.SecondaryBytes != res.Size {
+		t.Errorf("bytes %d+%d != %d", res.PrimaryBytes, res.SecondaryBytes, res.Size)
+	}
+	st := m.PathStats()
+	if st[2].Name != "secondary-2" {
+		t.Fatalf("extra path named %q, want secondary-2", st[2].Name)
+	}
+	if st[2].State != PathDown {
+		t.Errorf("secondary-2 state = %v, want down after blackhole", st[2].State)
+	}
+	for _, p := range st[:2] {
+		if p.State == PathDown {
+			t.Errorf("surviving path %s marked down", p.Name)
+		}
+	}
+
+	// The next chunk must run on the two survivors from the start.
+	res2, err := m.FetchChunk(1, 2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Verified || res2.PrimaryBytes+res2.SecondaryBytes != res2.Size {
+		t.Errorf("post-death chunk incomplete: %+v", res2.FetchResult)
+	}
+	if res2.SecondaryBytesByPath[1] != 0 {
+		t.Errorf("dead secondary-2 carried %d bytes", res2.SecondaryBytesByPath[1])
+	}
+}
+
 func TestCloseJoinsBothErrors(t *testing.T) {
 	_, _, f := rig(t, 0, 0)
 	if err := f.Close(); err != nil {

@@ -48,9 +48,14 @@ type Fetcher struct {
 	// Retry bounds the fault-tolerance behaviour; the zero value selects
 	// the defaults documented on RetryPolicy.
 	Retry RetryPolicy
+	// Hedge bounds deadline-aware hedged requests (hedge.go); the zero
+	// value selects the defaults documented on HedgePolicy. Hedging
+	// engages only on paths built with multiple origins.
+	Hedge HedgePolicy
 
 	primary   *pathConn
 	secondary *pathConn
+	hedge     hedgeState
 }
 
 // chunkSize returns the authoritative size of (index, level).
@@ -61,16 +66,24 @@ func (f *Fetcher) chunkSize(index, level int) int64 {
 	return f.Video.ChunkSize(index, level)
 }
 
-// NewFetcher dials both paths.
+// NewFetcher dials both paths, one origin each.
 func NewFetcher(video *dash.Video, primaryAddr, secondaryAddr string) (*Fetcher, error) {
+	return NewFetcherOrigins(video, []string{primaryAddr}, []string{secondaryAddr}, BreakerPolicy{})
+}
+
+// NewFetcherOrigins dials both paths through ranked origin sets: each
+// slice lists a path's origin addresses in preference order, each gated
+// by a circuit breaker under pol (zero value = defaults). The initial
+// dial succeeds on the first reachable origin of each path.
+func NewFetcherOrigins(video *dash.Video, primaryOrigins, secondaryOrigins []string, pol BreakerPolicy) (*Fetcher, error) {
 	if err := video.Validate(); err != nil {
 		return nil, err
 	}
-	p, err := dialPath("primary", primaryAddr)
+	p, err := dialOrigins("primary", primaryOrigins, pol)
 	if err != nil {
 		return nil, err
 	}
-	s, err := dialPath("secondary", secondaryAddr)
+	s, err := dialOrigins("secondary", secondaryOrigins, pol)
 	if err != nil {
 		p.conn.Close()
 		return nil, err
@@ -96,6 +109,11 @@ func (f *Fetcher) DegradedFor() time.Duration {
 		d += ps.DownFor
 	}
 	return d
+}
+
+// failoverCount sums origin switches across the embedded pair.
+func (f *Fetcher) failoverCount() int64 {
+	return f.primary.set.Failovers() + f.secondary.set.Failovers()
 }
 
 // FetchResult reports one chunk download.
@@ -125,6 +143,21 @@ type FetchResult struct {
 	// Degraded is true when part of the chunk was fetched with a path
 	// down (single-path mode).
 	Degraded bool
+
+	// Failovers counts origin switches across all paths during this
+	// fetch (a tripped breaker re-routing the path's connection).
+	Failovers int64
+	// HedgesIssued counts duplicate requests launched to backup origins.
+	HedgesIssued int64
+	// HedgesWon counts segments delivered by the hedge rather than the
+	// primary attempt.
+	HedgesWon int64
+	// HedgesCancelled counts hedge-race losers whose transfers were
+	// aborted.
+	HedgesCancelled int64
+	// HedgeWastedBytes counts payload bytes spent on hedge losers,
+	// charged against HedgePolicy.BudgetBytes.
+	HedgeWastedBytes int64
 }
 
 // fetchState is the shared segment ledger. Segments move from unclaimed
@@ -304,9 +337,12 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 	}
 
 	start := time.Now()
+	dlAt := start.Add(time.Duration(alpha * float64(d)))
 	res := &FetchResult{Size: size, Verified: true}
 	pRet0, pRed0, pWaste0 := f.primary.counters()
 	sRet0, sRed0, sWaste0 := f.secondary.counters()
+	fo0 := f.failoverCount()
+	hi0, hw0, hc0, hwb0 := f.hedge.snapshot()
 	var mu sync.Mutex // guards res byte counters
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
@@ -324,7 +360,7 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 		if to >= size {
 			to = size - 1
 		}
-		n, err := f.fetchSegSupervised(pc, pol, index, level, from, to)
+		n, err := f.fetchSegHedged(pc, pol, index, level, from, to, dlAt)
 		if err != nil {
 			return err
 		}
@@ -427,6 +463,12 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 	res.Retries = (pRet - pRet0) + (sRet - sRet0)
 	res.Redials = (pRed - pRed0) + (sRed - sRed0)
 	res.WastedBytes = (pWaste - pWaste0) + (sWaste - sWaste0)
+	res.Failovers = f.failoverCount() - fo0
+	hi, hw, hc, hwb := f.hedge.snapshot()
+	res.HedgesIssued = hi - hi0
+	res.HedgesWon = hw - hw0
+	res.HedgesCancelled = hc - hc0
+	res.HedgeWastedBytes = hwb - hwb0
 	st.mu.Lock()
 	res.Requeued = st.requeueCount
 	st.mu.Unlock()
@@ -459,18 +501,41 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 // fetchSegSupervised downloads one segment on pc, absorbing transient
 // faults: a corrupted payload is re-requested on the intact connection,
 // and an I/O error triggers a redial (exponential backoff + jitter)
-// because the connection's framing state is unknown. It returns the
-// verified byte count, or errSegmentFailed once the per-segment budget is
-// spent (the caller requeues the segment), or errPathDown when the path's
-// redial budget is gone or the failure was fatal.
+// because the connection's framing state is unknown. Every attempt's
+// outcome feeds the current origin's circuit breaker, and a segment
+// whose origin breaker opens mid-flight is re-dispatched through a
+// redial to the next healthy origin. It returns the verified byte
+// count, or errSegmentFailed once the per-segment budget is spent (the
+// caller requeues the segment), or errPathDown when the path's redial
+// budget is gone or the failure was fatal, or errHedgeCancelled when a
+// winning hedge aborted the attempt.
 func (f *Fetcher) fetchSegSupervised(pc *pathConn, pol RetryPolicy, index, level int, from, to int64) (int64, error) {
 	for attempt := 0; ; attempt++ {
+		// A tripped origin is not worth another request: fail over now
+		// (multi-origin sets only; a sole origin keeps legacy semantics).
+		if pc.set.Size() > 1 && pc.set.CurrentState() == BreakerOpen {
+			if derr := pc.redial(pol); derr != nil {
+				return 0, derr
+			}
+		}
+		o := pc.set.current()
+		t0 := time.Now()
 		n, verified, err := f.requestRange(pc, index, level, from, to)
 		if err == nil && verified {
 			pc.noteSuccess(n)
+			o.recordOutcome(nil, time.Since(t0))
 			return n, nil
 		}
+		if err != nil && pc.takeCancelled() {
+			// Not a fault: the hedge twin already delivered the segment.
+			return 0, errHedgeCancelled
+		}
 		pc.noteFault(n)
+		if err == nil {
+			o.recordOutcome(errCorruptPayload, 0)
+		} else {
+			o.recordOutcome(err, 0)
+		}
 		if err != nil && !isTransient(err) {
 			pc.markDown()
 			return 0, err
@@ -558,6 +623,11 @@ func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (
 		return 0, false, fmt.Errorf("netmp: %s status: %w", pc.name, err)
 	}
 	if !strings.Contains(status, "206") {
+		if strings.Contains(status, "503") {
+			// Overload rejection: transient, and breaker fuel for a
+			// failover to a less-loaded origin.
+			return 0, false, fmt.Errorf("netmp: %s %w", pc.name, errServerBusy)
+		}
 		return 0, false, fmt.Errorf("netmp: %s %w %q", pc.name, errBadStatus, strings.TrimSpace(status))
 	}
 	var contentLength int64 = -1

@@ -1,0 +1,292 @@
+package netmp
+
+// Deadline-aware hedged segment requests. A Holt-Winters predictor (the
+// same estimator the scheduler uses for path throughput, §6) tracks the
+// fetcher's per-segment service rate; when a segment's in-flight time
+// exceeds HedgePolicy.Factor times the predicted service time — its read
+// pace projects a deadline miss — a duplicate request is issued to a
+// healthy backup origin of the same path over a fresh connection. The
+// first verified result wins and the loser is cancelled (its connection
+// closed mid-read); a wasted-byte budget bounds how much duplicate
+// traffic a session may spend on hedging. With the chunk deadline near,
+// the hedge arms earlier: it never waits past the last instant a backup
+// could still make the deadline.
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"mpdash/internal/predict"
+)
+
+// HedgePolicy bounds hedged requests. The zero value selects the
+// defaults noted on each field; hedging engages only on paths with more
+// than one origin.
+type HedgePolicy struct {
+	// Disabled turns hedging off entirely.
+	Disabled bool
+	// Factor is the pace multiple that arms a hedge: a segment in flight
+	// longer than Factor × the Holt-Winters-predicted service time is
+	// hedged. Default 2.
+	Factor float64
+	// MinDelay floors the hedge arming delay so a noisy first estimate
+	// cannot hedge instantly. Default 10ms.
+	MinDelay time.Duration
+	// BudgetBytes caps the payload bytes wasted on hedge losers across
+	// the fetcher's lifetime; once spent, no further hedges are issued.
+	// Default 4 MiB.
+	BudgetBytes int64
+}
+
+func (p HedgePolicy) withDefaults() HedgePolicy {
+	if p.Factor <= 0 {
+		p.Factor = 2
+	}
+	if p.MinDelay <= 0 {
+		p.MinDelay = 10 * time.Millisecond
+	}
+	if p.BudgetBytes <= 0 {
+		p.BudgetBytes = 4 << 20
+	}
+	return p
+}
+
+// hedgeState is the fetcher-wide hedging runtime: the pace predictor and
+// the session counters. Safe for concurrent use.
+type hedgeState struct {
+	mu        sync.Mutex
+	hw        *predict.HoltWinters
+	issued    int64
+	won       int64
+	cancelled int64
+	wasted    int64
+}
+
+// observe feeds one completed segment's service rate into the predictor.
+func (h *hedgeState) observe(bytes int64, d time.Duration) {
+	if bytes <= 0 || d <= 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.hw == nil {
+		h.hw = predict.NewDefaultHoltWinters()
+	}
+	h.hw.Observe(float64(bytes) / d.Seconds())
+	h.mu.Unlock()
+}
+
+// predictedServiceTime returns the forecast transfer time for a segment
+// of n bytes, or 0 before any sample exists.
+func (h *hedgeState) predictedServiceTime(n int64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.hw == nil {
+		return 0
+	}
+	rate := h.hw.Predict()
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / rate * float64(time.Second))
+}
+
+// budgetLeft reports whether the wasted-byte budget still admits hedges.
+func (h *hedgeState) budgetLeft(budget int64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.wasted < budget
+}
+
+func (h *hedgeState) noteIssued() {
+	h.mu.Lock()
+	h.issued++
+	h.mu.Unlock()
+}
+
+func (h *hedgeState) noteWon() {
+	h.mu.Lock()
+	h.won++
+	h.mu.Unlock()
+}
+
+// noteCancelled records one cancelled loser and its wasted partial bytes.
+func (h *hedgeState) noteCancelled(wastedBytes int64) {
+	h.mu.Lock()
+	h.cancelled++
+	h.wasted += wastedBytes
+	h.mu.Unlock()
+}
+
+// noteWasted records loser bytes that were spent without a cancellation
+// (the loser failed on its own).
+func (h *hedgeState) noteWasted(wastedBytes int64) {
+	h.mu.Lock()
+	h.wasted += wastedBytes
+	h.mu.Unlock()
+}
+
+// snapshot returns the cumulative hedge counters.
+func (h *hedgeState) snapshot() (issued, won, cancelled, wasted int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.issued, h.won, h.cancelled, h.wasted
+}
+
+// hedgeDelay computes how long to let the primary attempt run before
+// arming the hedge: Factor × the predicted service time (half the I/O
+// timeout before any sample exists), floored at MinDelay — and, deadline
+// permitting, never past the last instant a backup fetch could still
+// finish inside the chunk's α·D window.
+func (f *Fetcher) hedgeDelay(pol HedgePolicy, retry RetryPolicy, segBytes int64, dlAt time.Time) time.Duration {
+	predicted := f.hedge.predictedServiceTime(segBytes)
+	if predicted <= 0 {
+		predicted = retry.IOTimeout / 2
+	}
+	delay := time.Duration(pol.Factor * float64(predicted))
+	if !dlAt.IsZero() {
+		if latest := time.Until(dlAt) - predicted; latest < delay {
+			delay = latest
+		}
+	}
+	if delay < pol.MinDelay {
+		delay = pol.MinDelay
+	}
+	return delay
+}
+
+// segOutcome is one side of a hedge race.
+type segOutcome struct {
+	n     int64
+	err   error
+	hedge bool
+}
+
+// fetchSegHedged downloads one segment on pc with hedging: the
+// supervised primary attempt races a one-shot duplicate to a backup
+// origin once the pace projects a miss. Exactly one result is returned
+// to the caller — the ledger sees a single completion — and the loser's
+// bytes are charged to the hedge budget. Falls back to the plain
+// supervised fetch when hedging is disabled, unaffordable, or no healthy
+// backup origin exists.
+func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int, from, to int64, dlAt time.Time) (int64, error) {
+	hp := f.Hedge.withDefaults()
+	var backup *origin
+	if !f.Hedge.Disabled && f.hedge.budgetLeft(hp.BudgetBytes) {
+		if b, ok := pc.set.backup(); ok {
+			backup = b
+		}
+	}
+	start := time.Now()
+	if backup == nil {
+		n, err := f.fetchSegSupervised(pc, pol, index, level, from, to)
+		if err == nil {
+			f.hedge.observe(n, time.Since(start))
+		}
+		return n, err
+	}
+
+	resCh := make(chan segOutcome, 2)
+	go func() {
+		n, err := f.fetchSegSupervised(pc, pol, index, level, from, to)
+		resCh <- segOutcome{n: n, err: err}
+	}()
+
+	timer := time.NewTimer(f.hedgeDelay(hp, pol, to-from+1, dlAt))
+	var first segOutcome
+	select {
+	case first = <-resCh:
+		// The primary finished before the hedge armed — the common case.
+		timer.Stop()
+		if first.err == nil {
+			f.hedge.observe(first.n, time.Since(start))
+		}
+		return first.n, first.err
+	case <-timer.C:
+	}
+
+	// Pace projects a miss: issue the duplicate to the backup origin.
+	f.hedge.noteIssued()
+	hedgeCancel := make(chan struct{})
+	go func() {
+		n, err := f.hedgeFetch(backup, pol, index, level, from, to, hedgeCancel)
+		resCh <- segOutcome{n: n, err: err, hedge: true}
+	}()
+
+	first = <-resCh
+	if first.err == nil && !first.hedge {
+		// Primary won: cancel the hedge and drain it.
+		close(hedgeCancel)
+		second := <-resCh
+		f.hedge.noteCancelled(second.n)
+		f.hedge.observe(first.n, time.Since(start))
+		return first.n, nil
+	}
+	if first.err == nil && first.hedge {
+		// Hedge won: cancel the supervised attempt (close its conn; the
+		// supervised loop sees the flag and returns errHedgeCancelled
+		// without charging a fault), drain it, and restore the path's
+		// connection for the next segment.
+		pc.cancelForHedge()
+		second := <-resCh
+		f.hedge.noteWon()
+		f.hedge.noteCancelled(second.n)
+		if !pc.isDown() {
+			pc.redial(pol) // best effort; a failure marks the path down
+		}
+		f.hedge.observe(first.n, time.Since(start))
+		return first.n, nil
+	}
+	// First finisher failed; the other side may still deliver.
+	second := <-resCh
+	if second.err == nil {
+		if second.hedge {
+			f.hedge.noteWon()
+		}
+		f.hedge.noteWasted(first.n)
+		f.hedge.observe(second.n, time.Since(start))
+		return second.n, nil
+	}
+	// Both failed: charge the hedge side's partial bytes to the budget
+	// and surface the supervised attempt's error so the ledger requeue
+	// semantics are exactly those of the unhedged path.
+	sup, hed := first, second
+	if first.hedge {
+		sup, hed = second, first
+	}
+	f.hedge.noteWasted(hed.n)
+	return sup.n, sup.err
+}
+
+// hedgeFetch performs the one-shot duplicate request on a fresh
+// connection to the backup origin. The outcome feeds the backup's
+// circuit breaker; closing cancel aborts the transfer mid-read.
+func (f *Fetcher) hedgeFetch(o *origin, pol RetryPolicy, index, level int, from, to int64, cancel <-chan struct{}) (int64, error) {
+	t0 := time.Now()
+	conn, err := net.DialTimeout("tcp", o.addr, pol.IOTimeout)
+	if err != nil {
+		o.breaker.RecordFailure(err)
+		return 0, err
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-cancel:
+			conn.Close()
+		case <-done:
+		}
+	}()
+	defer conn.Close()
+	hc := &pathConn{name: "hedge", conn: conn, r: bufio.NewReader(conn)}
+	n, verified, err := f.requestRange(hc, index, level, from, to)
+	if err == nil && !verified {
+		err = errCorruptPayload
+	}
+	o.recordOutcome(err, time.Since(t0))
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}

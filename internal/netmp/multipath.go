@@ -25,18 +25,31 @@ type MultiFetcher struct {
 }
 
 // NewMultiFetcher dials the primary plus any number of secondaries
-// (ascending cost order). At least one secondary is required.
+// (ascending cost order), one origin each. At least one secondary is
+// required.
 func NewMultiFetcher(video *dash.Video, primaryAddr string, secondaryAddrs ...string) (*MultiFetcher, error) {
-	if len(secondaryAddrs) == 0 {
+	sets := make([][]string, len(secondaryAddrs))
+	for i, a := range secondaryAddrs {
+		sets[i] = []string{a}
+	}
+	return NewMultiFetcherOrigins(video, []string{primaryAddr}, BreakerPolicy{}, sets...)
+}
+
+// NewMultiFetcherOrigins dials the primary plus any number of
+// secondaries (ascending cost order), each through a ranked origin set
+// gated by circuit breakers under pol. At least one secondary is
+// required.
+func NewMultiFetcherOrigins(video *dash.Video, primaryOrigins []string, pol BreakerPolicy, secondaryOrigins ...[]string) (*MultiFetcher, error) {
+	if len(secondaryOrigins) == 0 {
 		return nil, fmt.Errorf("netmp: at least one secondary required")
 	}
-	f, err := NewFetcher(video, primaryAddr, secondaryAddrs[0])
+	f, err := NewFetcherOrigins(video, primaryOrigins, secondaryOrigins[0], pol)
 	if err != nil {
 		return nil, err
 	}
 	m := &MultiFetcher{Fetcher: f}
-	for i, addr := range secondaryAddrs[1:] {
-		pc, err := dialPath(fmt.Sprintf("secondary-%d", i+2), addr)
+	for i, addrs := range secondaryOrigins[1:] {
+		pc, err := dialOrigins(fmt.Sprintf("secondary-%d", i+2), addrs, pol)
 		if err != nil {
 			m.Close()
 			return nil, err
@@ -44,6 +57,15 @@ func NewMultiFetcher(video *dash.Video, primaryAddr string, secondaryAddrs ...st
 		m.extra = append(m.extra, pc)
 	}
 	return m, nil
+}
+
+// failoverCount sums origin switches across every path.
+func (m *MultiFetcher) failoverCount() int64 {
+	n := m.Fetcher.failoverCount()
+	for _, pc := range m.extra {
+		n += pc.set.Failovers()
+	}
+	return n
 }
 
 // Close tears down every connection, reporting every failure.
@@ -122,6 +144,9 @@ func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResu
 	}
 
 	start := time.Now()
+	dlAt := start.Add(time.Duration(alpha * float64(d)))
+	fo0 := m.failoverCount()
+	hi0, hw0, hc0, hwb0 := m.hedge.snapshot()
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
@@ -139,7 +164,7 @@ func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResu
 		if to >= size {
 			to = size - 1
 		}
-		n, err := m.fetchSegSupervised(pc, pol, index, level, from, to)
+		n, err := m.fetchSegHedged(pc, pol, index, level, from, to, dlAt)
 		if err != nil {
 			return err
 		}
@@ -262,6 +287,12 @@ func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResu
 	st.mu.Lock()
 	res.Requeued = st.requeueCount
 	st.mu.Unlock()
+	res.Failovers = m.failoverCount() - fo0
+	hi, hw, hc, hwb := m.hedge.snapshot()
+	res.HedgesIssued = hi - hi0
+	res.HedgesWon = hw - hw0
+	res.HedgesCancelled = hc - hc0
+	res.HedgeWastedBytes = hwb - hwb0
 
 	if !st.finished() {
 		if st.aborted() {

@@ -23,6 +23,14 @@ import (
 // makes the server misbehave on purpose (resets, stalls, premature
 // closes, corruption, blackouts) to exercise the client-side path
 // supervisor.
+//
+// The server protects itself from overload: ServerLimits caps concurrent
+// connections (excess accepts get a 503 and are closed without touching
+// admitted traffic) and requests per connection; handlers recover from
+// panics instead of taking the process down; transient Accept errors
+// (EMFILE, ECONNABORTED) are retried with capped backoff rather than
+// killing the listener; and Drain stops accepting while letting
+// in-flight bodies finish.
 type ChunkServer struct {
 	Video *dash.Video
 
@@ -36,8 +44,11 @@ type ChunkServer struct {
 	served  int64
 	chunkSz func(index, level int) int64
 
-	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	connMu   sync.Mutex
+	conns    map[net.Conn]*connTrack
+	limits   ServerLimits
+	draining bool
+	ostats   OverloadStats
 
 	lnOnce sync.Once
 	lnErr  error
@@ -47,6 +58,37 @@ type ChunkServer struct {
 	faultRN *rand.Rand
 	reqN    int64
 	fstats  FaultStats
+}
+
+// connTrack is the server's per-connection admission record.
+type connTrack struct {
+	busy bool // mid-request (between parsed request and flushed response)
+}
+
+// ServerLimits is the ChunkServer's overload-protection configuration.
+// Zero fields mean unlimited.
+type ServerLimits struct {
+	// MaxConns caps concurrently admitted connections; excess accepts
+	// receive "503 Service Unavailable" and are closed.
+	MaxConns int
+	// MaxRequestsPerConn closes a keep-alive connection after it has
+	// served this many requests, bounding per-connection state lifetime.
+	MaxRequestsPerConn int
+}
+
+// OverloadStats counts the server's self-protection actions.
+type OverloadStats struct {
+	// RejectedConns counts accepts refused with a 503 under MaxConns
+	// pressure.
+	RejectedConns int64
+	// CappedConns counts connections closed for reaching
+	// MaxRequestsPerConn.
+	CappedConns int64
+	// PanicsRecovered counts handler panics absorbed (connection dropped,
+	// server alive).
+	PanicsRecovered int64
+	// AcceptRetries counts transient Accept errors absorbed with backoff.
+	AcceptRetries int64
 }
 
 // errInjected marks handler exits caused by an injected fault (the
@@ -78,7 +120,7 @@ func NewChunkServerWithFaults(video *dash.Video, rateMbps float64, plan *FaultPl
 		cancel:  cancel,
 		start:   time.Now(),
 		chunkSz: video.ChunkSize,
-		conns:   make(map[net.Conn]struct{}),
+		conns:   make(map[net.Conn]*connTrack),
 		plan:    plan,
 	}
 	if plan != nil {
@@ -117,6 +159,52 @@ func (s *ChunkServer) SetRateMbps(mbps float64) {
 	s.bucket.SetRate(mbps * 1e6 / 8)
 }
 
+// SetLimits installs the server's overload-protection limits; safe to
+// call while serving.
+func (s *ChunkServer) SetLimits(l ServerLimits) {
+	s.connMu.Lock()
+	s.limits = l
+	s.connMu.Unlock()
+}
+
+// OverloadStats returns a snapshot of the server's self-protection
+// counters.
+func (s *ChunkServer) OverloadStats() OverloadStats {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.ostats
+}
+
+// Draining reports whether Drain has been called.
+func (s *ChunkServer) Draining() bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully retires the server: the listener closes (new dials
+// are refused), idle keep-alive connections are kicked, and connections
+// mid-request finish writing their current body before closing. Drain
+// blocks until every handler has exited; Close afterwards is still
+// required (and cheap).
+func (s *ChunkServer) Drain() error {
+	s.connMu.Lock()
+	s.draining = true
+	idle := make([]net.Conn, 0, len(s.conns))
+	for c, tr := range s.conns {
+		if !tr.busy {
+			idle = append(idle, c)
+		}
+	}
+	s.connMu.Unlock()
+	s.lnOnce.Do(func() { s.lnErr = s.ln.Close() })
+	for _, c := range idle {
+		c.Close() // parked in readRequest; the handler exits on the error
+	}
+	s.wg.Wait()
+	return s.lnErr
+}
+
 // Blackhole kills the path permanently mid-session: the listener closes
 // so client redials are refused, and every active connection is reset.
 // The server object remains valid (Close is still required).
@@ -145,20 +233,60 @@ func (s *ChunkServer) Close() error {
 	return s.lnErr
 }
 
+// acceptBackoffMax caps the accept-retry backoff on transient errors.
+const acceptBackoffMax = time.Second
+
 func (s *ChunkServer) acceptLoop() {
 	defer s.wg.Done()
+	backoff := 5 * time.Millisecond
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			// Only a closed listener (or server shutdown) ends the loop.
+			// Anything else — EMFILE, ECONNABORTED, a momentary kernel
+			// hiccup — is retried with capped backoff: a transient error
+			// must not permanently kill the listener.
+			if errors.Is(err, net.ErrClosed) || s.ctx.Err() != nil {
+				return
+			}
+			s.connMu.Lock()
+			s.ostats.AcceptRetries++
+			s.connMu.Unlock()
+			select {
+			case <-time.After(backoff):
+			case <-s.ctx.Done():
+				return
+			}
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		backoff = 5 * time.Millisecond
+
+		// Admission control: under MaxConns pressure the excess accept is
+		// turned away with a 503 so admitted connections keep their
+		// bandwidth and file descriptors.
 		s.connMu.Lock()
-		s.conns[conn] = struct{}{}
+		if s.limits.MaxConns > 0 && len(s.conns) >= s.limits.MaxConns {
+			s.ostats.RejectedConns++
+			s.connMu.Unlock()
+			go reject503(conn)
+			continue
+		}
+		s.conns[conn] = &connTrack{}
 		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer func() {
+				// A handler panic is one connection's problem, not the
+				// server's: recover, count it, drop the connection.
+				if r := recover(); r != nil {
+					s.connMu.Lock()
+					s.ostats.PanicsRecovered++
+					s.connMu.Unlock()
+				}
 				s.connMu.Lock()
 				delete(s.conns, conn)
 				s.connMu.Unlock()
@@ -167,6 +295,13 @@ func (s *ChunkServer) acceptLoop() {
 			s.serve(conn)
 		}()
 	}
+}
+
+// reject503 answers one over-limit connection and closes it.
+func reject503(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(time.Second))
+	io.WriteString(conn, "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+	conn.Close()
 }
 
 // hardClose drops a connection with an RST (SO_LINGER 0) instead of a
@@ -243,24 +378,50 @@ func (s *ChunkServer) countFaultLocked(k FaultKind) {
 	}
 }
 
-// serve handles one keep-alive connection.
+// serve handles one keep-alive connection, honoring the per-connection
+// request cap and the drain flag (finish the in-flight response, then
+// close instead of waiting for the next request).
 func (s *ChunkServer) serve(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	served := 0
+	setBusy := func(b bool) {
+		s.connMu.Lock()
+		if tr := s.conns[conn]; tr != nil {
+			tr.busy = b
+		}
+		s.connMu.Unlock()
+	}
 	for {
+		if s.Draining() {
+			return
+		}
+		s.connMu.Lock()
+		capped := s.limits.MaxRequestsPerConn > 0 && served >= s.limits.MaxRequestsPerConn
+		if capped {
+			s.ostats.CappedConns++
+		}
+		s.connMu.Unlock()
+		if capped {
+			return
+		}
 		index, level, from, to, manifest, bad, ok := s.readRequest(r)
 		if !ok {
 			return
 		}
+		served++
+		setBusy(true)
 		if bad {
 			fmt.Fprintf(w, "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n")
 			w.Flush()
+			setBusy(false)
 			continue
 		}
 		if manifest {
 			if err := s.writeManifest(w); err != nil {
 				return
 			}
+			setBusy(false)
 			continue
 		}
 		fault := s.nextFault(level)
@@ -275,6 +436,7 @@ func (s *ChunkServer) serve(conn net.Conn) {
 		if from < 0 || from > to {
 			fmt.Fprintf(w, "HTTP/1.1 416 Range Not Satisfiable\r\nContent-Length: 0\r\n\r\n")
 			w.Flush()
+			setBusy(false)
 			continue
 		}
 		n := to - from + 1
@@ -286,6 +448,7 @@ func (s *ChunkServer) serve(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+		setBusy(false)
 	}
 }
 

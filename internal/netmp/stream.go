@@ -3,6 +3,7 @@ package netmp
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mpdash/internal/dash"
@@ -31,7 +32,14 @@ type Streamer struct {
 	// PhiFrac is the deadline-extension threshold as a fraction of
 	// BufferCap (default 0.8).
 	PhiFrac float64
+
+	stop atomic.Bool
 }
+
+// Stop requests a graceful end of the session: the loop finishes the
+// in-flight chunk, then returns the partial result with Stopped set.
+// Safe to call from any goroutine (e.g. a signal handler).
+func (s *Streamer) Stop() { s.stop.Store(true) }
 
 // StreamResult summarizes a real-time playback.
 type StreamResult struct {
@@ -67,6 +75,19 @@ type StreamResult struct {
 	// DegradedTime is how long the session has run with a path down
 	// (single-path mode).
 	DegradedTime time.Duration
+
+	// Failovers counts origin switches across the session (origin tier).
+	Failovers int64
+	// HedgesIssued / HedgesWon / HedgesCancelled summarize hedged
+	// requests: duplicates launched, segments delivered by the hedge,
+	// and race losers aborted.
+	HedgesIssued    int64
+	HedgesWon       int64
+	HedgesCancelled int64
+	// HedgeWastedBytes counts payload spent on hedge losers.
+	HedgeWastedBytes int64
+	// Stopped is true when the session ended early via Streamer.Stop.
+	Stopped bool
 }
 
 // Stream plays n chunks (0 = whole video) and blocks until done. On an
@@ -107,6 +128,11 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 	}
 
 	for i := 0; i < n; i++ {
+		if s.stop.Load() {
+			res.Stopped = true
+			finish()
+			return res, nil
+		}
 		// Wait for buffer room (playback drains in real time).
 		if playing && buffer > bufferCap-video.ChunkDuration {
 			wait := buffer - (bufferCap - video.ChunkDuration)
@@ -155,6 +181,7 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			res.Redials += fr.Redials
 			res.Requeued += fr.Requeued
 			res.WastedBytes += fr.WastedBytes + fr.PrimaryBytes + fr.SecondaryBytes
+			absorbOriginStats(res, fr)
 		}
 
 		dlStart := time.Now()
@@ -189,6 +216,7 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 		res.Redials += fr.Redials
 		res.Requeued += fr.Requeued
 		res.WastedBytes += fr.WastedBytes
+		absorbOriginStats(res, fr)
 		if !fr.Verified {
 			res.AllVerified = false
 		}
@@ -218,4 +246,14 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 	}
 	finish()
 	return res, nil
+}
+
+// absorbOriginStats folds one fetch's origin-tier counters (failovers,
+// hedges) into the session totals.
+func absorbOriginStats(res *StreamResult, fr *FetchResult) {
+	res.Failovers += fr.Failovers
+	res.HedgesIssued += fr.HedgesIssued
+	res.HedgesWon += fr.HedgesWon
+	res.HedgesCancelled += fr.HedgesCancelled
+	res.HedgeWastedBytes += fr.HedgeWastedBytes
 }

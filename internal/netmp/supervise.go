@@ -2,14 +2,20 @@ package netmp
 
 // Path supervision: the fault-tolerance layer under the dual-socket
 // fetcher. Every range request runs under an I/O deadline; a transient
-// failure (reset, stall, premature close, corrupted payload) is absorbed
-// by retrying the segment — redialling the path with exponential backoff
-// and jitter when the connection's framing state is unknown — and a path
-// whose redial budget is exhausted is declared down for the session. The
-// fetcher then runs in degraded single-path mode on whichever path
-// survives: if the preferred path dies, the secondary is forced on
-// unconditionally (inverting Algorithm 1's cost preference to honor the
-// deadline) rather than aborting the stream.
+// failure (reset, stall, premature close, corrupted payload, server
+// 503) is absorbed by retrying the segment — redialling the path with
+// exponential backoff and jitter when the connection's framing state is
+// unknown — and a path whose redial budget is exhausted is declared down
+// for the session. The fetcher then runs in degraded single-path mode on
+// whichever path survives: if the preferred path dies, the secondary is
+// forced on unconditionally (inverting Algorithm 1's cost preference to
+// honor the deadline) rather than aborting the stream.
+//
+// Each path dials through a ranked OriginSet (origin.go): request and
+// dial outcomes feed the current origin's circuit breaker, and a redial
+// picks the highest-ranked origin whose breaker admits traffic — so an
+// origin that trips fails over without spending the path's life, and the
+// path only dies when no origin can carry it.
 
 import (
 	"bufio"
@@ -117,6 +123,14 @@ func (p RetryPolicy) backoff(n int, rng *rand.Rand) time.Duration {
 type PathStats struct {
 	Name  string
 	State PathState
+	// Origin is the address of the origin currently carrying the path.
+	Origin string
+	// Breaker is the current origin's circuit-breaker state.
+	Breaker BreakerState
+	// Failovers counts origin switches on this path.
+	Failovers int64
+	// Origins snapshots every ranked origin's health.
+	Origins []OriginStats
 	// Retries counts failed range-request attempts that were absorbed
 	// (retried or requeued) rather than surfaced as errors.
 	Retries int64
@@ -141,6 +155,16 @@ var (
 	// errBadStatus marks a non-2xx response — a protocol-level (fatal)
 	// failure that no amount of redialling will fix.
 	errBadStatus = errors.New("netmp: unexpected status")
+	// errServerBusy marks a 503 overload rejection: transient, worth a
+	// backoff and (via the breaker) a failover to another origin.
+	errServerBusy = errors.New("netmp: server busy (503)")
+	// errCorruptPayload marks a response whose bytes failed verification;
+	// it feeds the origin breaker (the attempt itself is retried on the
+	// intact connection).
+	errCorruptPayload = errors.New("netmp: corrupt payload")
+	// errHedgeCancelled marks a supervised attempt aborted because its
+	// hedge twin already delivered the segment — not a fault.
+	errHedgeCancelled = errors.New("netmp: attempt cancelled by winning hedge")
 
 	// ErrChunkExhausted reports a chunk whose segments kept failing on
 	// every live path until the requeue budget ran out. The Streamer
@@ -151,16 +175,17 @@ var (
 )
 
 // isTransient classifies a request error: anything I/O-shaped (reset,
-// timeout, EOF, broken pipe) is worth a redial; a parsed-but-wrong HTTP
-// status is a protocol mismatch and fatal for the path.
+// timeout, EOF, broken pipe) or a 503 overload rejection is worth a
+// redial; any other parsed-but-wrong HTTP status is a protocol mismatch
+// and fatal for the path.
 func isTransient(err error) bool {
-	return !errors.Is(err, errBadStatus)
+	return !errors.Is(err, errBadStatus) || errors.Is(err, errServerBusy)
 }
 
 type pathConn struct {
 	name   string
-	addr   string
-	conn   net.Conn // owned by the single worker goroutine using the path
+	set    *OriginSet // ranked origins with per-origin breakers
+	conn   net.Conn   // owned by the single worker goroutine using the path
 	r      *bufio.Reader
 	rng    *rand.Rand // jitter; owner-goroutine only
 	closed bool       // set by Close; owner/Close coordination via mu
@@ -174,14 +199,43 @@ type pathConn struct {
 	wasted      int64
 	consecFails int // consecutive failed redials
 	downAt      time.Time
+	cancelled   bool // a winning hedge closed the conn under us
 }
 
+// dialPath dials a single-origin path (manifest bootstrap, legacy
+// constructors).
 func dialPath(name, addr string) (*pathConn, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return dialOrigins(name, []string{addr}, BreakerPolicy{})
+}
+
+// dialOrigins dials a path through a ranked origin list: origins are
+// tried in preference order, dial failures feed their breakers, and the
+// first reachable origin carries the connection.
+func dialOrigins(name string, addrs []string, pol BreakerPolicy) (*pathConn, error) {
+	set, err := NewOriginSet(name, addrs, pol)
 	if err != nil {
-		return nil, fmt.Errorf("netmp: dial %s (%s): %w", name, addr, err)
+		return nil, err
 	}
-	return &pathConn{name: name, addr: addr, conn: conn, r: bufio.NewReader(conn)}, nil
+	pc := &pathConn{name: name, set: set}
+	var lastErr error
+	for range addrs {
+		o, ok := set.pick()
+		if !ok {
+			break
+		}
+		conn, err := net.DialTimeout("tcp", o.addr, 5*time.Second)
+		if err == nil {
+			pc.conn = conn
+			pc.r = bufio.NewReader(conn)
+			return pc, nil
+		}
+		o.breaker.RecordFailure(err)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no origin admitted the dial")
+	}
+	return nil, fmt.Errorf("netmp: dial %s (%s): %w", name, strings.Join(addrs, ","), lastErr)
 }
 
 func (pc *pathConn) isDown() bool {
@@ -223,9 +277,31 @@ func (pc *pathConn) markDown() {
 	}
 }
 
-func (pc *pathConn) stats() PathStats {
+// cancelForHedge aborts the path's in-flight request because its hedge
+// twin already delivered the segment: the connection is closed (framing
+// mid-body is unrecoverable) and the flag tells the supervised loop the
+// resulting error is a cancellation, not a fault.
+func (pc *pathConn) cancelForHedge() {
+	pc.mu.Lock()
+	pc.cancelled = true
+	conn := pc.conn
+	pc.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// takeCancelled consumes a pending hedge cancellation.
+func (pc *pathConn) takeCancelled() bool {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	was := pc.cancelled
+	pc.cancelled = false
+	return was
+}
+
+func (pc *pathConn) stats() PathStats {
+	pc.mu.Lock()
 	st := PathStats{
 		Name:        pc.name,
 		State:       pc.state,
@@ -237,6 +313,13 @@ func (pc *pathConn) stats() PathStats {
 	}
 	if pc.state == PathDown && !pc.downAt.IsZero() {
 		st.DownFor = time.Since(pc.downAt)
+	}
+	pc.mu.Unlock()
+	if pc.set != nil {
+		st.Origin = pc.set.Current()
+		st.Breaker = pc.set.CurrentState()
+		st.Failovers = pc.set.Failovers()
+		st.Origins = pc.set.Stats()
 	}
 	return st
 }
@@ -261,8 +344,11 @@ func (pc *pathConn) jitterRNG(pol RetryPolicy) *rand.Rand {
 }
 
 // redial replaces the path's connection after a transient failure,
-// backing off exponentially between attempts. It returns errPathDown
-// once MaxRedials consecutive attempts fail. Owner-goroutine only.
+// backing off exponentially between attempts. Each attempt asks the
+// origin set for the highest-ranked origin whose breaker admits traffic
+// — failing over away from a tripped origin, and back once it recovers.
+// It returns errPathDown once MaxRedials consecutive attempts fail.
+// Owner-goroutine only.
 func (pc *pathConn) redial(pol RetryPolicy) error {
 	pc.conn.Close()
 	rng := pc.jitterRNG(pol)
@@ -276,15 +362,24 @@ func (pc *pathConn) redial(pol RetryPolicy) error {
 		pc.redials++
 		pc.mu.Unlock()
 
-		conn, err := net.DialTimeout("tcp", pc.addr, pol.IOTimeout)
-		if err == nil {
-			pc.conn = conn
-			pc.r = bufio.NewReader(conn)
-			pc.mu.Lock()
-			pc.reconnects++
-			pc.consecFails = 0
-			pc.mu.Unlock()
-			return nil
+		o, ok := pc.set.pick()
+		var err error
+		if !ok {
+			err = fmt.Errorf("netmp: %s: every origin breaker open", pc.name)
+		} else {
+			var conn net.Conn
+			conn, err = net.DialTimeout("tcp", o.addr, pol.IOTimeout)
+			if err == nil {
+				pc.conn = conn
+				pc.r = bufio.NewReader(conn)
+				pc.mu.Lock()
+				pc.reconnects++
+				pc.consecFails = 0
+				pc.cancelled = false
+				pc.mu.Unlock()
+				return nil
+			}
+			o.breaker.RecordFailure(err)
 		}
 		pc.mu.Lock()
 		pc.consecFails++
