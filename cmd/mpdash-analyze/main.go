@@ -3,10 +3,17 @@
 // MP-DASH duration-based under FESTIVE), prints per-session metrics and
 // ASCII chunk visualizations, and optionally writes SVG renderings.
 //
+// With -journal it instead ingests a JSONL event journal (as written by
+// mpdash-netfetch -journal or obs.Journal.StreamTo) and renders the
+// per-chunk decision timeline: every subflow engage/stand-down with the
+// throughput estimate that drove it, adapter Φ/Ω actions, breaker and
+// hedge activity, and each chunk's outcome against its deadline.
+//
 // Usage:
 //
 //	mpdash-analyze -chunks 40
 //	mpdash-analyze -svg-dir /tmp/fig8 -chunks 150
+//	mpdash-analyze -journal session.jsonl
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"mpdash"
 	"mpdash/internal/analysis"
 	"mpdash/internal/harness"
+	"mpdash/internal/obs"
 	"mpdash/internal/pcaplite"
 )
 
@@ -29,8 +37,17 @@ func main() {
 		buffers = flag.Bool("buffers", false, "also print buffer-occupancy trajectories")
 		wifi    = flag.Float64("wifi", 3.8, "WiFi bandwidth (Mbps)")
 		lte     = flag.Float64("lte", 3.0, "LTE bandwidth (Mbps)")
+		journal = flag.String("journal", "", "render the decision timeline from this JSONL event journal (- = stdin) instead of simulating")
 	)
 	flag.Parse()
+
+	if *journal != "" {
+		if err := renderJournal(*journal); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cond := mpdash.LabCondition{Name: "custom", WiFiMbps: *wifi, LTEMbps: *lte}
 	wifiTr, lteTr := cond.Traces()
@@ -108,4 +125,29 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
+}
+
+// renderJournal reads a JSONL event journal and prints the per-chunk
+// decision timeline.
+func renderJournal(path string) error {
+	r := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ReadJournal(r)
+	if len(events) > 0 {
+		obs.RenderTimeline(os.Stdout, events)
+	}
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("journal %s: no events", path)
+	}
+	return nil
 }

@@ -12,15 +12,22 @@
 // hedged to a backup origin when one is available. Ctrl-C ends the
 // session gracefully after the in-flight chunk.
 //
+// Live telemetry is opt-in: -metrics-addr serves /metrics (Prometheus
+// text), /debug/vars and pprof while the session runs, and -journal
+// streams the structured decision journal as JSONL (render it later with
+// mpdash-analyze -journal).
+//
 // Usage:
 //
 //	mpdash-netfetch -wifi 127.0.0.1:43210 -lte 127.0.0.1:43211 -chunks 10
 //	mpdash-netfetch -wifi 10.0.0.1:80,10.0.0.2:80 -lte 10.0.1.1:80 -hedge-factor 3
+//	mpdash-netfetch -wifi :43210 -lte :43211 -metrics-addr 127.0.0.1:9090 -journal session.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,9 +35,12 @@ import (
 
 	"mpdash/internal/abr"
 	"mpdash/internal/netmp"
+	"mpdash/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		wifiAddrs = flag.String("wifi", "", "preferred-path origin address(es), comma-separated in preference order (required)")
 		lteAddrs  = flag.String("lte", "", "secondary-path origin address(es), comma-separated in preference order (required)")
@@ -50,21 +60,31 @@ func main() {
 		hedge         = flag.Bool("hedge", true, "hedge slow segments to a backup origin when one exists")
 		hedgeFactor   = flag.Float64("hedge-factor", 2, "pace multiple of the predicted service time that arms a hedge")
 		hedgeBudgetKB = flag.Int64("hedge-budget-kb", 4096, "session budget of payload bytes wasted on hedge losers")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
+		journalPath = flag.String("journal", "", "stream the structured event journal to this JSONL file (- = stderr)")
+		quiet       = flag.Bool("quiet", false, "suppress informational output (errors still print)")
 	)
 	flag.Parse()
 	wifi := splitOrigins(*wifiAddrs)
 	lte := splitOrigins(*lteAddrs)
 	if len(wifi) == 0 || len(lte) == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	infof := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Printf(format, a...)
+		}
 	}
 
 	video, sizes, err := netmp.FetchManifest(wifi[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("manifest: %d chunks × %v, %d levels (top %.2f Mbps)\n",
+	infof("manifest: %d chunks × %v, %d levels (top %.2f Mbps)\n",
 		video.NumChunks, video.ChunkDuration, len(video.Levels),
 		video.Levels[video.HighestLevel()].AvgBitrateMbps)
 
@@ -76,7 +96,7 @@ func main() {
 	f, err := netmp.NewFetcherOrigins(video, wifi, lte, brk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	defer f.Close()
 	f.Sizes = sizes // manifest sizes are authoritative
@@ -95,6 +115,38 @@ func main() {
 
 	st := &netmp.Streamer{Fetcher: f, ABR: abr.NewGPAC(), RateBased: *rateBase}
 
+	if *metricsAddr != "" || *journalPath != "" {
+		tel := obs.New()
+		if *journalPath != "" {
+			var w io.Writer = os.Stderr
+			if *journalPath != "-" {
+				jf, err := os.Create(*journalPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				defer jf.Close()
+				w = jf
+			}
+			tel.Journal.StreamTo(w)
+			defer func() {
+				if err := tel.Journal.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
+		}
+		if *metricsAddr != "" {
+			ms, err := tel.Serve(*metricsAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			defer ms.Close()
+			infof("telemetry: http://%s/metrics\n", ms.Addr())
+		}
+		st.Instrument(tel)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {
@@ -109,35 +161,35 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if res == nil {
-			os.Exit(1)
+			return 1
 		}
-		fmt.Printf("partial session before failure:\n")
+		infof("partial session before failure:\n")
 	}
 	if res.Stopped {
-		fmt.Printf("stopped by signal after %d chunks\n", res.Chunks)
+		infof("stopped by signal after %d chunks\n", res.Chunks)
 	}
 	total := res.PrimaryBytes + res.SecondaryBytes
-	fmt.Printf("played %d chunks in %v\n", res.Chunks, res.Wall.Round(time.Millisecond))
+	infof("played %d chunks in %v\n", res.Chunks, res.Wall.Round(time.Millisecond))
 	if total > 0 {
-		fmt.Printf("wifi %0.1f MB, lte %0.1f MB (%.1f%% on the secondary)\n",
+		infof("wifi %0.1f MB, lte %0.1f MB (%.1f%% on the secondary)\n",
 			float64(res.PrimaryBytes)/1e6, float64(res.SecondaryBytes)/1e6,
 			100*float64(res.SecondaryBytes)/float64(total))
 	}
-	fmt.Printf("stalls %d (%.2fs), avg level %.2f, switches %d, verified=%v\n",
+	infof("stalls %d (%.2fs), avg level %.2f, switches %d, verified=%v\n",
 		res.Stalls, res.StallTime.Seconds(), res.AvgLevel, res.QualitySwitches, res.AllVerified)
 	if res.FaultsSurvived > 0 || res.Redials > 0 || res.LostChunks > 0 {
-		fmt.Printf("faults survived %d (retries %d, requeued %d), redials %d, refetches %d, lost chunks %d\n",
+		infof("faults survived %d (retries %d, requeued %d), redials %d, refetches %d, lost chunks %d\n",
 			res.FaultsSurvived, res.Retries, res.Requeued, res.Redials, res.Refetches, res.LostChunks)
-		fmt.Printf("wasted %0.1f KB, degraded %v\n",
+		infof("wasted %0.1f KB, degraded %v\n",
 			float64(res.WastedBytes)/1e3, res.DegradedTime.Round(time.Millisecond))
 	}
 	if res.Failovers > 0 || res.HedgesIssued > 0 {
-		fmt.Printf("origin failovers %d; hedges issued %d, won %d, cancelled %d, wasted %0.1f KB\n",
+		infof("origin failovers %d; hedges issued %d, won %d, cancelled %d, wasted %0.1f KB\n",
 			res.Failovers, res.HedgesIssued, res.HedgesWon, res.HedgesCancelled,
 			float64(res.HedgeWastedBytes)/1e3)
 	}
 	for _, ps := range f.PathStats() {
-		fmt.Printf("path %-9s %-8s bytes=%d retries=%d redials=%d reconnects=%d origin=%s\n",
+		infof("path %-9s %-8s bytes=%d retries=%d redials=%d reconnects=%d origin=%s\n",
 			ps.Name, ps.State, ps.Bytes, ps.Retries, ps.Redials, ps.Reconnects, ps.Origin)
 		if len(ps.Origins) > 1 {
 			for _, o := range ps.Origins {
@@ -145,13 +197,14 @@ func main() {
 				if o.Current {
 					mark = "*"
 				}
-				fmt.Printf("  %s origin %-21s breaker=%-9s trips=%d\n", mark, o.Addr, o.State, o.Trips)
+				infof("  %s origin %-21s breaker=%-9s trips=%d\n", mark, o.Addr, o.State, o.Trips)
 			}
 		}
 	}
 	if err != nil {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // splitOrigins parses a comma-separated origin list, dropping empties.

@@ -7,24 +7,33 @@
 // networks: scripted or probabilistic connection resets, mid-body
 // stalls, premature closes, payload corruption, and blackout windows.
 //
+// With -metrics-addr the process serves /metrics (per-listener served
+// bytes, active connections, injected-fault and overload counters),
+// /debug/vars and pprof; -journal streams drain/reject events as JSONL.
+//
 // Usage:
 //
 //	mpdash-netserve -wifi-mbps 4 -lte-mbps 12
 //	mpdash-netserve -fault-path wifi -reset-prob 0.05 -blackouts 20s:5s
+//	mpdash-netserve -metrics-addr 127.0.0.1:9091 -journal serve.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
 
 	"mpdash"
 	"mpdash/internal/netmp"
+	"mpdash/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		wifiMbps  = flag.Float64("wifi-mbps", 4.0, "shaped rate of the WiFi-role listener")
 		lteMbps   = flag.Float64("lte-mbps", 12.0, "shaped rate of the LTE-role listener")
@@ -41,6 +50,10 @@ func main() {
 
 		maxConns   = flag.Int("max-conns", 0, "per-listener concurrent connection cap; excess get 503 (0 = unlimited)")
 		maxReqConn = flag.Int("max-requests-per-conn", 0, "requests served per connection before it is closed (0 = unlimited)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address (e.g. 127.0.0.1:9091; empty = off)")
+		journalPath = flag.String("journal", "", "stream the structured event journal to this JSONL file (- = stderr)")
+		quiet       = flag.Bool("quiet", false, "suppress informational output (errors still print)")
 	)
 	flag.Parse()
 
@@ -52,13 +65,13 @@ func main() {
 	}
 	if video == nil {
 		fmt.Fprintf(os.Stderr, "unknown video %q\n", *videoName)
-		os.Exit(2)
+		return 2
 	}
 
 	windows, err := netmp.ParseBlackouts(*blackouts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	var plan *netmp.FaultPlan
 	if *resetProb > 0 || *stallProb > 0 || *closeProb > 0 || *corruptProb > 0 || len(windows) > 0 {
@@ -81,41 +94,80 @@ func main() {
 	case "both":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fault-path %q (want wifi, lte, or both)\n", *faultPath)
-		os.Exit(2)
+		return 2
 	}
 
 	wifiSrv, err := netmp.NewChunkServerWithFaults(video, *wifiMbps, wifiPlan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	defer wifiSrv.Close()
 	lteSrv, err := netmp.NewChunkServerWithFaults(video, *lteMbps, ltePlan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	defer lteSrv.Close()
 	limits := netmp.ServerLimits{MaxConns: *maxConns, MaxRequestsPerConn: *maxReqConn}
 	wifiSrv.SetLimits(limits)
 	lteSrv.SetLimits(limits)
 
-	fmt.Printf("serving %q\n", video.Name)
-	fmt.Printf("wifi path: %s (%.1f Mbps)%s\n", wifiSrv.Addr(), *wifiMbps, planTag(wifiPlan))
-	fmt.Printf("lte  path: %s (%.1f Mbps)%s\n", lteSrv.Addr(), *lteMbps, planTag(ltePlan))
-	fmt.Printf("\nfetch with:\n  mpdash-netfetch -wifi %s -lte %s\n", wifiSrv.Addr(), lteSrv.Addr())
-	fmt.Println("\nCtrl-C to stop")
+	infof := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Printf(format, a...)
+		}
+	}
+
+	if *metricsAddr != "" || *journalPath != "" {
+		tel := obs.New()
+		if *journalPath != "" {
+			var w io.Writer = os.Stderr
+			if *journalPath != "-" {
+				jf, err := os.Create(*journalPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				defer jf.Close()
+				w = jf
+			}
+			tel.Journal.StreamTo(w)
+			defer func() {
+				if err := tel.Journal.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
+		}
+		if *metricsAddr != "" {
+			ms, err := tel.Serve(*metricsAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			defer ms.Close()
+			infof("telemetry: http://%s/metrics\n", ms.Addr())
+		}
+		wifiSrv.Instrument(tel)
+		lteSrv.Instrument(tel)
+	}
+
+	infof("serving %q\n", video.Name)
+	infof("wifi path: %s (%.1f Mbps)%s\n", wifiSrv.Addr(), *wifiMbps, planTag(wifiPlan))
+	infof("lte  path: %s (%.1f Mbps)%s\n", lteSrv.Addr(), *lteMbps, planTag(ltePlan))
+	infof("\nfetch with:\n  mpdash-netfetch -wifi %s -lte %s\n", wifiSrv.Addr(), lteSrv.Addr())
+	infof("\nCtrl-C to stop\n")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	// Graceful drain: stop accepting, let in-flight bodies finish.
-	fmt.Println("\ndraining...")
+	infof("\ndraining...\n")
 	wifiSrv.Drain()
 	lteSrv.Drain()
-	fmt.Printf("served %d + %d payload bytes\n", wifiSrv.ServedBytes(), lteSrv.ServedBytes())
+	infof("served %d + %d payload bytes\n", wifiSrv.ServedBytes(), lteSrv.ServedBytes())
 	if plan != nil {
-		fmt.Printf("faults injected: wifi %s | lte %s\n", wifiSrv.FaultStats(), lteSrv.FaultStats())
+		infof("faults injected: wifi %s | lte %s\n", wifiSrv.FaultStats(), lteSrv.FaultStats())
 	}
 	for _, s := range []struct {
 		name string
@@ -123,10 +175,11 @@ func main() {
 	}{{"wifi", wifiSrv}, {"lte", lteSrv}} {
 		ov := s.srv.OverloadStats()
 		if ov.RejectedConns > 0 || ov.CappedConns > 0 || ov.PanicsRecovered > 0 || ov.AcceptRetries > 0 {
-			fmt.Printf("overload %s: rejected=%d capped=%d panics=%d accept-retries=%d\n",
+			infof("overload %s: rejected=%d capped=%d panics=%d accept-retries=%d\n",
 				s.name, ov.RejectedConns, ov.CappedConns, ov.PanicsRecovered, ov.AcceptRetries)
 		}
 	}
+	return 0
 }
 
 func planTag(p *netmp.FaultPlan) string {

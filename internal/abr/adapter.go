@@ -7,6 +7,7 @@ import (
 	"mpdash/internal/core"
 	"mpdash/internal/dash"
 	"mpdash/internal/mptcp"
+	"mpdash/internal/obs"
 )
 
 // DeadlinePolicy selects how a chunk's deadline window D is derived (§5.1).
@@ -75,8 +76,38 @@ type Adapter struct {
 	sched *core.Scheduler
 	conn  *mptcp.Conn
 
+	// Obs receives the adapter's §5 decisions (adapter.extend /
+	// adapter.skip / adapter.govern), stamped with player time; nil =
+	// telemetry off. The adapter runs on the simulator's single
+	// goroutine, so no synchronization is needed.
+	Obs obs.Sink
+
 	governed int64
 	skipped  int64
+}
+
+// Instrument wires the adapter (and its scheduler) to t: decision events
+// to the journal, governed/skipped counts as scrape-time collectors.
+func (a *Adapter) Instrument(t *obs.Telemetry) {
+	if t == nil {
+		return
+	}
+	a.Obs = t
+	a.sched.Instrument(t)
+	r := t.Registry
+	r.CounterFunc("mpdash_adapter_chunks_total", "Chunks by adapter decision (governed under MP-DASH, or skipped below Ω).",
+		obs.Labels{"decision": "governed"}, func() float64 { return float64(a.Governed()) })
+	r.CounterFunc("mpdash_adapter_chunks_total", "Chunks by adapter decision (governed under MP-DASH, or skipped below Ω).",
+		obs.Labels{"decision": "skipped"}, func() float64 { return float64(a.Skipped()) })
+}
+
+// emit journals one adapter decision at the player's current time.
+func (a *Adapter) emit(e obs.Event, st dash.PlayerState) {
+	if a.Obs == nil {
+		return
+	}
+	e.Sim = st.Now
+	a.Obs.Emit(e)
 }
 
 // NewAdapter builds the adapter for a scheduler/connection pair.
@@ -192,17 +223,26 @@ func (a *Adapter) omega(st dash.PlayerState) time.Duration {
 
 // OnChunkStart implements dash.Adapter.
 func (a *Adapter) OnChunkStart(st dash.PlayerState, meta dash.ChunkMeta, tr *mptcp.Transfer) {
-	if !a.cfg.DisableLowBufferGuard && st.Buffer < a.omega(st) {
-		// Below Ω: MP-DASH stays out of the way; make sure the
-		// connection is in stock multipath mode.
-		a.skipped++
-		a.sched.Disable()
-		return
+	if !a.cfg.DisableLowBufferGuard {
+		if omega := a.omega(st); st.Buffer < omega {
+			// Below Ω: MP-DASH stays out of the way; make sure the
+			// connection is in stock multipath mode.
+			a.skipped++
+			a.emit(obs.NewEvent("adapter.skip").WithChunk(meta.Index, meta.Level).
+				WithNum("buffer_s", st.Buffer.Seconds()).
+				WithNum("omega_s", omega.Seconds()), st)
+			a.sched.Disable()
+			return
+		}
 	}
 	d := a.baseDeadline(meta)
 	if !a.cfg.DisableExtension {
 		if phi := a.phi(st); st.Buffer > phi {
 			d += st.Buffer - phi // §5.1 deadline extension
+			a.emit(obs.NewEvent("adapter.extend").WithChunk(meta.Index, meta.Level).
+				WithNum("extension_s", (st.Buffer-phi).Seconds()).
+				WithNum("buffer_s", st.Buffer.Seconds()).
+				WithNum("phi_s", phi.Seconds()), st)
 		}
 	}
 	a.sched.Govern(tr)
@@ -214,6 +254,9 @@ func (a *Adapter) OnChunkStart(st dash.PlayerState, meta dash.ChunkMeta, tr *mpt
 		return
 	}
 	a.governed++
+	a.emit(obs.NewEvent("adapter.govern").WithChunk(meta.Index, meta.Level).
+		WithNum("deadline_s", d.Seconds()).
+		WithNum("size", float64(meta.Size)), st)
 }
 
 // OnChunkDone implements dash.Adapter. Completion already deactivates the

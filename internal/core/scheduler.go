@@ -11,9 +11,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"mpdash/internal/mptcp"
+	"mpdash/internal/obs"
 	"mpdash/internal/sim"
 )
 
@@ -53,9 +55,41 @@ type Scheduler struct {
 	// path, so we only signal on change.
 	desired map[string]bool
 
+	// Obs receives the scheduler's decision events (sched.enable /
+	// sched.toggle / sched.disable / sched.miss), stamped with simulator
+	// time; nil = telemetry off. Set it (or call Instrument) before
+	// Enable. The scheduler runs on the simulator's single goroutine, so
+	// no synchronization is needed.
+	Obs obs.Sink
+
 	toggles    int64
 	misses     int64
 	activation int64
+}
+
+// Instrument wires the scheduler to t: decision events to the journal
+// and scrape-time collectors over the toggle/miss/activation counters.
+func (s *Scheduler) Instrument(t *obs.Telemetry) {
+	if t == nil {
+		return
+	}
+	s.Obs = t
+	r := t.Registry
+	r.CounterFunc("mpdash_sched_toggles_total", "Path enable/disable signals sent by the scheduler.",
+		nil, func() float64 { return float64(s.Toggles()) })
+	r.CounterFunc("mpdash_sched_deadline_misses_total", "Governed transfers that passed their deadline before completing.",
+		nil, func() float64 { return float64(s.DeadlineMisses()) })
+	r.CounterFunc("mpdash_sched_activations_total", "Transfers governed by MP-DASH.",
+		nil, func() float64 { return float64(s.Activations()) })
+}
+
+// emit journals one decision event at the current simulator time.
+func (s *Scheduler) emit(e obs.Event) {
+	if s.Obs == nil {
+		return
+	}
+	e.Sim = s.sim.Now()
+	s.Obs.Emit(e)
 }
 
 // NewScheduler creates a scheduler over conn with the given α.
@@ -107,6 +141,9 @@ func (s *Scheduler) Enable(size int64, window time.Duration) error {
 	s.sent = 0
 	s.enabledAt = s.sim.Now()
 	s.deadlineAt = s.enabledAt + window
+	s.emit(obs.NewEvent("sched.enable").
+		WithNum("size", float64(size)).
+		WithNum("window_s", window.Seconds()))
 	// Line 3 of Algorithm 1: cellularEnabled = FALSE. We evaluate
 	// immediately rather than blindly disabling, so a clearly-infeasible
 	// deadline keeps the secondary paths on from the first byte.
@@ -122,6 +159,7 @@ func (s *Scheduler) Disable() {
 		return
 	}
 	s.active = false
+	s.emit(obs.NewEvent("sched.disable"))
 	s.enableAll()
 }
 
@@ -171,6 +209,8 @@ func (s *Scheduler) evaluate() {
 		// Condition (2): deadline passed. "After that both interfaces
 		// will always be used" (§7.2.2).
 		s.misses++
+		s.emit(obs.NewEvent("sched.miss").
+			WithNum("remaining_bytes", float64(s.size-s.sent)))
 		s.Disable()
 		return
 	}
@@ -235,6 +275,11 @@ func (s *Scheduler) setPath(name string, on bool) {
 	}
 	s.desired[name] = on
 	s.toggles++
+	s.emit(obs.NewEvent("sched.toggle").WithPath(name).
+		WithStr("on", strconv.FormatBool(on)).
+		WithNum("estimate_bps", s.conn.EstimatedThroughput(name)).
+		WithNum("remaining_bytes", float64(s.size-s.sent)).
+		WithNum("slack_s", (s.deadlineAt - s.sim.Now()).Seconds()))
 	// The primary path can never be disabled; mptcp enforces it too.
 	_ = s.conn.SetPathEnabled(name, on)
 }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"mpdash/internal/obs"
 )
 
 // BreakerState is a circuit breaker's tri-state.
@@ -102,6 +104,29 @@ type CircuitBreaker struct {
 	probeOKs  int  // consecutive half-open probe successes
 	trips     int64
 	lastError error
+
+	// Telemetry: transitions are journalled to sink with the path/origin
+	// labels, set by setObs. Guarded by mu.
+	sink               obs.Sink
+	obsPath, obsOrigin string
+}
+
+// setObs wires the breaker's transition events to a telemetry sink.
+func (b *CircuitBreaker) setObs(sink obs.Sink, path, origin string) {
+	b.mu.Lock()
+	b.sink = sink
+	b.obsPath, b.obsOrigin = path, origin
+	b.mu.Unlock()
+}
+
+// emitTransition journals a state change observed while b.mu was held.
+// Called after unlock so a slow sink never extends the critical section.
+func (b *CircuitBreaker) emitTransition(sink obs.Sink, from, to BreakerState, path, origin string) {
+	if sink == nil || from == to {
+		return
+	}
+	sink.Emit(obs.NewEvent("breaker.state").WithPath(path).
+		WithStr("origin", origin).WithStr("from", from.String()).WithStr("to", to.String()))
 }
 
 // NewCircuitBreaker returns a closed breaker under pol (zero value =
@@ -119,9 +144,13 @@ func NewCircuitBreaker(pol BreakerPolicy) *CircuitBreaker {
 // cooldown transition first.
 func (b *CircuitBreaker) State() BreakerState {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.maybeHalfOpenLocked()
-	return b.state
+	to := b.state
+	sink, path, origin := b.sink, b.obsPath, b.obsOrigin
+	b.mu.Unlock()
+	b.emitTransition(sink, from, to, path, origin)
+	return to
 }
 
 // Trips returns how many times the breaker has opened.
@@ -146,34 +175,43 @@ func (b *CircuitBreaker) maybeHalfOpenLocked() {
 // (RecordSuccess/RecordFailure) decides the next transition.
 func (b *CircuitBreaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.maybeHalfOpenLocked()
+	allowed := false
 	switch b.state {
 	case BreakerClosed:
-		return true
+		allowed = true
 	case BreakerHalfOpen:
-		if b.probing {
-			return false
+		if !b.probing {
+			b.probing = true
+			allowed = true
 		}
-		b.probing = true
-		return true
 	}
-	return false
+	to := b.state
+	sink, path, origin := b.sink, b.obsPath, b.obsOrigin
+	b.mu.Unlock()
+	b.emitTransition(sink, from, to, path, origin)
+	return allowed
 }
 
 // Healthy reports whether the origin is currently dispatchable without
 // consuming a probe slot: closed, or half-open with a free probe slot.
 func (b *CircuitBreaker) Healthy() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.maybeHalfOpenLocked()
-	return b.state == BreakerClosed || (b.state == BreakerHalfOpen && !b.probing)
+	healthy := b.state == BreakerClosed || (b.state == BreakerHalfOpen && !b.probing)
+	to := b.state
+	sink, path, origin := b.sink, b.obsPath, b.obsOrigin
+	b.mu.Unlock()
+	b.emitTransition(sink, from, to, path, origin)
+	return healthy
 }
 
 // RecordSuccess feeds one successful request with its latency.
 func (b *CircuitBreaker) RecordSuccess(latency time.Duration) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.maybeHalfOpenLocked()
 	b.pushLocked(breakerSample{ok: true, latency: latency})
 	switch b.state {
@@ -186,13 +224,17 @@ func (b *CircuitBreaker) RecordSuccess(latency time.Duration) {
 	case BreakerClosed:
 		b.evaluateLocked()
 	}
+	to := b.state
+	sink, path, origin := b.sink, b.obsPath, b.obsOrigin
+	b.mu.Unlock()
+	b.emitTransition(sink, from, to, path, origin)
 }
 
 // RecordFailure feeds one failed request (I/O error, bad status, failed
 // dial, corrupt payload).
 func (b *CircuitBreaker) RecordFailure(err error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.maybeHalfOpenLocked()
 	b.lastError = err
 	b.pushLocked(breakerSample{ok: false})
@@ -203,6 +245,10 @@ func (b *CircuitBreaker) RecordFailure(err error) {
 	case BreakerClosed:
 		b.evaluateLocked()
 	}
+	to := b.state
+	sink, path, origin := b.sink, b.obsPath, b.obsOrigin
+	b.mu.Unlock()
+	b.emitTransition(sink, from, to, path, origin)
 }
 
 // pushLocked appends one outcome to the rolling window.

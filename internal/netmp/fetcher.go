@@ -56,6 +56,33 @@ type Fetcher struct {
 	primary   *pathConn
 	secondary *pathConn
 	hedge     hedgeState
+
+	// clk supplies wall time for deadlines, durations, and telemetry
+	// timestamps (nil = time.Now); set with SetClock before fetching.
+	clk Clock
+
+	// obsMu guards fobs; the published *fetcherObs itself is immutable,
+	// so one lock acquisition per read suffices (see telemetry.go).
+	obsMu sync.Mutex
+	fobs  *fetcherObs
+
+	fb fbTrack // first-byte span tracking for the in-flight chunk
+}
+
+// SetClock injects the fetcher's wall clock (nil restores time.Now),
+// propagating it to both supervised paths. Call before fetching; see the
+// Clock docs for the fixed-clock determinism pattern.
+func (f *Fetcher) SetClock(c Clock) {
+	f.clk = c
+	f.primary.setClock(c)
+	f.secondary.setClock(c)
+}
+
+// obsHandles returns the published telemetry handles (nil = off).
+func (f *Fetcher) obsHandles() *fetcherObs {
+	f.obsMu.Lock()
+	defer f.obsMu.Unlock()
+	return f.fobs
 }
 
 // chunkSize returns the authoritative size of (index, level).
@@ -300,18 +327,19 @@ func (st *fetchState) remainingSegments() int {
 
 // underPressure is the Algorithm 1 engagement test: true when the
 // cumulative throughput cannot move the remaining bytes within what is
-// left of the α·D window.
-func underPressure(start time.Time, d time.Duration, alpha float64, got int64, remaining float64) bool {
-	elapsed := time.Since(start)
-	windowLeft := alpha*d.Seconds() - elapsed.Seconds()
+// left of the α·D window. It also returns the measured rate (bytes/s,
+// zero before the warmup sample) and the remaining window — the numbers
+// that drove the decision, journalled with each engage/stand-down.
+func underPressure(elapsed time.Duration, d time.Duration, alpha float64, got int64, remaining float64) (pressure bool, rate, windowLeft float64) {
+	windowLeft = alpha*d.Seconds() - elapsed.Seconds()
 	if windowLeft <= 0 {
-		return true
+		return true, 0, windowLeft
 	}
 	if elapsed < pressureWarmup {
-		return false // no throughput sample yet
+		return false, 0, windowLeft // no throughput sample yet
 	}
-	rate := float64(got) / elapsed.Seconds()
-	return rate*windowLeft < remaining
+	rate = float64(got) / elapsed.Seconds()
+	return rate*windowLeft < remaining, rate, windowLeft
 }
 
 // FetchChunk downloads chunk (index, level) with deadline window d. It
@@ -336,9 +364,15 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 		alpha = 1
 	}
 
-	start := time.Now()
+	start := f.clk.now()
 	dlAt := start.Add(time.Duration(alpha * float64(d)))
 	res := &FetchResult{Size: size, Verified: true}
+	fo := f.obsHandles()
+	if fo != nil {
+		fo.emitChunkStart(index, level, size, d, nSegs)
+		f.fb.begin(start, index, level)
+		defer f.fb.end()
+	}
 	pRet0, pRed0, pWaste0 := f.primary.counters()
 	sRet0, sRed0, sWaste0 := f.secondary.counters()
 	fo0 := f.failoverCount()
@@ -427,19 +461,32 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			engaged := false
 			for {
 				if st.finished() || st.aborted() {
 					return
 				}
+				remaining := float64(st.remainingSegments()) * float64(segSize)
 				if !f.primary.isDown() {
 					mu.Lock()
 					got := res.PrimaryBytes + res.SecondaryBytes
 					mu.Unlock()
-					remaining := float64(st.remainingSegments()) * float64(segSize)
-					if !underPressure(start, d, alpha, got, remaining) {
+					pressure, rate, window := underPressure(f.clk.now().Sub(start), d, alpha, got, remaining)
+					if !pressure {
+						if engaged {
+							engaged = false
+							fo.emitToggle(false, "", f.secondary.name, index, level, rate, remaining, window)
+						}
 						time.Sleep(controllerTick)
 						continue
 					}
+					if !engaged {
+						engaged = true
+						fo.emitToggle(true, "pressure", f.secondary.name, index, level, rate, remaining, window)
+					}
+				} else if !engaged {
+					engaged = true
+					fo.emitToggle(true, "primary-down", f.secondary.name, index, level, 0, remaining, 0)
 				}
 				seg := st.claimBackFor(f.secondary)
 				if seg < 0 {
@@ -477,24 +524,30 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 	// On failure the partial result still carries the fault accounting,
 	// so callers can fold retries/redials into session totals.
 	if !st.finished() {
-		if st.aborted() {
-			return res, fmt.Errorf("netmp: chunk %d level %d: %w after %d requeues", index, level, ErrChunkExhausted, res.Requeued)
+		var ferr error
+		switch {
+		case st.aborted():
+			ferr = fmt.Errorf("netmp: chunk %d level %d: %w after %d requeues", index, level, ErrChunkExhausted, res.Requeued)
+		default:
+			errMu.Lock()
+			joined := errors.Join(workerErrs...)
+			errMu.Unlock()
+			if f.primary.isDown() && f.secondary.isDown() {
+				ferr = errors.Join(ErrAllPathsDown, joined)
+			} else if joined == nil {
+				ferr = fmt.Errorf("netmp: chunk %d level %d incomplete", index, level)
+			} else {
+				ferr = joined
+			}
 		}
-		errMu.Lock()
-		joined := errors.Join(workerErrs...)
-		errMu.Unlock()
-		if f.primary.isDown() && f.secondary.isDown() {
-			return res, errors.Join(ErrAllPathsDown, joined)
-		}
-		if joined == nil {
-			joined = fmt.Errorf("netmp: chunk %d level %d incomplete", index, level)
-		}
-		return res, joined
+		fo.emitChunkFail(index, level, ferr)
+		return res, ferr
 	}
-	res.Duration = time.Since(start)
+	res.Duration = f.clk.now().Sub(start)
 	if res.Duration > d {
 		res.MissedBy = res.Duration - d
 	}
+	fo.emitChunkDone(index, level, d, res)
 	return res, nil
 }
 
@@ -519,11 +572,11 @@ func (f *Fetcher) fetchSegSupervised(pc *pathConn, pol RetryPolicy, index, level
 			}
 		}
 		o := pc.set.current()
-		t0 := time.Now()
+		t0 := f.clk.now()
 		n, verified, err := f.requestRange(pc, index, level, from, to)
 		if err == nil && verified {
 			pc.noteSuccess(n)
-			o.recordOutcome(nil, time.Since(t0))
+			o.recordOutcome(nil, f.clk.now().Sub(t0))
 			return n, nil
 		}
 		if err != nil && pc.takeCancelled() {
@@ -531,11 +584,12 @@ func (f *Fetcher) fetchSegSupervised(pc *pathConn, pol RetryPolicy, index, level
 			return 0, errHedgeCancelled
 		}
 		pc.noteFault(n)
-		if err == nil {
-			o.recordOutcome(errCorruptPayload, 0)
-		} else {
-			o.recordOutcome(err, 0)
+		fault := err
+		if fault == nil {
+			fault = errCorruptPayload
 		}
+		o.recordOutcome(fault, 0)
+		pc.emitFault(fault)
 		if err != nil && !isTransient(err) {
 			pc.markDown()
 			return 0, err
@@ -609,7 +663,7 @@ func FetchManifest(addr string) (*dash.Video, [][]int64, error) {
 // the worker. It returns the byte count and whether every byte matched.
 func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (int64, bool, error) {
 	timeout := f.Retry.withDefaults().IOTimeout
-	extend := func() { pc.conn.SetDeadline(time.Now().Add(timeout)) }
+	extend := func() { pc.conn.SetDeadline(f.clk.now().Add(timeout)) }
 	defer pc.conn.SetDeadline(time.Time{})
 
 	lvlID := f.Video.Levels[level].ID
@@ -660,6 +714,9 @@ func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (
 		}
 		extend()
 		n, err := io.ReadFull(pc.r, buf[:m])
+		if got == 0 && n > 0 && f.fb.pending.Load() {
+			f.noteFirstByte()
+		}
 		for i := 0; i < n; i++ {
 			if buf[i] != ChunkBody(index, level, from+got+int64(i)) {
 				ok = false

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"mpdash/internal/obs"
 	"mpdash/internal/predict"
 )
 
@@ -146,7 +147,7 @@ func (f *Fetcher) hedgeDelay(pol HedgePolicy, retry RetryPolicy, segBytes int64,
 	}
 	delay := time.Duration(pol.Factor * float64(predicted))
 	if !dlAt.IsZero() {
-		if latest := time.Until(dlAt) - predicted; latest < delay {
+		if latest := dlAt.Sub(f.clk.now()) - predicted; latest < delay {
 			delay = latest
 		}
 	}
@@ -178,11 +179,11 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 			backup = b
 		}
 	}
-	start := time.Now()
+	start := f.clk.now()
 	if backup == nil {
 		n, err := f.fetchSegSupervised(pc, pol, index, level, from, to)
 		if err == nil {
-			f.hedge.observe(n, time.Since(start))
+			f.hedge.observe(n, f.clk.now().Sub(start))
 		}
 		return n, err
 	}
@@ -193,14 +194,15 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 		resCh <- segOutcome{n: n, err: err}
 	}()
 
-	timer := time.NewTimer(f.hedgeDelay(hp, pol, to-from+1, dlAt))
+	delay := f.hedgeDelay(hp, pol, to-from+1, dlAt)
+	timer := time.NewTimer(delay)
 	var first segOutcome
 	select {
 	case first = <-resCh:
 		// The primary finished before the hedge armed — the common case.
 		timer.Stop()
 		if first.err == nil {
-			f.hedge.observe(first.n, time.Since(start))
+			f.hedge.observe(first.n, f.clk.now().Sub(start))
 		}
 		return first.n, first.err
 	case <-timer.C:
@@ -208,6 +210,8 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 
 	// Pace projects a miss: issue the duplicate to the backup origin.
 	f.hedge.noteIssued()
+	f.emitHedge(obs.NewEvent("hedge.arm").WithPath(pc.name).
+		WithStr("origin", backup.addr).WithNum("delay_s", delay.Seconds()))
 	hedgeCancel := make(chan struct{})
 	go func() {
 		n, err := f.hedgeFetch(backup, pol, index, level, from, to, hedgeCancel)
@@ -220,7 +224,9 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 		close(hedgeCancel)
 		second := <-resCh
 		f.hedge.noteCancelled(second.n)
-		f.hedge.observe(first.n, time.Since(start))
+		f.emitHedge(obs.NewEvent("hedge.cancel").WithPath(pc.name).
+			WithNum("wasted_bytes", float64(second.n)))
+		f.hedge.observe(first.n, f.clk.now().Sub(start))
 		return first.n, nil
 	}
 	if first.err == nil && first.hedge {
@@ -232,10 +238,12 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 		second := <-resCh
 		f.hedge.noteWon()
 		f.hedge.noteCancelled(second.n)
+		f.emitHedge(obs.NewEvent("hedge.win").WithPath(pc.name).
+			WithNum("wasted_bytes", float64(second.n)))
 		if !pc.isDown() {
 			pc.redial(pol) // best effort; a failure marks the path down
 		}
-		f.hedge.observe(first.n, time.Since(start))
+		f.hedge.observe(first.n, f.clk.now().Sub(start))
 		return first.n, nil
 	}
 	// First finisher failed; the other side may still deliver.
@@ -243,9 +251,11 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 	if second.err == nil {
 		if second.hedge {
 			f.hedge.noteWon()
+			f.emitHedge(obs.NewEvent("hedge.win").WithPath(pc.name).
+				WithNum("wasted_bytes", float64(first.n)))
 		}
 		f.hedge.noteWasted(first.n)
-		f.hedge.observe(second.n, time.Since(start))
+		f.hedge.observe(second.n, f.clk.now().Sub(start))
 		return second.n, nil
 	}
 	// Both failed: charge the hedge side's partial bytes to the budget
@@ -256,14 +266,23 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 		sup, hed = second, first
 	}
 	f.hedge.noteWasted(hed.n)
+	f.emitHedge(obs.NewEvent("hedge.lose").WithPath(pc.name).
+		WithNum("wasted_bytes", float64(hed.n)))
 	return sup.n, sup.err
+}
+
+// emitHedge journals one hedge-race event through the fetcher's sink.
+func (f *Fetcher) emitHedge(e obs.Event) {
+	if fo := f.obsHandles(); fo != nil && fo.sink != nil {
+		fo.sink.Emit(e)
+	}
 }
 
 // hedgeFetch performs the one-shot duplicate request on a fresh
 // connection to the backup origin. The outcome feeds the backup's
 // circuit breaker; closing cancel aborts the transfer mid-read.
 func (f *Fetcher) hedgeFetch(o *origin, pol RetryPolicy, index, level int, from, to int64, cancel <-chan struct{}) (int64, error) {
-	t0 := time.Now()
+	t0 := f.clk.now()
 	conn, err := net.DialTimeout("tcp", o.addr, pol.IOTimeout)
 	if err != nil {
 		o.breaker.RecordFailure(err)
@@ -284,7 +303,7 @@ func (f *Fetcher) hedgeFetch(o *origin, pol RetryPolicy, index, level int, from,
 	if err == nil && !verified {
 		err = errCorruptPayload
 	}
-	o.recordOutcome(err, time.Since(t0))
+	o.recordOutcome(err, f.clk.now().Sub(t0))
 	if err != nil {
 		return n, err
 	}

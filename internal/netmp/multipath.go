@@ -59,6 +59,15 @@ func NewMultiFetcherOrigins(video *dash.Video, primaryOrigins []string, pol Brea
 	return m, nil
 }
 
+// SetClock injects the wall clock (nil restores time.Now) on the
+// embedded pair and every extra secondary.
+func (m *MultiFetcher) SetClock(c Clock) {
+	m.Fetcher.SetClock(c)
+	for _, pc := range m.extra {
+		pc.setClock(c)
+	}
+}
+
 // failoverCount sums origin switches across every path.
 func (m *MultiFetcher) failoverCount() int64 {
 	n := m.Fetcher.failoverCount()
@@ -143,8 +152,14 @@ func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResu
 		ret0[i], red0[i], waste0[i] = pc.counters()
 	}
 
-	start := time.Now()
+	start := m.clk.now()
 	dlAt := start.Add(time.Duration(alpha * float64(d)))
+	fo := m.obsHandles()
+	if fo != nil {
+		fo.emitChunkStart(index, level, size, d, nSegs)
+		m.fb.begin(start, index, level)
+		defer m.fb.end()
+	}
 	fo0 := m.failoverCount()
 	hi0, hw0, hc0, hwb0 := m.hedge.snapshot()
 	var mu sync.Mutex
@@ -232,6 +247,7 @@ func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			engaged := false
 			for {
 				if st.finished() || st.aborted() {
 					return
@@ -240,23 +256,38 @@ func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResu
 				for j := 0; j < k && forced; j++ {
 					forced = secondaries[j].isDown()
 				}
+				remaining := float64(st.remainingSegments()) * float64(segSize)
 				if !forced {
-					elapsed := time.Since(start)
+					elapsed := m.clk.now().Sub(start)
 					windowLeft := alpha*d.Seconds() - elapsed.Seconds()
 					mu.Lock()
 					got := res.PrimaryBytes + res.SecondaryBytes
 					mu.Unlock()
-					remaining := float64(st.remainingSegments()) * float64(segSize)
+					var rate float64
+					if elapsed > 0 {
+						rate = float64(got) / elapsed.Seconds()
+					}
 					// Path k joins only when even a (k+1)-fold rate cannot
 					// make the deadline — a pragmatic stand-in for summing
 					// per-path estimates, which a userspace fetcher lacks
 					// until a path has carried traffic.
 					pressure := windowLeft <= 0 ||
-						(elapsed >= pressureWarmup && float64(got)/elapsed.Seconds()*windowLeft*float64(k+1) < remaining)
+						(elapsed >= pressureWarmup && rate*windowLeft*float64(k+1) < remaining)
 					if !pressure {
+						if engaged {
+							engaged = false
+							fo.emitToggle(false, "", pc.name, index, level, rate, remaining, windowLeft)
+						}
 						time.Sleep(controllerTick)
 						continue
 					}
+					if !engaged {
+						engaged = true
+						fo.emitToggle(true, "pressure", pc.name, index, level, rate, remaining, windowLeft)
+					}
+				} else if !engaged {
+					engaged = true
+					fo.emitToggle(true, "cheaper-paths-down", pc.name, index, level, 0, remaining, 0)
 				}
 				seg := st.claimBackFor(pc)
 				if seg < 0 {
@@ -295,29 +326,35 @@ func (m *MultiFetcher) FetchChunk(index, level int, d time.Duration) (*MultiResu
 	res.HedgeWastedBytes = hwb - hwb0
 
 	if !st.finished() {
-		if st.aborted() {
-			return res, fmt.Errorf("netmp: chunk %d level %d: %w after %d requeues", index, level, ErrChunkExhausted, res.Requeued)
-		}
-		errMu.Lock()
-		joined := errors.Join(workerErrs...)
-		errMu.Unlock()
-		stillUp := false
-		for _, pc := range allPaths {
-			if !pc.isDown() {
-				stillUp = true
+		var ferr error
+		switch {
+		case st.aborted():
+			ferr = fmt.Errorf("netmp: chunk %d level %d: %w after %d requeues", index, level, ErrChunkExhausted, res.Requeued)
+		default:
+			errMu.Lock()
+			joined := errors.Join(workerErrs...)
+			errMu.Unlock()
+			stillUp := false
+			for _, pc := range allPaths {
+				if !pc.isDown() {
+					stillUp = true
+				}
+			}
+			if !stillUp {
+				ferr = errors.Join(ErrAllPathsDown, joined)
+			} else if joined == nil {
+				ferr = fmt.Errorf("netmp: chunk %d level %d incomplete", index, level)
+			} else {
+				ferr = joined
 			}
 		}
-		if !stillUp {
-			return res, errors.Join(ErrAllPathsDown, joined)
-		}
-		if joined == nil {
-			joined = fmt.Errorf("netmp: chunk %d level %d incomplete", index, level)
-		}
-		return res, joined
+		fo.emitChunkFail(index, level, ferr)
+		return res, ferr
 	}
-	res.Duration = time.Since(start)
+	res.Duration = m.clk.now().Sub(start)
 	if res.Duration > d {
 		res.MissedBy = res.Duration - d
 	}
+	fo.emitChunkDone(index, level, d, &res.FetchResult)
 	return res, nil
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mpdash/internal/dash"
+	"mpdash/internal/obs"
 )
 
 // ChunkServer serves DASH chunk bytes over a minimal HTTP/1.1 on one
@@ -49,6 +50,9 @@ type ChunkServer struct {
 	limits   ServerLimits
 	draining bool
 	ostats   OverloadStats
+	sink     obs.Sink // telemetry journal (nil = off); guarded by connMu
+
+	clk Clock // injectable wall clock (nil = time.Now)
 
 	lnOnce sync.Once
 	lnErr  error
@@ -104,6 +108,13 @@ func NewChunkServer(video *dash.Video, rateMbps float64) (*ChunkServer, error) {
 // NewChunkServerWithFaults starts a shaped server that injects faults
 // according to plan (nil = no faults).
 func NewChunkServerWithFaults(video *dash.Video, rateMbps float64, plan *FaultPlan) (*ChunkServer, error) {
+	return newChunkServerClocked(video, rateMbps, plan, nil)
+}
+
+// newChunkServerClocked is the constructor with an injectable clock
+// (nil = time.Now), used by tests that need deterministic fault windows
+// and telemetry timestamps.
+func newChunkServerClocked(video *dash.Video, rateMbps float64, plan *FaultPlan, clk Clock) (*ChunkServer, error) {
 	if err := video.Validate(); err != nil {
 		return nil, err
 	}
@@ -115,10 +126,11 @@ func NewChunkServerWithFaults(video *dash.Video, rateMbps float64, plan *FaultPl
 	s := &ChunkServer{
 		Video:   video,
 		ln:      ln,
-		bucket:  NewTokenBucket(rateMbps*1e6/8, 64*1024),
+		bucket:  newTokenBucketClocked(rateMbps*1e6/8, 64*1024, clk),
 		ctx:     ctx,
 		cancel:  cancel,
-		start:   time.Now(),
+		clk:     clk,
+		start:   clk.now(),
 		chunkSz: video.ChunkSize,
 		conns:   make(map[net.Conn]*connTrack),
 		plan:    plan,
@@ -190,13 +202,19 @@ func (s *ChunkServer) Draining() bool {
 func (s *ChunkServer) Drain() error {
 	s.connMu.Lock()
 	s.draining = true
+	sink := s.sink
 	idle := make([]net.Conn, 0, len(s.conns))
+	active := len(s.conns)
 	for c, tr := range s.conns {
 		if !tr.busy {
 			idle = append(idle, c)
 		}
 	}
 	s.connMu.Unlock()
+	if sink != nil {
+		sink.Emit(obs.NewEvent("server.drain").WithStr("addr", s.Addr()).
+			WithNum("active_conns", float64(active)))
+	}
 	s.lnOnce.Do(func() { s.lnErr = s.ln.Close() })
 	for _, c := range idle {
 		c.Close() // parked in readRequest; the handler exits on the error
@@ -270,8 +288,13 @@ func (s *ChunkServer) acceptLoop() {
 		s.connMu.Lock()
 		if s.limits.MaxConns > 0 && len(s.conns) >= s.limits.MaxConns {
 			s.ostats.RejectedConns++
+			sink := s.sink
 			s.connMu.Unlock()
-			go reject503(conn)
+			if sink != nil {
+				sink.Emit(obs.NewEvent("server.reject").WithStr("addr", s.Addr()).
+					WithStr("peer", conn.RemoteAddr().String()))
+			}
+			go s.reject503(conn)
 			continue
 		}
 		s.conns[conn] = &connTrack{}
@@ -298,8 +321,8 @@ func (s *ChunkServer) acceptLoop() {
 }
 
 // reject503 answers one over-limit connection and closes it.
-func reject503(conn net.Conn) {
-	conn.SetDeadline(time.Now().Add(time.Second))
+func (s *ChunkServer) reject503(conn net.Conn) {
+	conn.SetDeadline(s.clk.now().Add(time.Second))
 	io.WriteString(conn, "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
 	conn.Close()
 }
@@ -334,7 +357,7 @@ func (s *ChunkServer) nextFault(level int) FaultKind {
 	s.faultMu.Lock()
 	defer s.faultMu.Unlock()
 	s.reqN++
-	now := time.Since(s.start)
+	now := s.clk.now().Sub(s.start)
 	for _, b := range s.plan.Blackouts {
 		if now >= b.From && now < b.To {
 			s.fstats.BlackoutResets++

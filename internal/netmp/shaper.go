@@ -17,6 +17,7 @@ import (
 // TokenBucket shapes a byte stream to an average rate with a burst
 // allowance. It is safe for concurrent use.
 type TokenBucket struct {
+	clk    Clock // injectable wall clock (nil = time.Now); set at construction
 	mu     sync.Mutex
 	rate   float64 // bytes per second
 	burst  float64 // max accumulated bytes
@@ -27,10 +28,15 @@ type TokenBucket struct {
 // NewTokenBucket creates a bucket; rate in bytes/second. A non-positive
 // rate means unshaped (Take returns immediately).
 func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return newTokenBucketClocked(rate, burst, nil)
+}
+
+// newTokenBucketClocked is the constructor with an injectable clock.
+func newTokenBucketClocked(rate, burst float64, clk Clock) *TokenBucket {
 	if burst < 1 {
 		burst = 1
 	}
-	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+	return &TokenBucket{clk: clk, rate: rate, burst: burst, tokens: burst, last: clk.now()}
 }
 
 // Take blocks until n bytes of budget are available or ctx is done. It
@@ -45,7 +51,7 @@ func (tb *TokenBucket) Take(ctx context.Context, n int) error {
 			tb.mu.Unlock()
 			return nil
 		}
-		now := time.Now()
+		now := tb.clk.now()
 		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
 		if tb.tokens > tb.burst {
 			tb.tokens = tb.burst
@@ -77,7 +83,7 @@ func (tb *TokenBucket) Take(ctx context.Context, n int) error {
 func (tb *TokenBucket) SetRate(rate float64) {
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
-	now := time.Now()
+	now := tb.clk.now()
 	if tb.rate > 0 {
 		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
 		if tb.tokens > tb.burst {

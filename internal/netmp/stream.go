@@ -34,6 +34,7 @@ type Streamer struct {
 	PhiFrac float64
 
 	stop atomic.Bool
+	sobs *streamerObs // telemetry handles (nil = off); set by Instrument
 }
 
 // Stop requests a graceful end of the session: the loop finishes the
@@ -111,7 +112,8 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 	}
 
 	res := &StreamResult{AllVerified: true}
-	start := time.Now()
+	clk := s.Fetcher.clk
+	start := clk.now()
 	var buffer time.Duration
 	playing := false
 	lastLevel := -1
@@ -119,7 +121,7 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 	var levelSum float64
 
 	finish := func() {
-		res.Wall = time.Since(start)
+		res.Wall = clk.now().Sub(start)
 		if res.Chunks > 0 {
 			res.AvgLevel = levelSum / float64(res.Chunks)
 		}
@@ -141,7 +143,7 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 		}
 
 		st := dash.PlayerState{
-			Now:              time.Since(start),
+			Now:              clk.now().Sub(start),
 			ChunkIndex:       i,
 			LastLevel:        lastLevel,
 			Buffer:           buffer,
@@ -164,6 +166,7 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 		}
 		if phi := time.Duration(phiFrac * float64(bufferCap)); buffer > phi {
 			deadline += buffer - phi
+			s.sobs.emitExtend(i, level, buffer-phi, buffer, phi)
 		}
 		if !playing {
 			// Startup: no buffer cushion; fetch as fast as possible by
@@ -184,13 +187,14 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			absorbOriginStats(res, fr)
 		}
 
-		dlStart := time.Now()
+		dlStart := clk.now()
 		fr, err := s.Fetcher.FetchChunk(i, level, deadline)
 		if err != nil && errors.Is(err, ErrChunkExhausted) && level != 0 {
 			// Lifeline: one refetch at the lowest level before declaring
 			// the chunk lost.
 			absorbFaults(fr)
 			res.Refetches++
+			s.sobs.emitRefetch(i, level)
 			level = 0
 			size = s.Fetcher.chunkSize(i, level)
 			fr, err = s.Fetcher.FetchChunk(i, level, deadline)
@@ -203,12 +207,14 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 				res.LostChunks++
 				res.Stalls++
 				res.StallTime += video.ChunkDuration
+				s.sobs.emitLost(i)
+				s.sobs.emitStall(i, video.ChunkDuration)
 				continue
 			}
 			finish()
 			return res, fmt.Errorf("netmp: chunk %d: %w", i, err)
 		}
-		dl := time.Since(dlStart)
+		dl := clk.now().Sub(dlStart)
 
 		res.PrimaryBytes += fr.PrimaryBytes
 		res.SecondaryBytes += fr.SecondaryBytes
@@ -229,6 +235,7 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			} else {
 				res.Stalls++
 				res.StallTime += dl - buffer
+				s.sobs.emitStall(i, dl-buffer)
 				buffer = 0
 			}
 		}
@@ -236,6 +243,7 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 		if buffer > bufferCap {
 			buffer = bufferCap
 		}
+		s.sobs.setBuffer(buffer)
 		playing = true
 		if lastLevel >= 0 && level != lastLevel {
 			res.QualitySwitches++

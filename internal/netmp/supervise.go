@@ -23,9 +23,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"mpdash/internal/obs"
 )
 
 // PathState is a supervised path's health.
@@ -189,6 +192,8 @@ type pathConn struct {
 	r      *bufio.Reader
 	rng    *rand.Rand // jitter; owner-goroutine only
 	closed bool       // set by Close; owner/Close coordination via mu
+	clk    Clock      // injectable wall clock (nil = time.Now)
+	sink   obs.Sink   // telemetry journal (nil = off)
 
 	mu          sync.Mutex // guards the stats + state below
 	state       PathState
@@ -244,36 +249,84 @@ func (pc *pathConn) isDown() bool {
 	return pc.state == PathDown
 }
 
+// setClock injects the path's wall clock (nil = time.Now).
+func (pc *pathConn) setClock(c Clock) {
+	pc.mu.Lock()
+	pc.clk = c
+	pc.mu.Unlock()
+}
+
+// setSink wires the path's journal events to a telemetry sink.
+func (pc *pathConn) setSink(sink obs.Sink) {
+	pc.mu.Lock()
+	pc.sink = sink
+	pc.mu.Unlock()
+}
+
+// obsSink returns the path's telemetry sink (nil = off) under the lock,
+// so Instrument may race with in-flight fetches without tripping -race.
+func (pc *pathConn) obsSink() obs.Sink {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.sink
+}
+
+// emitFault journals one absorbed request fault.
+func (pc *pathConn) emitFault(err error) {
+	if sink := pc.obsSink(); sink != nil {
+		sink.Emit(obs.NewEvent("fetch.fault").WithPath(pc.name).WithStr("error", err.Error()))
+	}
+}
+
+// emitState journals a path state transition.
+func (pc *pathConn) emitState(to PathState) {
+	if sink := pc.obsSink(); sink != nil {
+		sink.Emit(obs.NewEvent("path.state").WithPath(pc.name).WithStr("state", to.String()))
+	}
+}
+
 // noteSuccess records n verified payload bytes and restores the path to
 // healthy.
 func (pc *pathConn) noteSuccess(n int64) {
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
 	pc.bytes += n
 	pc.consecFails = 0
+	recovered := pc.state == PathDegraded
 	if pc.state != PathDown {
 		pc.state = PathUp
+	}
+	pc.mu.Unlock()
+	if recovered {
+		pc.emitState(PathUp)
 	}
 }
 
 // noteFault records one absorbed failure with wasted bytes.
 func (pc *pathConn) noteFault(wasted int64) {
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
 	pc.retries++
 	pc.wasted += wasted
+	degraded := pc.state == PathUp
 	if pc.state != PathDown {
 		pc.state = PathDegraded
+	}
+	pc.mu.Unlock()
+	if degraded {
+		pc.emitState(PathDegraded)
 	}
 }
 
 // markDown declares the path dead for the session.
 func (pc *pathConn) markDown() {
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if pc.state != PathDown {
+	died := pc.state != PathDown
+	if died {
 		pc.state = PathDown
-		pc.downAt = time.Now()
+		pc.downAt = pc.clk.now()
+	}
+	pc.mu.Unlock()
+	if died {
+		pc.emitState(PathDown)
 	}
 }
 
@@ -312,7 +365,7 @@ func (pc *pathConn) stats() PathStats {
 		WastedBytes: pc.wasted,
 	}
 	if pc.state == PathDown && !pc.downAt.IsZero() {
-		st.DownFor = time.Since(pc.downAt)
+		st.DownFor = pc.clk.now().Sub(pc.downAt)
 	}
 	pc.mu.Unlock()
 	if pc.set != nil {
@@ -369,6 +422,7 @@ func (pc *pathConn) redial(pol RetryPolicy) error {
 		} else {
 			var conn net.Conn
 			conn, err = net.DialTimeout("tcp", o.addr, pol.IOTimeout)
+			pc.emitRedial(o.addr, err == nil, attempt)
 			if err == nil {
 				pc.conn = conn
 				pc.r = bufio.NewReader(conn)
@@ -390,6 +444,15 @@ func (pc *pathConn) redial(pol RetryPolicy) error {
 			return fmt.Errorf("%w: %s after %d redials: %v", errPathDown, pc.name, pol.MaxRedials, err)
 		}
 		time.Sleep(pol.backoff(attempt, rng))
+	}
+}
+
+// emitRedial journals one reconnect attempt.
+func (pc *pathConn) emitRedial(origin string, ok bool, attempt int) {
+	if sink := pc.obsSink(); sink != nil {
+		sink.Emit(obs.NewEvent("path.redial").WithPath(pc.name).
+			WithStr("origin", origin).WithStr("ok", strconv.FormatBool(ok)).
+			WithNum("attempt", float64(attempt)))
 	}
 }
 

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Handler returns the telemetry HTTP mux:
+//
+//	/metrics          Prometheus text exposition of the registry
+//	/debug/vars       expvar JSON (process + published vars)
+//	/debug/pprof/...  net/http/pprof profiles
+//
+// Mountable on any server; Serve starts a dedicated one.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := t.Registry.WritePrometheus(w); err != nil {
+			// The connection is gone; nothing useful to do.
+			return
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "mpdash telemetry: /metrics /debug/vars /debug/pprof/\n")
+	})
+	return mux
+}
+
+// publishOnce guards the process-wide expvar publication (expvar.Publish
+// panics on duplicate names, and tests create many Telemetries).
+var publishOnce sync.Once
+
+// publishExpvar exposes the registry under the "mpdash" expvar as a map
+// of series → value, so /debug/vars carries the same numbers as
+// /metrics. Only the first telemetry to serve wins the name; later ones
+// are still fully served by their own /metrics.
+func (t *Telemetry) publishExpvar() {
+	reg := t.Registry
+	publishOnce.Do(func() {
+		expvar.Publish("mpdash", expvar.Func(func() any {
+			out := make(map[string]float64)
+			for _, f := range reg.snapshotFams() {
+				reg.mu.Lock()
+				sers := make([]*series, 0, len(f.series))
+				for _, s := range f.series {
+					sers = append(sers, s)
+				}
+				reg.mu.Unlock()
+				for _, s := range sers {
+					switch {
+					case s.h != nil:
+						out[f.name+s.labels+"_count"] = float64(s.h.Count())
+						out[f.name+s.labels+"_sum"] = s.h.Sum()
+					case s.fn != nil:
+						out[f.name+s.labels] = s.fn()
+					case s.c != nil:
+						out[f.name+s.labels] = float64(s.c.Value())
+					case s.g != nil:
+						out[f.name+s.labels] = s.g.Value()
+					}
+				}
+			}
+			return out
+		}))
+	})
+}
+
+// MetricsServer is a running telemetry HTTP endpoint.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close shuts the endpoint down immediately.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// Serve starts the telemetry endpoint on addr (e.g. "127.0.0.1:9090" or
+// "127.0.0.1:0") in a background goroutine and returns it.
+func (t *Telemetry) Serve(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
+	}
+	t.publishExpvar()
+	srv := &http.Server{Handler: t.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}

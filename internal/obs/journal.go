@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Journal is a ring-buffered structured event log. The newest Cap events
+// are always retrievable with Events; when a writer is attached with
+// StreamTo, every appended event is additionally encoded as one JSON
+// line (JSONL), so a long session can be captured in full even though
+// the ring only keeps the tail. Safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int   // ring write cursor
+	n       int   // events currently held (≤ len(buf))
+	total   int64 // events ever appended
+	w       *json.Encoder
+	flush   func() error
+	werr    error
+	dropped int64 // events not written to w because of a write error
+}
+
+// NewJournal returns a journal holding the newest capacity events
+// (capacity < 1 is clamped to 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// StreamTo attaches w: every subsequent Append is encoded to it as one
+// JSON line. Writes happen under the journal lock, in append order. The
+// first write error detaches nothing but is remembered (Err) and counts
+// further events as dropped.
+func (j *Journal) StreamTo(w io.Writer) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	j.w = json.NewEncoder(bw)
+	j.flush = bw.Flush
+}
+
+// Append records one event.
+func (j *Journal) Append(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.buf[j.next] = e
+	j.next = (j.next + 1) % len(j.buf)
+	if j.n < len(j.buf) {
+		j.n++
+	}
+	j.total++
+	if j.w != nil {
+		if j.werr != nil {
+			j.dropped++
+		} else if err := j.w.Encode(e); err != nil {
+			j.werr = err
+			j.dropped++
+		}
+	}
+}
+
+// Events returns the held events, oldest first.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, j.n)
+	start := j.next - j.n
+	if start < 0 {
+		start += len(j.buf)
+	}
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(start+i)%len(j.buf)])
+	}
+	return out
+}
+
+// Len returns how many events the ring currently holds.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Total returns how many events have ever been appended (overwritten
+// ring slots included).
+func (j *Journal) Total() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// Overwritten returns how many events the ring has discarded.
+func (j *Journal) Overwritten() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total - int64(j.n)
+}
+
+// Flush flushes the attached stream writer, if any, and returns the
+// first stream write error encountered (nil when streaming is off or
+// healthy).
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.flush != nil {
+		if err := j.flush(); err != nil && j.werr == nil {
+			j.werr = err
+		}
+	}
+	if j.werr != nil {
+		return fmt.Errorf("obs: journal stream: %w (%d events dropped)", j.werr, j.dropped)
+	}
+	return nil
+}
+
+// ReadJournal decodes a JSONL journal stream (as produced by StreamTo)
+// into events, in order. Blank lines are skipped; a malformed line stops
+// the read with an error naming its line number.
+func ReadJournal(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return out, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: journal read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalRingWraparound(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 20; i++ {
+		j.Append(NewEvent("e").WithNum("seq", float64(i)))
+	}
+	if j.Len() != 8 {
+		t.Errorf("Len = %d, want 8", j.Len())
+	}
+	if j.Total() != 20 {
+		t.Errorf("Total = %d, want 20", j.Total())
+	}
+	if j.Overwritten() != 12 {
+		t.Errorf("Overwritten = %d, want 12", j.Overwritten())
+	}
+	evs := j.Events()
+	for i, e := range evs {
+		if want := float64(12 + i); e.Num["seq"] != want {
+			t.Errorf("event %d seq = %v, want %v (oldest-first tail)", i, e.Num["seq"], want)
+		}
+	}
+}
+
+func TestJournalConcurrentWriters(t *testing.T) {
+	const writers, each, cap = 8, 200, 64
+	j := NewJournal(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Append(NewEvent("e").
+					WithStr("writer", fmt.Sprintf("w%d", w)).
+					WithNum("seq", float64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if j.Total() != writers*each {
+		t.Errorf("Total = %d, want %d", j.Total(), writers*each)
+	}
+	if j.Len() != cap {
+		t.Errorf("Len = %d, want %d", j.Len(), cap)
+	}
+	// The ring holds events in append order, so each writer's surviving
+	// events must appear with strictly increasing sequence numbers.
+	last := map[string]float64{}
+	for _, e := range j.Events() {
+		w := e.Str["writer"]
+		if prev, ok := last[w]; ok && e.Num["seq"] <= prev {
+			t.Fatalf("writer %s out of order: %v after %v", w, e.Num["seq"], prev)
+		}
+		last[w] = e.Num["seq"]
+	}
+}
+
+func TestJournalStreamRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(2) // smaller than the event count: streaming keeps all
+	j.StreamTo(&buf)
+	want := []Event{
+		NewEvent("chunk.start").WithChunk(0, 2).WithNum("size", 1000),
+		NewEvent("path.engage").WithPath("secondary").WithNum("rate_bps", 3.2e6).WithStr("reason", "pressure"),
+		NewEvent("chunk.done").WithChunk(0, 2).WithNum("slack_s", 1.5),
+	}
+	now := time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)
+	for i, e := range want {
+		e.T = now.Add(time.Duration(i) * time.Second)
+		want[i] = e
+		j.Append(want[i])
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !got[i].T.Equal(want[i].T) ||
+			got[i].Chunk != want[i].Chunk || got[i].Path != want[i].Path {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+		for k, v := range want[i].Num {
+			if got[i].Num[k] != v {
+				t.Errorf("event %d num[%s] = %v, want %v", i, k, got[i].Num[k], v)
+			}
+		}
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJournalStreamWriteError(t *testing.T) {
+	j := NewJournal(4)
+	j.StreamTo(failWriter{})
+	// Fill well past the bufio buffer so the failure surfaces.
+	big := strings.Repeat("x", 8192)
+	for i := 0; i < 16; i++ {
+		j.Append(NewEvent("e").WithStr("pad", big))
+	}
+	err := j.Flush()
+	if err == nil {
+		t.Fatal("Flush returned nil after stream write failures")
+	}
+	if !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("error does not report dropped events: %v", err)
+	}
+	// The ring is unaffected by the broken stream.
+	if j.Len() != 4 {
+		t.Errorf("Len = %d, want 4", j.Len())
+	}
+}
+
+func TestReadJournalMalformed(t *testing.T) {
+	in := strings.NewReader(`{"type":"a","chunk":-1,"level":-1}` + "\n\nnot json\n")
+	got, err := ReadJournal(in)
+	if err == nil {
+		t.Fatal("malformed line did not error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error does not name line 3: %v", err)
+	}
+	if len(got) != 1 || got[0].Type != "a" {
+		t.Errorf("events before the bad line lost: %+v", got)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Append(NewEvent("e"))
+	j.StreamTo(&bytes.Buffer{})
+	if j.Len() != 0 || j.Total() != 0 || j.Events() != nil || j.Flush() != nil {
+		t.Error("nil journal not inert")
+	}
+}

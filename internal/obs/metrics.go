@@ -1,0 +1,466 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is one metric series' label set. Registry keys series on the
+// sorted, escaped rendering of their labels, so map ordering is
+// irrelevant.
+type Labels map[string]string
+
+// render returns the canonical {k="v",...} rendering of l (empty string
+// for no labels), with keys sorted and values escaped per the Prometheus
+// text format.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(l[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes backslash, quote, and newline per the text format.
+// %q already escapes quotes and backslashes; newlines are the remaining
+// concern and %q handles those too, so this is the identity — kept as a
+// named hook should the format ever diverge from Go's %q.
+func escapeLabel(s string) string { return s }
+
+// Counter is a monotonically increasing int64 metric. All methods are
+// nil-safe: a nil *Counter is the no-op handle instrumented code holds
+// when telemetry is off.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (negative deltas are ignored —
+// counters are monotonic).
+func (c *Counter) Add(d int64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down. Nil-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with Prometheus-style cumulative
+// exposition and linear-interpolation quantile estimation. Buckets are
+// the sorted upper bounds; samples above the last bound land in the
+// implicit +Inf overflow bucket. Nil-safe.
+type Histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; the last is the overflow bucket
+	sum    float64
+	count  uint64
+}
+
+// newHistogram copies and sorts bounds; an empty bounds slice yields a
+// single overflow bucket (sum/count still track).
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+}
+
+// Observe records one sample. NaN samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank. It returns NaN on an empty
+// histogram or out-of-range q. Samples in the overflow bucket are
+// reported as the last finite bound (the estimate saturates there, which
+// keeps the estimator monotone in q).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			if len(h.bounds) == 0 {
+				return h.sum / float64(h.count) // degenerate: mean
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		upper := h.bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		} else if upper < 0 {
+			lower = upper // all-negative first bucket: saturate
+		}
+		// Interpolate within [lower, upper] by the rank's position in
+		// this bucket.
+		inBucket := float64(c)
+		if inBucket == 0 {
+			return upper
+		}
+		pos := (rank - float64(cum-c)) / inBucket
+		return lower + (upper-lower)*pos
+	}
+	if len(h.bounds) == 0 {
+		return h.sum / float64(h.count)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DefSecondsBuckets is the default histogram layout for durations
+// (seconds): 1 ms … 60 s, roughly logarithmic.
+var DefSecondsBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60}
+
+// DefSlackBuckets is the default layout for deadline slack (seconds):
+// symmetric around zero so misses (negative slack) resolve too.
+var DefSlackBuckets = []float64{-10, -5, -2, -1, -.5, -.1, 0, .1, .5, 1, 2, 5, 10, 30}
+
+// metricKind discriminates a series' exposition behaviour.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// series is one registered metric instance.
+type series struct {
+	labels string // canonical rendering
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	order  int // registration order, for stable exposition
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// format. Safe for concurrent use; all lookup methods are nil-safe and
+// return nil handles on a nil registry, so instrumentation can be wired
+// unconditionally.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+	n    int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// fam returns (creating if needed) the family for name, checking kind
+// agreement. Re-registering an existing series returns the existing one.
+func (r *Registry) fam(name, help string, kind metricKind) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, order: r.n, series: make(map[string]*series)}
+		r.n++
+		r.fams[name] = f
+	}
+	return f
+}
+
+// Counter returns the counter series for (name, labels), registering it
+// on first use. Nil-safe: a nil registry returns a nil handle.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, kindCounter)
+	key := labels.render()
+	if s, ok := f.series[key]; ok && s.c != nil {
+		return s.c
+	}
+	c := &Counter{}
+	f.series[key] = &series{labels: key, c: c}
+	return c
+}
+
+// Gauge returns the gauge series for (name, labels). Nil-safe.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, kindGauge)
+	key := labels.render()
+	if s, ok := f.series[key]; ok && s.g != nil {
+		return s.g
+	}
+	g := &Gauge{}
+	f.series[key] = &series{labels: key, g: g}
+	return g
+}
+
+// Histogram returns the histogram series for (name, labels) with the
+// given bucket upper bounds (nil = DefSecondsBuckets). Nil-safe.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefSecondsBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, kindHistogram)
+	key := labels.render()
+	if s, ok := f.series[key]; ok && s.h != nil {
+		return s.h
+	}
+	h := newHistogram(buckets)
+	f.series[key] = &series{labels: key, h: h}
+	return h
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the zero-hot-path-cost way to expose counters a
+// component already maintains. Re-registration replaces fn. Nil-safe.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.registerFunc(name, help, kindCounterFunc, labels, fn)
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.registerFunc(name, help, kindGaugeFunc, labels, fn)
+}
+
+func (r *Registry) registerFunc(name, help string, kind metricKind, labels Labels, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, kind)
+	key := labels.render()
+	f.series[key] = &series{labels: key, fn: fn}
+}
+
+// snapshotFams returns the families sorted by registration order, with
+// series sorted by label rendering. The per-series value reads happen
+// outside the registry lock (func-backed series may take component
+// locks of their own).
+func (r *Registry) snapshotFams() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
+	return out
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4). Nil-safe.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.snapshotFams() {
+		sers := make([]*series, 0, len(f.series))
+		r.mu.Lock()
+		for _, s := range f.series {
+			sers = append(sers, s)
+		}
+		r.mu.Unlock()
+		sort.Slice(sers, func(i, j int) bool { return sers[i].labels < sers[j].labels })
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
+			return err
+		}
+		for _, s := range sers {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.h != nil:
+		return writeHistogram(w, f.name, s)
+	case s.fn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.fn()))
+		return err
+	case s.c != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value())
+		return err
+	case s.g != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.g.Value()))
+		return err
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count triplet.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	h := s.h
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLE(s.labels, formatValue(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(h.bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLE(s.labels, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatValue(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, count)
+	return err
+}
+
+// mergeLE splices le="bound" into an existing (possibly empty) rendered
+// label set.
+func mergeLE(labels, bound string) string {
+	le := fmt.Sprintf("le=%q", bound)
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return labels[:len(labels)-1] + "," + le + "}"
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}

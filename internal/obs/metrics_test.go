@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	c = &Counter{}
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // monotonic: negative deltas ignored
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeNilSafe(t *testing.T) {
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	g = &Gauge{}
+	g.Set(-2.5)
+	if got := g.Value(); got != -2.5 {
+		t.Errorf("gauge = %v, want -2.5", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("empty histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("Quantile(%v) on empty = %v, want NaN", q, v)
+		}
+	}
+	var nilH *Histogram
+	nilH.Observe(1)
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile not NaN")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	if h.Count() != 1 || h.Sum() != 1.5 {
+		t.Fatalf("count=%d sum=%v, want 1, 1.5", h.Count(), h.Sum())
+	}
+	// Every quantile resolves inside the (1, 2] bucket.
+	for _, q := range []float64{0, 0.5, 1} {
+		v := h.Quantile(q)
+		if v < 1 || v > 2 {
+			t.Errorf("Quantile(%v) = %v, want within (1, 2]", q, v)
+		}
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100) // far past the last bound
+	h.Observe(200)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	// Overflow samples saturate the estimate at the last finite bound.
+	if v := h.Quantile(0.5); v != 2 {
+		t.Errorf("Quantile(0.5) = %v, want saturation at 2", v)
+	}
+	if v := h.Quantile(1); v != 2 {
+		t.Errorf("Quantile(1) = %v, want saturation at 2", v)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := newHistogram(DefSecondsBuckets)
+	// A deterministic spread including underflow, mid-range and overflow.
+	for i := 0; i < 500; i++ {
+		h.Observe(float64(i%97) * 0.9)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) = NaN on populated histogram", q)
+		}
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v: not monotone", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramDropsNaN(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Error("NaN sample was recorded")
+	}
+}
+
+func TestHistogramOutOfRangeQuantile(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.5)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+}
+
+func TestRegistrySameSeriesReturned(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Labels{"path": "wifi"})
+	b := r.Counter("x_total", "help", Labels{"path": "wifi"})
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	c := r.Counter("x_total", "help", Labels{"path": "lte"})
+	if a == c {
+		t.Error("different labels share a counter")
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "", nil).Inc()
+	r.Gauge("b", "", nil).Set(1)
+	r.Histogram("c", "", nil, nil).Observe(1)
+	r.CounterFunc("d", "", nil, func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mpdash_test_total", "A counter.", Labels{"b": "2", "a": "1"}).Add(7)
+	r.GaugeFunc("mpdash_test_gauge", "A gauge.", nil, func() float64 { return 2.5 })
+	h := r.Histogram("mpdash_test_seconds", "A histogram.", []float64{1, 2}, Labels{"path": "wifi"})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9) // overflow
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP mpdash_test_total A counter.",
+		"# TYPE mpdash_test_total counter",
+		`mpdash_test_total{a="1",b="2"} 7`,
+		"# TYPE mpdash_test_gauge gauge",
+		"mpdash_test_gauge 2.5",
+		"# TYPE mpdash_test_seconds histogram",
+		`mpdash_test_seconds_bucket{path="wifi",le="1"} 1`,
+		`mpdash_test_seconds_bucket{path="wifi",le="2"} 2`,
+		`mpdash_test_seconds_bucket{path="wifi",le="+Inf"} 3`,
+		`mpdash_test_seconds_sum{path="wifi"} 11`,
+		`mpdash_test_seconds_count{path="wifi"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	at := func(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+	stamp := func(e Event, ms int) Event { e.T = at(ms); return e }
+	events := []Event{
+		stamp(NewEvent("chunk.start").WithChunk(3, 2).
+			WithNum("size", 1.2e6).WithNum("deadline_s", 3.5).WithNum("segments", 19), 0),
+		stamp(NewEvent("chunk.firstbyte").WithChunk(3, 2).WithNum("elapsed_s", 0.012), 12),
+		stamp(NewEvent("path.engage").WithPath("secondary").WithChunk(3, 2).
+			WithStr("reason", "pressure").
+			WithNum("rate_bps", 2.4e6).WithNum("remaining_bytes", 9e5).WithNum("window_s", 1.8), 900),
+		stamp(NewEvent("path.standdown").WithPath("secondary").WithChunk(3, 2).
+			WithNum("rate_bps", 6e6).WithNum("remaining_bytes", 2e5).WithNum("window_s", 1.1), 1600),
+		stamp(NewEvent("chunk.done").WithChunk(3, 2).
+			WithNum("duration_s", 2.0).WithNum("slack_s", 1.5).
+			WithNum("primary_bytes", 1.0e6).WithNum("secondary_bytes", 0.2e6), 2000),
+		stamp(NewEvent("custom.event").WithPath("primary").WithNum("x", 7), 2100),
+	}
+	var b strings.Builder
+	RenderTimeline(&b, events)
+	out := b.String()
+	for _, want := range []string{
+		"journal: 6 events, 1 chunks",
+		"chunk 3 level 2: start size=1.2MB deadline=3.50s",
+		"first byte after 0.012s",
+		"secondary ENGAGE (pressure): est=2.40Mbps remaining=900.0KB window=1.80s",
+		"secondary stand down: est=6.00Mbps",
+		"chunk 3 level 2: done in 2.00s (met, slack 1.50s)",
+		"custom.event path=primary x=7", // unknown types still render
+		"[   +0.900s]",                  // offsets are relative to the first event
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTimelineSimTimeFallback(t *testing.T) {
+	ev := func(typ string, sim time.Duration) Event {
+		e := NewEvent(typ)
+		e.Sim = sim
+		return e
+	}
+	events := []Event{
+		ev("sched.enable", 2*time.Second).WithNum("size", 5e5).WithNum("window_s", 4),
+		ev("sched.toggle", 2500*time.Millisecond).WithPath("lte").WithStr("on", "true").
+			WithNum("estimate_bps", 3e6).WithNum("remaining_bytes", 4e5).WithNum("slack_s", 3.5),
+		ev("sched.disable", 4*time.Second),
+	}
+	var b strings.Builder
+	RenderTimeline(&b, events)
+	out := b.String()
+	for _, want := range []string{
+		"[   +0.000s] sched: govern 500.0KB over 4.00s",
+		"[   +0.500s] sched: lte ON (est=3.00Mbps remaining=400.0KB slack=3.50s)",
+		"[   +2.000s] sched: released",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	var b strings.Builder
+	RenderTimeline(&b, nil)
+	if !strings.Contains(b.String(), "no events") {
+		t.Errorf("empty render = %q", b.String())
+	}
+}
