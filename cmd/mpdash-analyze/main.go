@@ -9,11 +9,17 @@
 // throughput estimate that drove it, adapter Φ/Ω actions, breaker and
 // hedge activity, and each chunk's outcome against its deadline.
 //
+// With -swarm it renders the population summary from a BENCH_swarm.json
+// report written by mpdash-swarm: outcome counts, startup-delay /
+// rebuffering / queue-wait quantiles, deadline and cellular shares, the
+// server-tier ledger, and the per-profile breakdown.
+//
 // Usage:
 //
 //	mpdash-analyze -chunks 40
 //	mpdash-analyze -svg-dir /tmp/fig8 -chunks 150
 //	mpdash-analyze -journal session.jsonl
+//	mpdash-analyze -swarm BENCH_swarm.json
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"mpdash/internal/harness"
 	"mpdash/internal/obs"
 	"mpdash/internal/pcaplite"
+	"mpdash/internal/swarm"
 )
 
 func main() {
@@ -38,6 +45,7 @@ func main() {
 		wifi    = flag.Float64("wifi", 3.8, "WiFi bandwidth (Mbps)")
 		lte     = flag.Float64("lte", 3.0, "LTE bandwidth (Mbps)")
 		journal = flag.String("journal", "", "render the decision timeline from this JSONL event journal (- = stdin) instead of simulating")
+		swarmIn = flag.String("swarm", "", "render the population summary from this BENCH_swarm.json report instead of simulating")
 	)
 	flag.Parse()
 
@@ -46,6 +54,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *swarmIn != "" {
+		rep, err := swarm.ReadReport(*swarmIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Summary())
 		return
 	}
 

@@ -1,0 +1,193 @@
+// Command mpdash-swarm runs a population of concurrent MP-DASH client
+// sessions — real sockets against a shared chunk-server tier — and
+// reports population QoE: p50/p95/p99 startup delay, rebuffer ratio,
+// deadline-miss rate, cellular-byte share, and the resilience machinery's
+// behaviour under load.
+//
+// A run is declared by a scenario JSON file (-scenario; see DESIGN.md
+// §10 for the schema) or assembled from flags. Every random draw in the
+// run — arrival times, Zipf content choice, profile choice, per-session
+// retry jitter — descends from -seed, so any population is exactly
+// reproducible.
+//
+// The machine-readable population report is written to -out
+// (BENCH_swarm.json by default); render it later with
+// mpdash-analyze -swarm BENCH_swarm.json.
+//
+// Usage:
+//
+//	mpdash-swarm -sessions 200 -arrival poisson -duration 10s
+//	mpdash-swarm -sessions 500 -arrival spike -duration 2s -seed 42
+//	mpdash-swarm -scenario flashcrowd.json -metrics-addr 127.0.0.1:9090
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"mpdash/internal/obs"
+	"mpdash/internal/swarm"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		scenarioPath = flag.String("scenario", "", "scenario JSON file (flags below override its fields)")
+		sessions     = flag.Int("sessions", 0, "total sessions to launch")
+		arrival      = flag.String("arrival", "", "arrival process: uniform, poisson, ramp or spike")
+		duration     = flag.Duration("duration", 0, "arrival window the sessions spread across")
+		workers      = flag.Int("workers", 0, "max concurrently active sessions (0 = unbounded)")
+		timeout      = flag.Duration("timeout", 0, "per-session timeout (0 = 2× longest video + 30s)")
+		seed         = flag.Int64("seed", 0, "master RNG seed threading arrival, profile and Zipf draws (0 = 1)")
+		zipfS        = flag.Float64("zipf-s", 0, "Zipf content-popularity exponent (0 = 1.0)")
+
+		wifiMbps = flag.Float64("wifi-mbps", 0, "per-origin WiFi-path shaped rate (0 = unshaped)")
+		lteMbps  = flag.Float64("lte-mbps", 0, "per-origin LTE-path shaped rate (0 = unshaped)")
+		origins  = flag.Int("origins", 0, "origins per path per group (>1 enables failover/hedging)")
+		maxConns = flag.Int("max-conns", 0, "per-origin MaxConns admission limit (0 = unlimited)")
+
+		out          = flag.String("out", "BENCH_swarm.json", "population report output path (empty = skip)")
+		keepSessions = flag.Bool("session-detail", false, "include per-session outcomes in the report")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address while the swarm runs (empty = off)")
+		journalPath  = flag.String("journal", "", "stream the swarm event journal to this JSONL file (- = stderr)")
+		quiet        = flag.Bool("quiet", false, "suppress informational output (errors still print)")
+	)
+	flag.Parse()
+
+	scn := swarm.Scenario{}
+	if *scenarioPath != "" {
+		loaded, err := swarm.LoadScenario(*scenarioPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		scn = *loaded
+	}
+	if *sessions > 0 {
+		scn.Sessions = *sessions
+	}
+	if *arrival != "" {
+		scn.Arrival.Kind = swarm.ArrivalKind(*arrival)
+	}
+	if *duration > 0 {
+		scn.Arrival.Over = swarm.Duration(*duration)
+	}
+	if *workers > 0 {
+		scn.MaxActive = *workers
+	}
+	if *timeout > 0 {
+		scn.SessionTimeout = swarm.Duration(*timeout)
+	}
+	if *seed != 0 {
+		scn.Seed = *seed
+	}
+	if *zipfS > 0 {
+		scn.ZipfS = *zipfS
+	}
+	if *wifiMbps > 0 {
+		scn.Servers.WiFiMbps = *wifiMbps
+	}
+	if *lteMbps > 0 {
+		scn.Servers.LTEMbps = *lteMbps
+	}
+	if *origins > 0 {
+		scn.Servers.WiFiOrigins = *origins
+		scn.Servers.LTEOrigins = *origins
+	}
+	if *maxConns > 0 {
+		scn.Servers.MaxConns = *maxConns
+	}
+	if scn.Sessions <= 0 {
+		fmt.Fprintln(os.Stderr, "mpdash-swarm: need -sessions (or a -scenario file that sets them)")
+		flag.Usage()
+		return 2
+	}
+
+	sw, err := swarm.New(scn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	sw.KeepSessions = *keepSessions
+	if !*quiet {
+		sw.Logf = func(format string, a ...any) { fmt.Printf(format, a...) }
+	}
+
+	if *metricsAddr != "" || *journalPath != "" {
+		tel := obs.New()
+		if *journalPath != "" {
+			var w io.Writer = os.Stderr
+			if *journalPath != "-" {
+				jf, err := os.Create(*journalPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				defer jf.Close()
+				w = jf
+			}
+			tel.Journal.StreamTo(w)
+			defer func() {
+				if err := tel.Journal.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
+		}
+		if *metricsAddr != "" {
+			ms, err := tel.Serve(*metricsAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			defer ms.Close()
+			if !*quiet {
+				fmt.Printf("telemetry: http://%s/metrics\n", ms.Addr())
+			}
+		}
+		sw.Instrument(tel)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "\ninterrupt: stopping the population gracefully")
+		cancel()
+		<-sig // second interrupt: hard exit
+		os.Exit(1)
+	}()
+
+	t0 := time.Now()
+	rep, err := sw.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if !*quiet {
+		fmt.Printf("\n%s", rep.Summary())
+		fmt.Printf("run finished in %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Printf("report: %s\n", *out)
+		}
+	}
+	if rep.LedgerViolations > 0 || rep.Panicked > 0 {
+		fmt.Fprintf(os.Stderr, "mpdash-swarm: %d ledger violations, %d panics\n",
+			rep.LedgerViolations, rep.Panicked)
+		return 1
+	}
+	return 0
+}

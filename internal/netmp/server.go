@@ -187,6 +187,15 @@ func (s *ChunkServer) OverloadStats() OverloadStats {
 	return s.ostats
 }
 
+// CurrentConns returns the number of currently admitted connections —
+// the live admission gauge population runs assert MaxConns behaviour
+// against, instead of inferring it from 503 counts.
+func (s *ChunkServer) CurrentConns() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return len(s.conns)
+}
+
 // Draining reports whether Drain has been called.
 func (s *ChunkServer) Draining() bool {
 	s.connMu.Lock()

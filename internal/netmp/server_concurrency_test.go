@@ -1,0 +1,161 @@
+package netmp
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mpdash/internal/dash"
+)
+
+// smallVideo keeps the many-fetcher test cheap: 100 ms chunks at a few
+// hundred kbit/s, so 32 clients fit comfortably on one core.
+func smallVideo() *dash.Video {
+	return &dash.Video{
+		Name:          "small",
+		ChunkDuration: 100 * time.Millisecond,
+		NumChunks:     4,
+		SizeSeed:      7,
+		Levels: []dash.Level{
+			{ID: 1, AvgBitrateMbps: 1},
+			{ID: 2, AvgBitrateMbps: 2},
+		},
+	}
+}
+
+// TestManySimultaneousFetchers drives 32 independent fetchers against
+// one shared server pair and checks the exactly-once contract holds for
+// every client at once: each chunk verified, each client's path bytes
+// summing to the chunk size with nothing wasted or requeued, and the
+// servers' ServedBytes ledger matching the population total exactly.
+func TestManySimultaneousFetchers(t *testing.T) {
+	const fetchers = 32
+	video := smallVideo()
+	ps, err := NewChunkServer(video, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	ss, err := NewChunkServer(video, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+
+	type tally struct {
+		size, primary, secondary, wasted int64
+		errs                             []string
+	}
+	results := make([]tally, fetchers)
+	var wg sync.WaitGroup
+	for i := 0; i < fetchers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := NewFetcher(video, ps.Addr(), ss.Addr())
+			if err != nil {
+				results[i].errs = append(results[i].errs, err.Error())
+				return
+			}
+			defer f.Close()
+			for c := 0; c < video.NumChunks; c++ {
+				res, err := f.FetchChunk(c, c%2, 5*time.Second)
+				if err != nil {
+					results[i].errs = append(results[i].errs, err.Error())
+					return
+				}
+				if !res.Verified {
+					results[i].errs = append(results[i].errs, "chunk not verified")
+					return
+				}
+				if res.PrimaryBytes+res.SecondaryBytes != res.Size {
+					results[i].errs = append(results[i].errs, "path bytes != size")
+					return
+				}
+				results[i].size += res.Size
+				results[i].primary += res.PrimaryBytes
+				results[i].secondary += res.SecondaryBytes
+				results[i].wasted += res.WastedBytes
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var total, primary, secondary, wasted int64
+	for i, r := range results {
+		for _, e := range r.errs {
+			t.Errorf("fetcher %d: %s", i, e)
+		}
+		total += r.size
+		primary += r.primary
+		secondary += r.secondary
+		wasted += r.wasted
+	}
+	var want int64
+	for c := 0; c < video.NumChunks; c++ {
+		want += video.ChunkSize(c, c%2)
+	}
+	want *= fetchers
+	if total != want {
+		t.Errorf("population fetched %d bytes, want %d", total, want)
+	}
+	// Unshaped, fault-free servers: nothing should be fetched twice, so
+	// the servers' own ledgers must balance the clients' to the byte.
+	if wasted != 0 {
+		t.Errorf("%d wasted bytes on a clean tier", wasted)
+	}
+	if served := ps.ServedBytes() + ss.ServedBytes(); served != primary+secondary {
+		t.Errorf("servers served %d bytes, clients received %d", served, primary+secondary)
+	}
+	if ps.CurrentConns() != 0 {
+		// Every fetcher closed; the handlers must have deregistered.
+		deadline := time.Now().Add(2 * time.Second)
+		for ps.CurrentConns() > 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := ps.CurrentConns(); n != 0 {
+			t.Errorf("%d connections still registered after all fetchers closed", n)
+		}
+	}
+}
+
+// TestMaxConnsAdmissionAccounting opens far more raw connections than
+// the admission limit allows and checks the 503 counter and the live
+// connection gauge both land exactly.
+func TestMaxConnsAdmissionAccounting(t *testing.T) {
+	const dials, limit = 40, 8
+	s, err := NewChunkServer(smallVideo(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetLimits(ServerLimits{MaxConns: limit})
+
+	conns := make([]net.Conn, 0, dials)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i := 0; i < dials; i++ {
+		c, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conns = append(conns, c)
+	}
+
+	// The accept loop drains the backlog sequentially; wait for it to
+	// classify all 40.
+	deadline := time.Now().Add(3 * time.Second)
+	for s.OverloadStats().RejectedConns < dials-limit && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.OverloadStats().RejectedConns; got != dials-limit {
+		t.Errorf("RejectedConns = %d, want %d", got, dials-limit)
+	}
+	if got := s.CurrentConns(); got != limit {
+		t.Errorf("CurrentConns() = %d, want %d", got, limit)
+	}
+}

@@ -77,6 +77,15 @@ type StreamResult struct {
 	// (single-path mode).
 	DegradedTime time.Duration
 
+	// StartupDelay is the time from session start to the first chunk
+	// being fully fetched — the join delay a viewer experiences before
+	// playback can begin.
+	StartupDelay time.Duration
+	// DeadlineMisses counts steady-state chunks delivered after their
+	// α·D window. The startup chunk is excluded: its deadline is a
+	// synthetic minimal value that exists only to engage both paths.
+	DeadlineMisses int
+
 	// Failovers counts origin switches across the session (origin tier).
 	Failovers int64
 	// HedgesIssued / HedgesWon / HedgesCancelled summarize hedged
@@ -226,6 +235,9 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 		if !fr.Verified {
 			res.AllVerified = false
 		}
+		if playing && fr.MissedBy > 0 {
+			res.DeadlineMisses++
+		}
 		if dl > 0 {
 			throughputs = append(throughputs, float64(size*8)/dl.Seconds())
 		}
@@ -244,6 +256,9 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			buffer = bufferCap
 		}
 		s.sobs.setBuffer(buffer)
+		if !playing {
+			res.StartupDelay = clk.now().Sub(start)
+		}
 		playing = true
 		if lastLevel >= 0 && level != lastLevel {
 			res.QualitySwitches++

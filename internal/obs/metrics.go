@@ -33,17 +33,36 @@ func (l Labels) render() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(l[k]))
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(l[k]))
 	}
 	b.WriteByte('}')
 	return b.String()
 }
 
-// escapeLabel escapes backslash, quote, and newline per the text format.
-// %q already escapes quotes and backslashes; newlines are the remaining
-// concern and %q handles those too, so this is the identity — kept as a
-// named hook should the format ever diverge from Go's %q.
-func escapeLabel(s string) string { return s }
+// escapeLabel escapes backslash, double quote, and newline per the
+// Prometheus text exposition format. Unlike Go's %q it leaves every other
+// byte — UTF-8 sequences included — untouched, which is what the format
+// specifies (and what scrapers unescape).
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
 
 // Counter is a monotonically increasing int64 metric. All methods are
 // nil-safe: a nil *Counter is the no-op handle instrumented code holds

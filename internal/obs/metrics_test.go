@@ -176,3 +176,42 @@ func TestWritePrometheus(t *testing.T) {
 		}
 	}
 }
+
+func TestEscapeLabelHostileValues(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"line\nbreak", `line\nbreak`},
+		{"\\\"\n", `\\\"\n`},
+		{"утф-8 ✓", "утф-8 ✓"}, // non-ASCII passes through unescaped
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHostileLabelExposition(t *testing.T) {
+	// A hostile label value must render escaped in the exposition, and the
+	// same hostile Labels map must key the same series on re-registration.
+	r := NewRegistry()
+	hostile := Labels{"err": "dial \"x\\y\"\nrefused"}
+	r.Counter("mpdash_hostile_total", "h.", hostile).Add(3)
+	if c := r.Counter("mpdash_hostile_total", "h.", hostile); c.Value() != 3 {
+		t.Errorf("hostile labels did not key the same series: %d", c.Value())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `mpdash_hostile_total{err="dial \"x\\y\"\nrefused"} 3`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q\n%s", want, b.String())
+	}
+	if strings.Contains(b.String(), "\nrefused") {
+		t.Errorf("raw newline leaked into exposition:\n%s", b.String())
+	}
+}

@@ -1,0 +1,150 @@
+package swarm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Deterministic population planning: every draw descends from the
+// scenario Seed through fixed per-concern sub-seeds, so the same scenario
+// always produces the same SessionSpec list regardless of runtime timing.
+
+// Sub-seed salts: fixed constants so adding a concern never perturbs the
+// draws of another.
+const (
+	saltArrival = 0x5eed0001
+	saltZipf    = 0x5eed0002
+	saltProfile = 0x5eed0003
+	saltSession = 0x5eed0004
+)
+
+// SessionSpec is one planned session: when it starts, what it watches,
+// and how it behaves. The ID doubles as the per-session RNG lineage.
+type SessionSpec struct {
+	ID      int           `json:"id"`
+	StartAt time.Duration `json:"start_at"`
+	// Video is the catalog index drawn from the Zipf popularity law.
+	Video int `json:"video"`
+	// Profile is the profile index drawn from the weighted mix.
+	Profile int `json:"profile"`
+	// Seed seeds the session's own jitter/backoff RNG.
+	Seed int64 `json:"seed"`
+}
+
+// Plan expands the scenario into its deterministic session manifest.
+// The scenario is defaulted and validated first.
+func Plan(scn Scenario) ([]SessionSpec, error) {
+	s := scn.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.Sessions
+	starts := s.Arrival.offsets(n, rand.New(rand.NewSource(s.Seed^saltArrival)))
+	zrng := rand.New(rand.NewSource(s.Seed ^ saltZipf))
+	z := newZipf(s.ZipfS, len(s.Catalog))
+	prng := rand.New(rand.NewSource(s.Seed ^ saltProfile))
+	specs := make([]SessionSpec, n)
+	for i := range specs {
+		specs[i] = SessionSpec{
+			ID:      i,
+			StartAt: starts[i],
+			Video:   z.draw(zrng),
+			Profile: drawProfile(s.Profiles, prng),
+			Seed:    s.Seed ^ saltSession ^ int64(i)*0x9e3779b9,
+		}
+	}
+	return specs, nil
+}
+
+// offsets returns n arrival offsets in ascending order, drawn from rng
+// according to the process kind. Offsets are relative to run start; the
+// Poisson process may legitimately overrun the window (it is open-loop).
+func (a Arrival) offsets(n int, rng *rand.Rand) []time.Duration {
+	over := a.Over.D()
+	out := make([]time.Duration, n)
+	switch a.Kind {
+	case ArrivalUniform:
+		for i := range out {
+			out[i] = over * time.Duration(i) / time.Duration(n)
+		}
+	case ArrivalPoisson:
+		// Exponential inter-arrivals at rate n/over.
+		mean := float64(over) / float64(n)
+		t := 0.0
+		for i := range out {
+			t += rng.ExpFloat64() * mean
+			out[i] = time.Duration(t)
+		}
+	case ArrivalRamp:
+		// Density ∝ t over [0, over): CDF (t/over)², inverted as over·√u.
+		for i := range out {
+			out[i] = time.Duration(float64(over) * math.Sqrt(rng.Float64()))
+		}
+	case ArrivalSpike:
+		// 20% uniform background, 80% in a burst over/10 wide mid-window.
+		burst := n * 8 / 10
+		lo := float64(over) * 0.45
+		w := float64(over) * 0.1
+		for i := range out {
+			if i < burst {
+				out[i] = time.Duration(lo + w*rng.Float64())
+			} else {
+				out[i] = time.Duration(float64(over) * rng.Float64())
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// zipf samples ranks 0..n-1 with probability ∝ 1/(rank+1)^s by inverse
+// CDF over precomputed cumulative weights. Unlike math/rand.Zipf it
+// accepts any s > 0 (including the classic s = 1).
+type zipf struct {
+	cum []float64 // normalized cumulative weights
+}
+
+func newZipf(s float64, n int) *zipf {
+	cum := make([]float64, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += 1 / math.Pow(float64(i+1), s)
+		cum[i] = t
+	}
+	for i := range cum {
+		cum[i] /= t
+	}
+	return &zipf{cum: cum}
+}
+
+func (z *zipf) draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}
+
+// drawProfile samples a profile index by weight (zero weights count as 1
+// only when every weight is zero — withDefaults guarantees a non-empty
+// list, Validate a positive total).
+func drawProfile(ps []Profile, rng *rand.Rand) int {
+	total := 0.0
+	for _, p := range ps {
+		total += p.Weight
+	}
+	if total <= 0 {
+		return rng.Intn(len(ps))
+	}
+	u := rng.Float64() * total
+	for i, p := range ps {
+		u -= p.Weight
+		if u < 0 {
+			return i
+		}
+	}
+	return len(ps) - 1
+}

@@ -1,0 +1,143 @@
+package swarm
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// tinyCatalog keeps swarm tests fast: 100 ms chunks, short videos.
+func tinyCatalog() []CatalogItem {
+	return []CatalogItem{
+		{Name: "tiny-a", ChunkMs: 100, Chunks: 4, LevelsMbps: []float64{0.2, 0.4}},
+		{Name: "tiny-b", ChunkMs: 100, Chunks: 3, LevelsMbps: []float64{0.2}},
+		{Name: "tiny-c", ChunkMs: 100, Chunks: 5, LevelsMbps: []float64{0.2, 0.4, 0.8}},
+	}
+}
+
+func tinyScenario(n int) Scenario {
+	return Scenario{
+		Sessions: n,
+		Arrival:  Arrival{Kind: ArrivalUniform, Over: Duration(200 * time.Millisecond)},
+		Seed:     42,
+		Catalog:  tinyCatalog(),
+		Profiles: []Profile{
+			{Name: "wifi", Weight: 0.7, ABR: "gpac"},
+			{Name: "lte", Weight: 0.3, ABR: "bba", Preference: "lte"},
+		},
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	scn := tinyScenario(64)
+	a, err := Plan(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same scenario produced different plans")
+	}
+	scn.Seed = 43
+	c, err := Plan(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+	// Arrival offsets must be sorted; IDs must be stable 0..n-1.
+	for i, s := range a {
+		if s.ID != i {
+			t.Fatalf("spec %d has ID %d", i, s.ID)
+		}
+		if i > 0 && s.StartAt < a[i-1].StartAt {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+	}
+}
+
+func TestArrivalShapes(t *testing.T) {
+	const n = 2000
+	over := 10 * time.Second
+	for _, kind := range []ArrivalKind{ArrivalUniform, ArrivalPoisson, ArrivalRamp, ArrivalSpike} {
+		a := Arrival{Kind: kind, Over: Duration(over)}
+		offs := a.offsets(n, rand.New(rand.NewSource(1)))
+		if len(offs) != n {
+			t.Fatalf("%s: %d offsets", kind, len(offs))
+		}
+		if !sort.SliceIsSorted(offs, func(i, j int) bool { return offs[i] < offs[j] }) {
+			t.Errorf("%s: offsets not sorted", kind)
+		}
+		for _, o := range offs {
+			if o < 0 {
+				t.Fatalf("%s: negative offset %v", kind, o)
+			}
+		}
+		// Everything except the open-loop Poisson tail stays in-window.
+		if kind != ArrivalPoisson && offs[n-1] >= over {
+			t.Errorf("%s: offset %v beyond window %v", kind, offs[n-1], over)
+		}
+	}
+
+	// Ramp: the second half of the window must hold well over half the
+	// arrivals (density grows linearly).
+	ramp := Arrival{Kind: ArrivalRamp, Over: Duration(over)}.offsets(n, rand.New(rand.NewSource(2)))
+	late := 0
+	for _, o := range ramp {
+		if o > over/2 {
+			late++
+		}
+	}
+	if late < n*6/10 {
+		t.Errorf("ramp: only %d/%d arrivals in the late half", late, n)
+	}
+
+	// Spike: a big cluster inside the [0.45, 0.55] window.
+	spike := Arrival{Kind: ArrivalSpike, Over: Duration(over)}.offsets(n, rand.New(rand.NewSource(3)))
+	in := 0
+	for _, o := range spike {
+		if o >= time.Duration(0.45*float64(over)) && o < time.Duration(0.55*float64(over)) {
+			in++
+		}
+	}
+	if in < n*7/10 {
+		t.Errorf("spike: only %d/%d arrivals inside the burst window", in, n)
+	}
+}
+
+func TestZipfPopularity(t *testing.T) {
+	z := newZipf(1.0, 5)
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, 5)
+	for i := 0; i < 20000; i++ {
+		counts[z.draw(rng)]++
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Errorf("rank %d (%d draws) more popular than rank %d (%d draws)",
+				i, counts[i], i-1, counts[i-1])
+		}
+	}
+	// Harmonic weights 1/1..1/5: rank 0 holds ~44% of the mass.
+	if frac := float64(counts[0]) / 20000; frac < 0.38 || frac > 0.50 {
+		t.Errorf("rank-0 share %.3f outside [0.38, 0.50]", frac)
+	}
+}
+
+func TestDrawProfileWeights(t *testing.T) {
+	ps := []Profile{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}}
+	rng := rand.New(rand.NewSource(5))
+	counts := [2]int{}
+	for i := 0; i < 8000; i++ {
+		counts[drawProfile(ps, rng)]++
+	}
+	if frac := float64(counts[0]) / 8000; frac < 0.70 || frac > 0.80 {
+		t.Errorf("weight-3 profile drawn %.3f of the time, want ~0.75", frac)
+	}
+}

@@ -1,0 +1,104 @@
+package swarm
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScenarioDefaults(t *testing.T) {
+	s := Scenario{Sessions: 10}.withDefaults()
+	if s.Arrival.Kind != ArrivalPoisson || s.Arrival.Over.D() != 10*time.Second {
+		t.Errorf("arrival defaults: %+v", s.Arrival)
+	}
+	if s.MaxActive != 10 || s.Seed != 1 || s.ZipfS != 1.0 {
+		t.Errorf("defaults: max=%d seed=%d zipf=%g", s.MaxActive, s.Seed, s.ZipfS)
+	}
+	if len(s.Catalog) == 0 || len(s.Profiles) == 0 {
+		t.Fatal("default catalog/profiles missing")
+	}
+	if s.SessionTimeout <= 0 {
+		t.Error("session timeout not defaulted")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("defaulted scenario invalid: %v", err)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []Scenario{
+		{Sessions: 0},
+		{Sessions: 5, Arrival: Arrival{Kind: "bogus", Over: Duration(time.Second)}},
+		{Sessions: 5, Catalog: []CatalogItem{{Name: "x"}}}, // no chunk_ms/levels
+		{Sessions: 5, Profiles: []Profile{{Name: "p", Weight: 1, ABR: "nope"}}},
+		{Sessions: 5, Profiles: []Profile{{Name: "p", Weight: 1, Preference: "satellite"}}},
+		{Sessions: 5, Profiles: []Profile{{Name: "p", Weight: -1}}},
+	}
+	for i, s := range bad {
+		if err := s.withDefaults().Validate(); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	var d Duration
+	for _, c := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{`"1.5s"`, 1500 * time.Millisecond},
+		{`"250ms"`, 250 * time.Millisecond},
+		{`5000000000`, 5 * time.Second}, // raw nanoseconds
+	} {
+		if err := json.Unmarshal([]byte(c.in), &d); err != nil {
+			t.Fatalf("unmarshal %s: %v", c.in, err)
+		}
+		if d.D() != c.want {
+			t.Errorf("unmarshal %s = %v, want %v", c.in, d.D(), c.want)
+		}
+	}
+	if err := json.Unmarshal([]byte(`"fast"`), &d); err == nil {
+		t.Error("bogus duration accepted")
+	}
+	b, err := json.Marshal(Duration(750 * time.Millisecond))
+	if err != nil || string(b) != `"750ms"` {
+		t.Errorf("marshal = %s, %v", b, err)
+	}
+}
+
+func TestLoadScenarioRoundTrip(t *testing.T) {
+	scn := tinyScenario(12)
+	scn.Name = "roundtrip"
+	scn.SessionTimeout = Duration(3 * time.Second)
+	scn.Servers = Servers{WiFiMbps: 20, LTEMbps: 10, MaxConns: 64,
+		Faults: &FaultSpec{ResetProb: 0.01}}
+	b, err := json.MarshalIndent(scn, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scn.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "roundtrip" || got.Sessions != 12 ||
+		got.Arrival.Over.D() != 200*time.Millisecond ||
+		got.Servers.Faults == nil || got.Servers.Faults.ResetProb != 0.01 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if _, err := LoadScenario(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(badPath, []byte("{nope"), 0o644)
+	if _, err := LoadScenario(badPath); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("bad JSON: %v", err)
+	}
+}

@@ -1,0 +1,335 @@
+package swarm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpdash/internal/abr"
+	"mpdash/internal/dash"
+	"mpdash/internal/netmp"
+	"mpdash/internal/obs"
+)
+
+// sessionKillGrace is how long after a timeout's graceful Stop the
+// session gets before its fetcher is torn down under it.
+const sessionKillGrace = 5 * time.Second
+
+// testHookSession, when set, runs at the top of every session inside the
+// panic-isolation wrapper — the lever tests use to wreck one session and
+// prove the run survives.
+var testHookSession func(id int)
+
+// connSamplePeriod is the cadence of the tier connection sampler that
+// tracks PeakConns.
+const connSamplePeriod = 50 * time.Millisecond
+
+// SessionOutcome is one session's record in the population result.
+type SessionOutcome struct {
+	ID      int    `json:"id"`
+	Video   string `json:"video"`
+	Profile string `json:"profile"`
+	// StartAt is the planned arrival offset; QueueWait is how long the
+	// session waited for a worker slot beyond it.
+	StartAt   Duration `json:"start_at"`
+	QueueWait Duration `json:"queue_wait"`
+	Wall      Duration `json:"wall"`
+	// Result is the session's StreamResult (nil when setup failed).
+	Result *netmp.StreamResult `json:"result,omitempty"`
+	// CellularBytes is the session's bytes over the LTE path, whichever
+	// role (primary or secondary) that path played.
+	CellularBytes int64 `json:"cellular_bytes"`
+	TotalBytes    int64 `json:"total_bytes"`
+	// RebufferRatio is stall time over (stall + played) time.
+	RebufferRatio float64 `json:"rebuffer_ratio"`
+	Err           string  `json:"err,omitempty"`
+	TimedOut      bool    `json:"timed_out,omitempty"`
+	Panicked      bool    `json:"panicked,omitempty"`
+}
+
+// Swarm orchestrates one population run.
+type Swarm struct {
+	Scenario Scenario
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, a ...any)
+	// KeepSessions retains per-session outcomes in the report.
+	KeepSessions bool
+
+	tel  *obs.Telemetry
+	sobs *swarmObs
+}
+
+// New returns a Swarm for the scenario (defaulted and validated).
+func New(scn Scenario) (*Swarm, error) {
+	s := scn.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Swarm{Scenario: s}, nil
+}
+
+// Instrument wires the swarm's population telemetry (swarm_* metrics and
+// journal events) to t. Call before Run.
+func (sw *Swarm) Instrument(t *obs.Telemetry) {
+	if t == nil {
+		return
+	}
+	sw.tel = t
+	sw.sobs = newSwarmObs(t)
+}
+
+func (sw *Swarm) logf(format string, a ...any) {
+	if sw.Logf != nil {
+		sw.Logf(format, a...)
+	}
+}
+
+// Run executes the population: it plans the arrivals, starts the server
+// tier, launches every session open-loop through the bounded worker
+// pool, and aggregates the outcomes. Cancelling ctx stops the launcher
+// and gracefully stops active sessions; the partial report is returned.
+func (sw *Swarm) Run(ctx context.Context) (*Report, error) {
+	scn := &sw.Scenario
+	plan, err := Plan(*scn)
+	if err != nil {
+		return nil, err
+	}
+	videos := make([]*dash.Video, len(scn.Catalog))
+	for i, c := range scn.Catalog {
+		videos[i] = c.video(i)
+	}
+	tr, err := startTier(scn, videos, plan)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.close()
+	for _, srv := range tr.servers {
+		if sw.tel != nil {
+			srv.Instrument(sw.tel)
+		}
+	}
+	sw.logf("swarm %q: %d sessions, %s arrival over %v, %d origins, seed %d\n",
+		scn.Name, len(plan), scn.Arrival.Kind, scn.Arrival.Over.D(), len(tr.servers), scn.Seed)
+	sw.sobs.emitRunStart(scn, len(plan), len(tr.servers))
+
+	// Peak-connection sampler: the tier-wide admission gauge.
+	var peakConns atomic.Int64
+	sampleCtx, stopSampler := context.WithCancel(context.Background())
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(connSamplePeriod)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-tick.C:
+				if n := int64(tr.currentConns()); n > peakConns.Load() {
+					peakConns.Store(n)
+				}
+			}
+		}
+	}()
+
+	// Bounded worker pool: a semaphore of MaxActive slots. Arrivals stay
+	// open-loop — each session's launcher goroutine fires at its planned
+	// offset and then waits (measured) for a slot.
+	sem := make(chan struct{}, scn.MaxActive)
+	outcomes := make([]SessionOutcome, len(plan))
+	var active, peakActive, launched int64
+	var actMu sync.Mutex
+	noteActive := func(d int64) {
+		actMu.Lock()
+		active += d
+		if active > peakActive {
+			peakActive = active
+		}
+		a := active
+		actMu.Unlock()
+		sw.sobs.setActive(a)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+launch:
+	for i, spec := range plan {
+		wait := spec.StartAt - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				break launch
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break launch
+		}
+		wg.Add(1)
+		launched++
+		go func(i int, spec SessionSpec) {
+			defer wg.Done()
+			arrived := time.Now()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				outcomes[i] = SessionOutcome{
+					ID: spec.ID, StartAt: Duration(spec.StartAt),
+					Video:   scn.Catalog[spec.Video].Name,
+					Profile: scn.Profiles[spec.Profile].Name,
+					Err:     "cancelled before a worker slot freed",
+				}
+				return
+			}
+			defer func() { <-sem }()
+			queueWait := time.Since(arrived)
+			noteActive(1)
+			defer noteActive(-1)
+			out := sw.runSession(ctx, spec, videos[spec.Video], tr.groups[scn.groupFor(spec)])
+			out.QueueWait = Duration(queueWait)
+			outcomes[i] = out
+			sw.sobs.observeSession(out)
+		}(i, spec)
+	}
+	wg.Wait()
+	stopSampler()
+	samplerWG.Wait()
+
+	rep := aggregate(scn, outcomes[:launched], tr.report(int(peakConns.Load())), time.Since(start), int(peakActive))
+	if sw.KeepSessions {
+		rep.SessionOutcomes = outcomes[:launched]
+	}
+	sw.sobs.emitRunDone(rep)
+	if ctx.Err() != nil && launched < int64(len(plan)) {
+		sw.logf("swarm: cancelled after launching %d/%d sessions\n", launched, len(plan))
+	}
+	return rep, nil
+}
+
+// runSession executes one client session against the shared tier. It
+// never panics out: a panic inside the session (or the libraries under
+// it) is absorbed into the outcome.
+func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.Video, grp originGroup) (out SessionOutcome) {
+	scn := &sw.Scenario
+	prof := scn.Profiles[spec.Profile]
+	out = SessionOutcome{
+		ID:      spec.ID,
+		StartAt: Duration(spec.StartAt),
+		Video:   video.Name,
+		Profile: prof.Name,
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out.Panicked = true
+			out.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	sw.sobs.emitSessionStart(spec, video.Name, prof.Name)
+	if testHookSession != nil {
+		testHookSession(spec.ID)
+	}
+
+	primary, secondary := grp.wifi, grp.lte
+	lteIsSecondary := true
+	if prof.Preference == "lte" {
+		primary, secondary = grp.lte, grp.wifi
+		lteIsSecondary = false
+	}
+	f, err := netmp.NewFetcherOrigins(video, primary, secondary, netmp.BreakerPolicy{})
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	defer f.Close()
+	f.Retry = netmp.RetryPolicy{Seed: spec.Seed}
+	f.Hedge = netmp.HedgePolicy{Disabled: prof.NoHedge}
+	if prof.Alpha > 0 {
+		f.Alpha = prof.Alpha
+	}
+	if prof.SegmentKB > 0 {
+		f.SegmentSize = int64(prof.SegmentKB) * 1024
+	}
+	adapter, err := newABR(prof.ABR, video)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	st := &netmp.Streamer{Fetcher: f, ABR: adapter, RateBased: !prof.DurationDeadlines}
+	if prof.BufferChunks > 0 {
+		st.BufferCap = time.Duration(prof.BufferChunks) * video.ChunkDuration
+	}
+
+	// Supervision: a cancelled run stops the session gracefully; a
+	// session that outlives its timeout is stopped, then — after a grace
+	// period for the in-flight chunk — has its sockets pulled.
+	done := make(chan struct{})
+	defer close(done)
+	var timedOut atomic.Bool
+	kill := time.AfterFunc(scn.SessionTimeout.D(), func() {
+		timedOut.Store(true)
+		st.Stop()
+		t := time.NewTimer(sessionKillGrace)
+		defer t.Stop()
+		select {
+		case <-done:
+		case <-t.C:
+			f.Close()
+		}
+	})
+	defer kill.Stop()
+	go func() {
+		select {
+		case <-ctx.Done():
+			st.Stop()
+		case <-done:
+		}
+	}()
+
+	t0 := time.Now()
+	res, serr := st.Stream(prof.Chunks)
+	out.Wall = Duration(time.Since(t0))
+	out.Result = res
+	out.TimedOut = timedOut.Load()
+	if serr != nil {
+		out.Err = serr.Error()
+	}
+	if res != nil {
+		out.TotalBytes = res.PrimaryBytes + res.SecondaryBytes
+		if lteIsSecondary {
+			out.CellularBytes = res.SecondaryBytes
+		} else {
+			out.CellularBytes = res.PrimaryBytes
+		}
+		played := time.Duration(res.Chunks) * video.ChunkDuration
+		if denom := res.StallTime + played; denom > 0 {
+			out.RebufferRatio = res.StallTime.Seconds() / denom.Seconds()
+		}
+	}
+	return out
+}
+
+// newABR builds a fresh rate-adaptation instance per session.
+func newABR(name string, video *dash.Video) (dash.RateAdapter, error) {
+	switch name {
+	case "", "gpac":
+		return abr.NewGPAC(), nil
+	case "bba":
+		return abr.NewBBA(), nil
+	case "bbac":
+		return abr.NewBBAC(), nil
+	case "festive":
+		return abr.NewFESTIVE(), nil
+	case "mpc":
+		return abr.NewMPC(), nil
+	case "fastmpc":
+		return abr.NewFastMPC(video), nil
+	case "svaa":
+		return abr.NewSVAA(), nil
+	}
+	return nil, fmt.Errorf("swarm: unknown abr %q", name)
+}

@@ -1,0 +1,206 @@
+package swarm
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"mpdash/internal/obs"
+)
+
+func runScenario(t *testing.T, scn Scenario) *Report {
+	t.Helper()
+	sw, err := New(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.KeepSessions = true
+	rep, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSwarmSmallPopulation(t *testing.T) {
+	rep := runScenario(t, tinyScenario(16))
+	if rep.Sessions != 16 || rep.Completed != 16 {
+		t.Fatalf("sessions=%d completed=%d failed=%d timedout=%d panicked=%d",
+			rep.Sessions, rep.Completed, rep.Failed, rep.TimedOut, rep.Panicked)
+	}
+	if rep.LedgerViolations != 0 {
+		t.Errorf("%d ledger violations", rep.LedgerViolations)
+	}
+	if rep.Chunks == 0 || rep.BytesTotal == 0 {
+		t.Errorf("no traffic: chunks=%d bytes=%d", rep.Chunks, rep.BytesTotal)
+	}
+	if rep.StartupDelayS.P99 <= 0 || rep.StartupDelayS.P50 > rep.StartupDelayS.P99 {
+		t.Errorf("startup quantiles malformed: %+v", rep.StartupDelayS)
+	}
+	// The lte profile must account its primary bytes as cellular.
+	if rep.CellularBytes == 0 {
+		t.Error("no cellular bytes despite an lte-preferred profile")
+	}
+	if len(rep.SessionOutcomes) != 16 {
+		t.Errorf("session detail not kept: %d", len(rep.SessionOutcomes))
+	}
+	if len(rep.PerProfile) == 0 {
+		t.Error("per-profile breakdown missing")
+	}
+}
+
+func TestSwarmDeterministicPopulationMix(t *testing.T) {
+	// Two runs of one scenario must sample the identical population —
+	// same videos, profiles, arrival offsets per session ID (timing-
+	// dependent QoE numbers may of course differ).
+	scn := tinyScenario(24)
+	a, b := runScenario(t, scn), runScenario(t, scn)
+	for i := range a.SessionOutcomes {
+		x, y := a.SessionOutcomes[i], b.SessionOutcomes[i]
+		if x.Video != y.Video || x.Profile != y.Profile || x.StartAt != y.StartAt {
+			t.Fatalf("session %d mix differs: %s/%s/%v vs %s/%s/%v",
+				i, x.Video, x.Profile, x.StartAt.D(), y.Video, y.Profile, y.StartAt.D())
+		}
+	}
+}
+
+func TestSwarmBoundedWorkerPool(t *testing.T) {
+	scn := tinyScenario(12)
+	scn.MaxActive = 2
+	scn.Arrival = Arrival{Kind: ArrivalUniform, Over: Duration(50 * time.Millisecond)}
+	rep := runScenario(t, scn)
+	if rep.Completed != 12 {
+		t.Fatalf("completed %d/12", rep.Completed)
+	}
+	if rep.PeakConcurrent > 2 {
+		t.Errorf("peak concurrent %d exceeds MaxActive 2", rep.PeakConcurrent)
+	}
+	if rep.QueueWaitS.Max <= 0 {
+		t.Error("no queue wait measured despite a saturated pool")
+	}
+}
+
+func TestSwarmPanicIsolation(t *testing.T) {
+	testHookSession = func(id int) {
+		if id == 3 {
+			panic("session 3 is having a very bad day")
+		}
+	}
+	defer func() { testHookSession = nil }()
+	rep := runScenario(t, tinyScenario(8))
+	if rep.Panicked != 1 {
+		t.Fatalf("panicked=%d, want 1", rep.Panicked)
+	}
+	if rep.Completed != 7 {
+		t.Errorf("completed=%d, want 7 (the panic must not kill the run)", rep.Completed)
+	}
+	for _, o := range rep.SessionOutcomes {
+		if o.ID == 3 {
+			if !o.Panicked || !strings.Contains(o.Err, "very bad day") {
+				t.Errorf("panic outcome not recorded: %+v", o)
+			}
+		}
+	}
+}
+
+func TestSwarmSessionTimeout(t *testing.T) {
+	scn := tinyScenario(4)
+	// Long video, tiny timeout: every session must be stopped, counted as
+	// timed out, and still report its partial result.
+	scn.Catalog = []CatalogItem{
+		{Name: "long", ChunkMs: 100, Chunks: 100, LevelsMbps: []float64{0.2}},
+	}
+	scn.SessionTimeout = Duration(300 * time.Millisecond)
+	rep := runScenario(t, scn)
+	if rep.TimedOut != 4 {
+		t.Fatalf("timed out %d/4 (completed %d, failed %d)", rep.TimedOut, rep.Completed, rep.Failed)
+	}
+	for _, o := range rep.SessionOutcomes {
+		if o.Result == nil || o.Result.Chunks == 0 {
+			t.Errorf("session %d lost its partial result", o.ID)
+		}
+		if o.Result != nil && !o.Result.Stopped {
+			t.Errorf("session %d not stopped gracefully", o.ID)
+		}
+	}
+}
+
+func TestSwarmUnderFaults(t *testing.T) {
+	scn := tinyScenario(8)
+	scn.Servers.Faults = &FaultSpec{ResetProb: 0.05, CorruptProb: 0.05}
+	rep := runScenario(t, scn)
+	if rep.Completed != 8 {
+		t.Fatalf("completed %d/8 under faults (failed %d, timedout %d)",
+			rep.Completed, rep.Failed, rep.TimedOut)
+	}
+	if rep.LedgerViolations != 0 {
+		t.Errorf("%d ledger violations under corruption faults", rep.LedgerViolations)
+	}
+	if rep.Server.InjectedFaults == 0 {
+		t.Error("fault plan injected nothing")
+	}
+	if rep.FaultsSurvived == 0 {
+		t.Error("population absorbed no faults despite injection")
+	}
+}
+
+func TestSwarmCancellation(t *testing.T) {
+	scn := tinyScenario(32)
+	scn.Arrival = Arrival{Kind: ArrivalUniform, Over: Duration(5 * time.Second)}
+	ctx, cancel := context.WithCancel(context.Background())
+	sw, err := New(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	rep, err := sw.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions >= 32 {
+		t.Errorf("cancellation launched all %d sessions", rep.Sessions)
+	}
+}
+
+func TestSwarmTelemetry(t *testing.T) {
+	scn := tinyScenario(6)
+	sw, err := New(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := obs.New()
+	sw.Instrument(tel)
+	if _, err := sw.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tel.Registry.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`swarm_sessions_total{result="completed"} 6`,
+		"swarm_startup_delay_seconds_count 6",
+		"swarm_rebuffer_ratio_count 6",
+		`swarm_bytes_total{net="cellular"}`,
+		"mpdash_server_served_bytes_total", // tier instrumented too
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	events := map[string]int{}
+	for _, e := range tel.Journal.Events() {
+		events[e.Type]++
+	}
+	if events["swarm.run.start"] != 1 || events["swarm.run.done"] != 1 {
+		t.Errorf("run lifecycle events: %v", events)
+	}
+	if events["swarm.session.start"] != 6 || events["swarm.session.done"] != 6 {
+		t.Errorf("session lifecycle events: %v", events)
+	}
+}

@@ -1,0 +1,158 @@
+package swarm
+
+import (
+	"mpdash/internal/obs"
+)
+
+// Population telemetry. The swarm does NOT instrument each session's
+// fetcher — 500 sessions multiplexed into one per-path metric family
+// would be noise, and the registry lock would sit on every chunk's hot
+// path. Instead the swarm emits population-level swarm_* series as
+// sessions complete, plus journal events for the run's lifecycle, and
+// instruments the shared server tier (whose mpdash_server_* collectors
+// are scrape-time and contention-free).
+
+// rebufferBuckets spans the rebuffer-ratio unit interval.
+var rebufferBuckets = []float64{0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}
+
+// swarmObs bundles the swarm's telemetry handles; nil = off (every
+// method is nil-safe).
+type swarmObs struct {
+	sink obs.Sink
+
+	active    *obs.Gauge
+	startup   *obs.Histogram
+	rebuffer  *obs.Histogram
+	queueWait *obs.Histogram
+	sessions  map[string]*obs.Counter // by result label
+	chunksOK  *obs.Counter
+	chunksMis *obs.Counter
+	chunksLost *obs.Counter
+	wifiBytes *obs.Counter
+	cellBytes *obs.Counter
+}
+
+func newSwarmObs(t *obs.Telemetry) *swarmObs {
+	r := t.Registry
+	byResult := func(result string) *obs.Counter {
+		return r.Counter("swarm_sessions_total",
+			"Sessions finished, by outcome (completed/failed/timedout/panicked).",
+			obs.Labels{"result": result})
+	}
+	return &swarmObs{
+		sink:   t,
+		active: r.Gauge("swarm_sessions_active", "Sessions currently streaming.", nil),
+		startup: r.Histogram("swarm_startup_delay_seconds",
+			"Per-session startup (join) delay.", obs.DefSecondsBuckets, nil),
+		rebuffer: r.Histogram("swarm_rebuffer_ratio",
+			"Per-session stall time over (stall + played) time.", rebufferBuckets, nil),
+		queueWait: r.Histogram("swarm_queue_wait_seconds",
+			"Arrival-to-worker-slot wait under MaxActive pressure.", obs.DefSecondsBuckets, nil),
+		sessions: map[string]*obs.Counter{
+			"completed": byResult("completed"),
+			"failed":    byResult("failed"),
+			"timedout":  byResult("timedout"),
+			"panicked":  byResult("panicked"),
+		},
+		chunksOK: r.Counter("swarm_chunks_total",
+			"Chunks fetched across the population, by deadline outcome.",
+			obs.Labels{"result": "met"}),
+		chunksMis: r.Counter("swarm_chunks_total",
+			"Chunks fetched across the population, by deadline outcome.",
+			obs.Labels{"result": "missed"}),
+		chunksLost: r.Counter("swarm_chunks_total",
+			"Chunks fetched across the population, by deadline outcome.",
+			obs.Labels{"result": "lost"}),
+		wifiBytes: r.Counter("swarm_bytes_total",
+			"Payload bytes delivered across the population, by network.",
+			obs.Labels{"net": "wifi"}),
+		cellBytes: r.Counter("swarm_bytes_total",
+			"Payload bytes delivered across the population, by network.",
+			obs.Labels{"net": "cellular"}),
+	}
+}
+
+func (so *swarmObs) setActive(n int64) {
+	if so == nil {
+		return
+	}
+	so.active.Set(float64(n))
+}
+
+func (so *swarmObs) emitRunStart(scn *Scenario, sessions, origins int) {
+	if so == nil || so.sink == nil {
+		return
+	}
+	so.sink.Emit(obs.NewEvent("swarm.run.start").
+		WithStr("scenario", scn.Name).
+		WithStr("arrival", string(scn.Arrival.Kind)).
+		WithNum("sessions", float64(sessions)).
+		WithNum("origins", float64(origins)).
+		WithNum("seed", float64(scn.Seed)))
+}
+
+func (so *swarmObs) emitSessionStart(spec SessionSpec, video, profile string) {
+	if so == nil || so.sink == nil {
+		return
+	}
+	so.sink.Emit(obs.NewEvent("swarm.session.start").
+		WithNum("session", float64(spec.ID)).
+		WithStr("video", video).
+		WithStr("profile", profile))
+}
+
+// observeSession folds one finished session into the population series.
+func (so *swarmObs) observeSession(out SessionOutcome) {
+	if so == nil {
+		return
+	}
+	result := "completed"
+	switch {
+	case out.Panicked:
+		result = "panicked"
+	case out.TimedOut:
+		result = "timedout"
+	case out.Err != "":
+		result = "failed"
+	}
+	so.sessions[result].Inc()
+	so.queueWait.Observe(out.QueueWait.D().Seconds())
+	if res := out.Result; res != nil && res.Chunks > 0 {
+		so.startup.Observe(res.StartupDelay.Seconds())
+		so.rebuffer.Observe(out.RebufferRatio)
+		so.chunksMis.Add(int64(res.DeadlineMisses))
+		so.chunksOK.Add(int64(res.Chunks - res.DeadlineMisses))
+		so.chunksLost.Add(int64(res.LostChunks))
+		so.cellBytes.Add(out.CellularBytes)
+		so.wifiBytes.Add(out.TotalBytes - out.CellularBytes)
+	}
+	if so.sink == nil {
+		return
+	}
+	e := obs.NewEvent("swarm.session.done").
+		WithNum("session", float64(out.ID)).
+		WithStr("video", out.Video).
+		WithStr("profile", out.Profile).
+		WithStr("result", result)
+	if res := out.Result; res != nil {
+		e = e.WithNum("chunks", float64(res.Chunks)).
+			WithNum("startup_s", res.StartupDelay.Seconds()).
+			WithNum("rebuffer_ratio", out.RebufferRatio).
+			WithNum("deadline_misses", float64(res.DeadlineMisses))
+	}
+	so.sink.Emit(e)
+}
+
+func (so *swarmObs) emitRunDone(r *Report) {
+	if so == nil || so.sink == nil {
+		return
+	}
+	so.sink.Emit(obs.NewEvent("swarm.run.done").
+		WithNum("sessions", float64(r.Sessions)).
+		WithNum("completed", float64(r.Completed)).
+		WithNum("peak_concurrent", float64(r.PeakConcurrent)).
+		WithNum("startup_p95_s", r.StartupDelayS.P95).
+		WithNum("deadline_miss_rate", r.DeadlineMissRate).
+		WithNum("cellular_byte_share", r.CellularByteShare).
+		WithNum("ledger_violations", float64(r.LedgerViolations)))
+}

@@ -1,0 +1,156 @@
+package swarm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mpdash/internal/dash"
+	"mpdash/internal/netmp"
+)
+
+// The server tier: every session streams from real netmp.ChunkServers.
+// Servers are grouped by (catalog video, link class); sessions of the
+// same group share the same shaped origins, so they contend for the same
+// bottleneck the way a population behind one CDN edge does. Only the
+// groups the plan actually references are started.
+
+// groupKey identifies one origin group.
+type groupKey struct {
+	video          int
+	wifiMbps, lteM float64
+}
+
+// originGroup is one video's origin addresses for one link class.
+type originGroup struct {
+	wifi, lte []string
+}
+
+// tier owns every running server of a swarm.
+type tier struct {
+	groups  map[groupKey]originGroup
+	servers []*netmp.ChunkServer
+}
+
+// groupFor resolves the group key a spec maps to.
+func (s *Scenario) groupFor(spec SessionSpec) groupKey {
+	p := s.Profiles[spec.Profile]
+	k := groupKey{video: spec.Video, wifiMbps: s.Servers.WiFiMbps, lteM: s.Servers.LTEMbps}
+	if p.WiFiMbps > 0 {
+		k.wifiMbps = p.WiFiMbps
+	}
+	if p.LTEMbps > 0 {
+		k.lteM = p.LTEMbps
+	}
+	return k
+}
+
+// startTier launches the origin groups referenced by the plan. videos is
+// indexed like the catalog.
+func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, error) {
+	var faults *netmp.FaultPlan
+	if f := s.Servers.Faults; f != nil {
+		faults = &netmp.FaultPlan{
+			Seed:        s.Seed ^ 0x5eed0005,
+			ResetProb:   f.ResetProb,
+			StallProb:   f.StallProb,
+			CloseProb:   f.CloseProb,
+			CorruptProb: f.CorruptProb,
+			StallFor:    time.Duration(f.StallForMs) * time.Millisecond,
+		}
+	}
+	t := &tier{groups: make(map[groupKey]originGroup)}
+	start := func(v *dash.Video, mbps float64) (string, error) {
+		var plan *netmp.FaultPlan
+		if faults != nil {
+			p := *faults // distinct draw streams per server
+			p.Seed = faults.Seed + int64(len(t.servers))
+			plan = &p
+		}
+		srv, err := netmp.NewChunkServerWithFaults(v, mbps, plan)
+		if err != nil {
+			return "", err
+		}
+		srv.SetLimits(netmp.ServerLimits{
+			MaxConns:           s.Servers.MaxConns,
+			MaxRequestsPerConn: s.Servers.MaxRequestsPerConn,
+		})
+		t.servers = append(t.servers, srv)
+		return srv.Addr(), nil
+	}
+	for _, spec := range plan {
+		k := s.groupFor(spec)
+		if _, ok := t.groups[k]; ok {
+			continue
+		}
+		var g originGroup
+		for o := 0; o < s.Servers.WiFiOrigins; o++ {
+			addr, err := start(videos[k.video], k.wifiMbps)
+			if err != nil {
+				t.close()
+				return nil, fmt.Errorf("swarm: start wifi origin: %w", err)
+			}
+			g.wifi = append(g.wifi, addr)
+		}
+		for o := 0; o < s.Servers.LTEOrigins; o++ {
+			addr, err := start(videos[k.video], k.lteM)
+			if err != nil {
+				t.close()
+				return nil, fmt.Errorf("swarm: start lte origin: %w", err)
+			}
+			g.lte = append(g.lte, addr)
+		}
+		t.groups[k] = g
+	}
+	return t, nil
+}
+
+// close stops every server.
+func (t *tier) close() error {
+	var errs []error
+	for _, s := range t.servers {
+		errs = append(errs, s.Close())
+	}
+	return errors.Join(errs...)
+}
+
+// currentConns sums admitted connections across the tier.
+func (t *tier) currentConns() int {
+	n := 0
+	for _, s := range t.servers {
+		n += s.CurrentConns()
+	}
+	return n
+}
+
+// ServerReport aggregates the tier's server-side counters.
+type ServerReport struct {
+	Origins int `json:"origins"`
+	// ServedBytes is payload written across every origin.
+	ServedBytes int64 `json:"served_bytes"`
+	// PeakConns is the highest simultaneous admitted-connection count
+	// observed across the tier (sampled).
+	PeakConns int `json:"peak_conns"`
+	// Overload self-protection counters, summed across origins.
+	RejectedConns   int64 `json:"rejected_conns"`
+	CappedConns     int64 `json:"capped_conns"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	AcceptRetries   int64 `json:"accept_retries"`
+	// InjectedFaults totals the chaos plan's injected faults.
+	InjectedFaults int64 `json:"injected_faults"`
+}
+
+// report snapshots the tier's counters (peak is supplied by the sampler).
+func (t *tier) report(peak int) ServerReport {
+	r := ServerReport{Origins: len(t.servers), PeakConns: peak}
+	for _, s := range t.servers {
+		r.ServedBytes += s.ServedBytes()
+		o := s.OverloadStats()
+		r.RejectedConns += o.RejectedConns
+		r.CappedConns += o.CappedConns
+		r.PanicsRecovered += o.PanicsRecovered
+		r.AcceptRetries += o.AcceptRetries
+		r.InjectedFaults += s.FaultStats().Total()
+	}
+	return r
+}
