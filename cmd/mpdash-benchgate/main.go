@@ -1,0 +1,188 @@
+// Command mpdash-benchgate is the performance regression gate: it runs
+// the internal/perf suites (or loads pre-generated BENCH_*.json files),
+// diffs them against the checked-in BENCH_baseline.json with per-metric
+// tolerances, and exits non-zero with a readable table when anything
+// regressed. CI runs it on every push; DESIGN.md §11 documents the
+// tolerance policy.
+//
+// Modes:
+//
+//	mpdash-benchgate -baseline BENCH_baseline.json
+//	    run the suites fresh, write BENCH_core.json / BENCH_netmp.json,
+//	    gate against the baseline (exit 1 on regression).
+//	mpdash-benchgate -baseline BENCH_baseline.json -input artifacts/
+//	    gate pre-generated BENCH_*.json files instead of running.
+//	mpdash-benchgate -baseline BENCH_baseline.json -update
+//	    run the suites and rewrite the baseline from the fresh numbers
+//	    (the documented refresh flow — commit the result).
+//	mpdash-benchgate -swarm BENCH_swarm.json -max-miss-rate 0.10
+//	    gate a swarm population report against absolute thresholds
+//	    (ledger violations, panics, deadline-miss rate).
+//
+// Exit codes: 0 pass, 1 regression or threshold violation, 2 usage or
+// I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpdash/internal/perf"
+	"mpdash/internal/swarm"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline to gate against")
+		suites       = flag.String("suites", strings.Join(perf.Suites(), ","), "comma-separated suites to run")
+		trials       = flag.Int("trials", 0, "repeated trials per scenario (0 = 3)")
+		benchtime    = flag.String("benchtime", "", "per-trial measuring time of micro benches (0 = 300ms)")
+		outDir       = flag.String("out", ".", "directory the fresh BENCH_<suite>.json files are written to")
+		inputDir     = flag.String("input", "", "gate pre-generated BENCH_<suite>.json files from this directory instead of running")
+		update       = flag.Bool("update", false, "rewrite the baseline from the fresh run instead of gating")
+		note         = flag.String("note", "", "note stamped into the baseline with -update")
+		timeTol      = flag.Float64("time-tolerance", 0, "relative ns/op tolerance (0 = 0.15)")
+		fpSlack      = flag.Float64("fingerprint-slack", 0, "time-tolerance multiplier when env fingerprints differ (0 = 4)")
+		swarmPath    = flag.String("swarm", "", "gate this swarm report (BENCH_swarm.json) against absolute thresholds instead of the baseline diff")
+		maxMissRate  = flag.Float64("max-miss-rate", 0, "swarm gate: max population deadline-miss rate (0 = 0.10)")
+		maxFailed    = flag.Int("max-failed", 0, "swarm gate: max failed sessions")
+		maxTimedOut  = flag.Int("max-timed-out", 0, "swarm gate: max timed-out sessions")
+		quiet        = flag.Bool("quiet", false, "print failures only")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mpdash-benchgate: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		return 2
+	}
+
+	if *swarmPath != "" {
+		return gateSwarm(*swarmPath, perf.SwarmThresholds{
+			MaxMissRate: *maxMissRate, MaxFailed: *maxFailed, MaxTimedOut: *maxTimedOut,
+		}, *quiet)
+	}
+
+	names := splitSuites(*suites)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "mpdash-benchgate: -suites is empty")
+		return 2
+	}
+
+	fresh := make(map[string]*perf.SuiteResult, len(names))
+	if *inputDir != "" {
+		for _, name := range names {
+			path := filepath.Join(*inputDir, perf.SuiteFileName(name))
+			s, err := perf.LoadSuite(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
+				return 2
+			}
+			if s.Suite != name {
+				fmt.Fprintf(os.Stderr, "mpdash-benchgate: %s: holds suite %q, want %q\n", path, s.Suite, name)
+				return 2
+			}
+			fresh[name] = s
+		}
+	} else {
+		cfg := perf.Config{Trials: *trials, BenchTime: *benchtime}
+		if !*quiet {
+			cfg.Logf = func(format string, a ...any) { fmt.Printf(format, a...) }
+		}
+		for _, name := range names {
+			s, err := perf.RunSuite(name, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
+				return 2
+			}
+			fresh[name] = s
+			path := filepath.Join(*outDir, perf.SuiteFileName(name))
+			if err := s.WriteSuite(path); err != nil {
+				fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
+				return 2
+			}
+			if !*quiet {
+				fmt.Printf("wrote %s (%s)\n", path, s.Env)
+			}
+		}
+	}
+
+	if *update {
+		base := &perf.Baseline{Version: perf.Version, Note: *note,
+			Suites: make(map[string]*perf.SuiteResult, len(fresh))}
+		for name, s := range fresh {
+			base.Suites[name] = s
+		}
+		if err := base.WriteBaseline(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
+			return 2
+		}
+		fmt.Printf("baseline updated: %s (commit it)\n", *baselinePath)
+		return 0
+	}
+
+	base, err := perf.LoadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
+		fmt.Fprintln(os.Stderr, "mpdash-benchgate: to (re)create the baseline: go run ./cmd/mpdash-benchgate -update")
+		return 2
+	}
+	opts := perf.GateOptions{TimeTol: *timeTol, FingerprintSlack: *fpSlack}
+	allOK := true
+	for _, name := range names {
+		bs, ok := base.Suites[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mpdash-benchgate: baseline has no suite %q (run -update)\n", name)
+			return 2
+		}
+		rows, ok := perf.CompareSuites(bs, fresh[name], opts)
+		if !ok {
+			allOK = false
+		}
+		fmt.Printf("\nsuite %s — baseline %s\n        vs fresh %s\n", name, bs.Env, fresh[name].Env)
+		if err := perf.RenderTable(os.Stdout, rows, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
+			return 2
+		}
+		fmt.Printf("suite %s: %s\n", name, perf.Summarize(rows))
+	}
+	if !allOK {
+		fmt.Fprintln(os.Stderr, "\nmpdash-benchgate: REGRESSION — see FAIL rows above; if intentional, refresh with -update and commit")
+		return 1
+	}
+	fmt.Println("\nmpdash-benchgate: pass")
+	return 0
+}
+
+func gateSwarm(path string, t perf.SwarmThresholds, quiet bool) int {
+	rep, err := swarm.ReadReport(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
+		return 2
+	}
+	rows, ok := perf.GateSwarm(rep, t)
+	if err := perf.RenderTable(os.Stdout, rows, quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
+		return 2
+	}
+	fmt.Printf("swarm gate: %s\n", perf.Summarize(rows))
+	if !ok {
+		fmt.Fprintln(os.Stderr, "mpdash-benchgate: swarm run violated its success criteria")
+		return 1
+	}
+	return 0
+}
+
+func splitSuites(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -10,7 +10,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"time"
 
@@ -54,6 +53,10 @@ type Scheduler struct {
 	// desired[name] is the state we last requested for each secondary
 	// path, so we only signal on change.
 	desired map[string]bool
+
+	// scratch is the reusable path-ordering buffer of evaluate(), so the
+	// per-packet decision loop stays allocation-free.
+	scratch []*mptcp.Path
 
 	// Obs receives the scheduler's decision events (sched.enable /
 	// sched.toggle / sched.disable / sched.miss), stamped with simulator
@@ -163,6 +166,17 @@ func (s *Scheduler) Disable() {
 	s.enableAll()
 }
 
+// Tick runs one Algorithm 1 evaluation pass immediately, outside the
+// progress- and timer-driven loops — the hook the perf harness
+// (internal/perf) and external policy triggers use to re-evaluate on
+// their own cadence. A no-op while no transfer is governed.
+func (s *Scheduler) Tick() {
+	if !s.active {
+		return
+	}
+	s.evaluate()
+}
+
 // Govern wires the scheduler to a transfer so that every delivered segment
 // re-runs the Algorithm 1 check, exactly like the kernel loop that
 // re-evaluates after sending each packet.
@@ -227,14 +241,7 @@ func (s *Scheduler) evaluate() {
 		return
 	}
 
-	paths := append([]*mptcp.Path(nil), s.conn.Paths()...)
-	sort.SliceStable(paths, func(i, j int) bool {
-		// Primary first, then ascending cost.
-		if paths[i].Primary != paths[j].Primary {
-			return paths[i].Primary
-		}
-		return paths[i].Cost < paths[j].Cost
-	})
+	paths := s.orderedPaths()
 
 	needBits := float64(remaining * 8)
 	windowSec := window.Seconds()
@@ -267,6 +274,39 @@ func (s *Scheduler) evaluate() {
 			covered = capacityBits >= needBits
 		}
 	}
+}
+
+// pathLess orders the Algorithm 1 walk: primary first, then ascending
+// cost.
+func pathLess(a, b *mptcp.Path) bool {
+	if a.Primary != b.Primary {
+		return a.Primary
+	}
+	return a.Cost < b.Cost
+}
+
+// orderedPaths returns the connection's paths sorted for the prefix-cover
+// walk, reusing s.scratch. Insertion sort is stable and, with the path
+// set essentially pre-sorted between evaluations, runs in one pass over
+// the handful of paths a connection has — this is the per-packet hot
+// loop, so it must not allocate.
+func (s *Scheduler) orderedPaths() []*mptcp.Path {
+	src := s.conn.Paths()
+	if cap(s.scratch) < len(src) {
+		s.scratch = make([]*mptcp.Path, 0, len(src))
+	}
+	paths := append(s.scratch[:0], src...)
+	for i := 1; i < len(paths); i++ {
+		p := paths[i]
+		j := i - 1
+		for j >= 0 && pathLess(p, paths[j]) {
+			paths[j+1] = paths[j]
+			j--
+		}
+		paths[j+1] = p
+	}
+	s.scratch = paths
+	return paths
 }
 
 func (s *Scheduler) setPath(name string, on bool) {

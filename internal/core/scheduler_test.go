@@ -381,3 +381,48 @@ func TestThreePathCostOrdering(t *testing.T) {
 		t.Errorf("high-cost path carried %d vs mid-cost %d; cost ordering violated", bBytes, aBytes)
 	}
 }
+
+func TestTickNoOpWhenInactive(t *testing.T) {
+	_, _, sch := rig(t, trace.Constant("wifi", 10, 100*time.Millisecond, 1),
+		trace.Constant("lte", 10, 100*time.Millisecond, 1), 1.0)
+	sch.Tick() // must not panic or toggle anything before Enable
+	if sch.Toggles() != 0 || sch.Active() {
+		t.Fatalf("inactive Tick side-effected: toggles=%d active=%v", sch.Toggles(), sch.Active())
+	}
+}
+
+func TestOrderedPathsStableAndAllocFree(t *testing.T) {
+	s := sim.New()
+	// Deliberately scrambled declaration order, with a cost tie between
+	// two secondaries to check insertion-sort stability.
+	c, err := mptcp.NewConn(s, mptcp.Config{Paths: []mptcp.PathSpec{
+		{Name: "lte", Rate: trace.Constant("lte", 10, 100*time.Millisecond, 1), RTT: 60 * time.Millisecond, Cost: 1.0},
+		{Name: "eth-a", Rate: trace.Constant("eth-a", 10, 100*time.Millisecond, 1), RTT: 40 * time.Millisecond, Cost: 0.5},
+		{Name: "wifi", Rate: trace.Constant("wifi", 10, 100*time.Millisecond, 1), RTT: 50 * time.Millisecond, Cost: 0.1, Primary: true},
+		{Name: "eth-b", Rate: trace.Constant("eth-b", 10, 100*time.Millisecond, 1), RTT: 40 * time.Millisecond, Cost: 0.5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := NewScheduler(s, c, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"wifi", "eth-a", "eth-b", "lte"} // primary, then cost, ties in conn order
+	for round := 0; round < 3; round++ {
+		got := sch.orderedPaths()
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d paths", round, len(got))
+		}
+		for i, p := range got {
+			if p.Name != want[i] {
+				t.Fatalf("round %d: order %v at %d, want %v", round, p.Name, i, want[i])
+			}
+		}
+	}
+	// The whole point of the scratch buffer: repeat ordering allocates
+	// nothing (this is the per-packet decision loop).
+	if n := testing.AllocsPerRun(100, func() { sch.orderedPaths() }); n != 0 {
+		t.Fatalf("orderedPaths allocates %v per run, want 0", n)
+	}
+}

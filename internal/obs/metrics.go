@@ -17,23 +17,45 @@ type Labels map[string]string
 
 // render returns the canonical {k="v",...} rendering of l (empty string
 // for no labels), with keys sorted and values escaped per the Prometheus
-// text format.
+// text format. This sits on the metric-handle hot path (every labeled
+// lookup renders its key), so it avoids fmt and allocates exactly once
+// for the common single-label set.
 func (l Labels) render() string {
 	if len(l) == 0 {
 		return ""
 	}
+	if len(l) == 1 {
+		// Fast path: no key slice, no sort, one sized Builder allocation.
+		for k, v := range l {
+			ev := escapeLabel(v)
+			var b strings.Builder
+			b.Grow(len(k) + len(ev) + 4)
+			b.WriteByte('{')
+			b.WriteString(k)
+			b.WriteString(`="`)
+			b.WriteString(ev)
+			b.WriteString(`"}`)
+			return b.String()
+		}
+	}
 	keys := make([]string, 0, len(l))
-	for k := range l {
+	size := 2
+	for k, v := range l {
 		keys = append(keys, k)
+		size += len(k) + len(v) + 4
 	}
 	sort.Strings(keys)
 	var b strings.Builder
+	b.Grow(size)
 	b.WriteByte('{')
 	for i, k := range keys {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(l[k]))
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -116,12 +138,19 @@ func (g *Gauge) Value() float64 {
 // exposition and linear-interpolation quantile estimation. Buckets are
 // the sorted upper bounds; samples above the last bound land in the
 // implicit +Inf overflow bucket. Nil-safe.
+//
+// The write path is lock-free: per-bucket atomic counters plus a CAS
+// loop over the float64 sum, so concurrent observers never serialize on
+// a histogram mutex. Readers take a field-by-field snapshot; across a
+// burst of concurrent writes a scrape may see a sum a few samples ahead
+// of the bucket counts (and vice versa), which is the usual Prometheus
+// client contract — each field is monotone and exact once writers
+// quiesce.
 type Histogram struct {
 	bounds []float64
-	mu     sync.Mutex
-	counts []uint64 // len(bounds)+1; the last is the overflow bucket
-	sum    float64
-	count  uint64
+	counts []atomic.Uint64 // len(bounds)+1; the last is the overflow bucket
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
 }
 
 // newHistogram copies and sorts bounds; an empty bounds slice yields a
@@ -129,7 +158,7 @@ type Histogram struct {
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
 }
 
 // Observe records one sample. NaN samples are dropped.
@@ -138,11 +167,24 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.mu.Lock()
-	h.counts[i]++
-	h.sum += v
-	h.count++
-	h.mu.Unlock()
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// snapshot reads the histogram's state: per-bucket counts, sum, count.
+func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, math.Float64frombits(h.sum.Load()), h.count.Load()
 }
 
 // Count returns the number of observed samples.
@@ -150,9 +192,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the sum of observed samples.
@@ -160,9 +200,7 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
+	return math.Float64frombits(h.sum.Load())
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
@@ -174,17 +212,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil || q < 0 || q > 1 || math.IsNaN(q) {
 		return math.NaN()
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	counts, sum, count := h.snapshot()
+	if count == 0 {
 		return math.NaN()
 	}
-	rank := q * float64(h.count)
+	rank := q * float64(count)
 	if rank < 1 {
 		rank = 1
 	}
 	var cum uint64
-	for i, c := range h.counts {
+	for i, c := range counts {
 		cum += c
 		if float64(cum) < rank {
 			continue
@@ -192,7 +229,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if i == len(h.bounds) {
 			// Overflow bucket: no finite upper bound to interpolate to.
 			if len(h.bounds) == 0 {
-				return h.sum / float64(h.count) // degenerate: mean
+				return sum / float64(count) // degenerate: mean
 			}
 			return h.bounds[len(h.bounds)-1]
 		}
@@ -213,7 +250,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		return lower + (upper-lower)*pos
 	}
 	if len(h.bounds) == 0 {
-		return h.sum / float64(h.count)
+		return sum / float64(count)
 	}
 	return h.bounds[len(h.bounds)-1]
 }
@@ -269,9 +306,11 @@ type family struct {
 // Registry holds metric families and renders them in the Prometheus text
 // format. Safe for concurrent use; all lookup methods are nil-safe and
 // return nil handles on a nil registry, so instrumentation can be wired
-// unconditionally.
+// unconditionally. Steady-state handle lookups — by far the common case
+// on instrumented hot paths — resolve under a read lock; the write lock
+// is only taken to register a new family or series.
 type Registry struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	fams map[string]*family
 	n    int
 }
@@ -293,16 +332,31 @@ func (r *Registry) fam(name, help string, kind metricKind) *family {
 	return f
 }
 
+// lookup resolves the series for (name, key) under the read lock — the
+// steady-state path of every labeled handle acquisition.
+func (r *Registry) lookup(name, key string) *series {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.fams[name]
+	if !ok {
+		return nil
+	}
+	return f.series[key]
+}
+
 // Counter returns the counter series for (name, labels), registering it
 // on first use. Nil-safe: a nil registry returns a nil handle.
 func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 	if r == nil {
 		return nil
 	}
+	key := labels.render()
+	if s := r.lookup(name, key); s != nil && s.c != nil {
+		return s.c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.fam(name, help, kindCounter)
-	key := labels.render()
 	if s, ok := f.series[key]; ok && s.c != nil {
 		return s.c
 	}
@@ -316,10 +370,13 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	if r == nil {
 		return nil
 	}
+	key := labels.render()
+	if s := r.lookup(name, key); s != nil && s.g != nil {
+		return s.g
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.fam(name, help, kindGauge)
-	key := labels.render()
 	if s, ok := f.series[key]; ok && s.g != nil {
 		return s.g
 	}
@@ -337,10 +394,13 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 	if buckets == nil {
 		buckets = DefSecondsBuckets
 	}
+	key := labels.render()
+	if s := r.lookup(name, key); s != nil && s.h != nil {
+		return s.h
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.fam(name, help, kindHistogram)
-	key := labels.render()
 	if s, ok := f.series[key]; ok && s.h != nil {
 		return s.h
 	}
@@ -377,8 +437,8 @@ func (r *Registry) registerFunc(name, help string, kind metricKind, labels Label
 // outside the registry lock (func-backed series may take component
 // locks of their own).
 func (r *Registry) snapshotFams() []*family {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*family, 0, len(r.fams))
 	for _, f := range r.fams {
 		out = append(out, f)
@@ -395,11 +455,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, f := range r.snapshotFams() {
 		sers := make([]*series, 0, len(f.series))
-		r.mu.Lock()
+		r.mu.RLock()
 		for _, s := range f.series {
 			sers = append(sers, s)
 		}
-		r.mu.Unlock()
+		r.mu.RUnlock()
 		sort.Slice(sers, func(i, j int) bool { return sers[i].labels < sers[j].labels })
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
@@ -438,10 +498,7 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 // writeHistogram renders the cumulative _bucket/_sum/_count triplet.
 func writeHistogram(w io.Writer, name string, s *series) error {
 	h := s.h
-	h.mu.Lock()
-	counts := append([]uint64(nil), h.counts...)
-	sum, count := h.sum, h.count
-	h.mu.Unlock()
+	counts, sum, count := h.snapshot()
 	var cum uint64
 	for i, bound := range h.bounds {
 		cum += counts[i]

@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -213,5 +214,85 @@ func TestHostileLabelExposition(t *testing.T) {
 	}
 	if strings.Contains(b.String(), "\nrefused") {
 		t.Errorf("raw newline leaked into exposition:\n%s", b.String())
+	}
+}
+
+func TestRenderSingleLabelFastPath(t *testing.T) {
+	// The one-label fast path must produce exactly the canonical form the
+	// multi-label path would, escaping included.
+	cases := map[string]Labels{
+		`{path="wifi"}`:         {"path": "wifi"},
+		`{p="a\"b\\c\nd"}`:      {"p": "a\"b\\c\nd"},
+		`{a="1",b="2",c="3"}`:   {"c": "3", "a": "1", "b": "2"},
+		`{x="y\\z",zz="plain"}`: {"zz": "plain", "x": `y\z`},
+	}
+	for want, l := range cases {
+		if got := l.render(); got != want {
+			t.Errorf("render(%v) = %q, want %q", l, got, want)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = Labels{"path": "wifi"}.render()
+	}); n > 2 { // map literal + builder buffer
+		t.Errorf("single-label render allocates %v per run, want ≤ 2", n)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	// The lock-free write path: hammer one histogram from many
+	// goroutines and check nothing is lost (count, sum, bucket total all
+	// exact once writers quiesce).
+	h := newHistogram([]float64{1, 2, 3})
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64((w + i) % 5)) // 0..4: spans all buckets + overflow
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(workers*per); got != want {
+		t.Fatalf("count %d, want %d", got, want)
+	}
+	counts, sum, count := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != count {
+		t.Fatalf("bucket total %d vs count %d", total, count)
+	}
+	var wantSum float64
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			wantSum += float64((w + i) % 5)
+		}
+	}
+	if sum != wantSum {
+		t.Fatalf("sum %v, want %v", sum, wantSum)
+	}
+}
+
+func TestRegistryConcurrentHandleLookup(t *testing.T) {
+	// The RWMutex fast path: concurrent steady-state lookups racing
+	// first-use registrations must always converge on one series.
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Counter("conc_total", "c", Labels{"path": "wifi"}).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "c", Labels{"path": "wifi"}).Value(); got != 16000 {
+		t.Fatalf("counter %d, want 16000 (split series?)", got)
 	}
 }

@@ -1,0 +1,277 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpdash/internal/swarm"
+)
+
+func stat(v float64) *Stat { return &Stat{Min: v, Median: v} }
+
+// makeSuite builds a one-bench suite with the given standard stats and
+// domain metrics.
+func makeSuite(ns, bop, allocs float64, metrics ...Metric) *SuiteResult {
+	return &SuiteResult{
+		Version: Version, Suite: "core", Env: CaptureEnv(), Trials: 1,
+		Benches: []Bench{{
+			Name: "bench_a", NsOp: stat(ns), BOp: stat(bop), AllocsOp: stat(allocs),
+			Metrics: metrics,
+		}},
+	}
+}
+
+func findRow(rows []DiffRow, bench, metric string) *DiffRow {
+	for i := range rows {
+		if rows[i].Bench == bench && rows[i].Metric == metric {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+func TestCompareTimeRegression(t *testing.T) {
+	base := makeSuite(100, 0, 0)
+	fresh := makeSuite(130, 0, 0) // +30% > 15% tolerance
+	rows, ok := CompareSuites(base, fresh, GateOptions{})
+	if ok {
+		t.Fatal("30% slowdown passed the 15% gate")
+	}
+	r := findRow(rows, "bench_a", "ns/op")
+	if r == nil || r.Verdict != VerdictFail {
+		t.Fatalf("ns/op row: %+v", r)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := makeSuite(100, 64, 2)
+	fresh := makeSuite(40, 16, 1) // faster and leaner
+	rows, ok := CompareSuites(base, fresh, GateOptions{})
+	if !ok {
+		t.Fatalf("improvement failed the gate: %+v", rows)
+	}
+	if r := findRow(rows, "bench_a", "allocs/op"); r.Delta() >= 0 {
+		t.Fatalf("allocs delta %v, want negative", r.Delta())
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	// 0.25 is exact in binary, so the boundary arithmetic is precise:
+	// limit = 100 * 1.25 = 125.
+	opts := GateOptions{TimeTol: 0.25}
+	if _, ok := CompareSuites(makeSuite(100, 0, 0), makeSuite(125, 0, 0), opts); !ok {
+		t.Fatal("exactly-at-limit must pass (gate is fresh > limit)")
+	}
+	if _, ok := CompareSuites(makeSuite(100, 0, 0), makeSuite(125.01, 0, 0), opts); ok {
+		t.Fatal("just-over-limit must fail")
+	}
+}
+
+func TestCompareZeroAllocContract(t *testing.T) {
+	base := makeSuite(100, 0, 0)
+	fresh := makeSuite(100, 8, 1) // any alloc on a zero-alloc path fails
+	rows, ok := CompareSuites(base, fresh, GateOptions{AllocTol: 10, ByteTol: 10})
+	if ok {
+		t.Fatal("zero-alloc contract not enforced")
+	}
+	r := findRow(rows, "bench_a", "allocs/op")
+	if r == nil || r.Verdict != VerdictFail || !strings.Contains(r.Note, "zero-alloc") {
+		t.Fatalf("allocs/op row: %+v", r)
+	}
+}
+
+func TestCompareMissingMetric(t *testing.T) {
+	base := makeSuite(100, 0, 0,
+		Metric{Name: "gated", Value: 5, Gate: GateExact},
+		Metric{Name: "fyi", Value: 1, Gate: GateInfo})
+	fresh := makeSuite(100, 0, 0) // both metrics gone
+	rows, ok := CompareSuites(base, fresh, GateOptions{})
+	if ok {
+		t.Fatal("missing gated metric passed")
+	}
+	if r := findRow(rows, "bench_a", "gated"); r == nil || r.Verdict != VerdictFail {
+		t.Fatalf("gated row: %+v", r)
+	}
+	if r := findRow(rows, "bench_a", "fyi"); r != nil {
+		t.Fatalf("missing info metric must not produce a row, got %+v", r)
+	}
+}
+
+func TestCompareMissingAndNewBench(t *testing.T) {
+	base := makeSuite(100, 0, 0)
+	fresh := &SuiteResult{Version: Version, Suite: "core", Env: CaptureEnv(), Trials: 1,
+		Benches: []Bench{{Name: "bench_b", NsOp: stat(1)}}}
+	rows, ok := CompareSuites(base, fresh, GateOptions{})
+	if ok {
+		t.Fatal("bench missing from fresh run passed")
+	}
+	if r := findRow(rows, "bench_a", "(bench)"); r == nil || r.Verdict != VerdictFail {
+		t.Fatalf("missing bench row: %+v", r)
+	}
+	if r := findRow(rows, "bench_b", "(bench)"); r == nil || r.Verdict != VerdictNew {
+		t.Fatalf("new bench row: %+v", r)
+	}
+}
+
+func TestCompareGateSemantics(t *testing.T) {
+	base := makeSuite(100, 0, 0,
+		Metric{Name: "x", Value: 10, Gate: GateExact},
+		Metric{Name: "hi", Value: 0.10, Gate: GateMax, Abs: 0.05},
+		Metric{Name: "lo", Value: 60, Gate: GateMin, Abs: 4},
+		Metric{Name: "fyi", Value: 7, Gate: GateInfo})
+
+	good := makeSuite(100, 0, 0,
+		Metric{Name: "x", Value: 10, Gate: GateExact},
+		Metric{Name: "hi", Value: 0.14, Gate: GateMax, Abs: 0.05}, // ≤ 0.15
+		Metric{Name: "lo", Value: 57, Gate: GateMin, Abs: 4},      // ≥ 56
+		Metric{Name: "fyi", Value: 900, Gate: GateInfo})           // wild but info
+	if rows, ok := CompareSuites(base, good, GateOptions{}); !ok {
+		t.Fatalf("within-gates run failed: %+v", rows)
+	} else if r := findRow(rows, "bench_a", "fyi"); r == nil || r.Verdict != VerdictInfo {
+		t.Fatalf("info row: %+v", r)
+	}
+
+	for _, bad := range []Metric{
+		{Name: "x", Value: 10.000001, Gate: GateExact},
+		{Name: "hi", Value: 0.16, Gate: GateMax, Abs: 0.05},
+		{Name: "lo", Value: 55, Gate: GateMin, Abs: 4},
+	} {
+		fresh := makeSuite(100, 0, 0,
+			Metric{Name: "x", Value: 10, Gate: GateExact},
+			Metric{Name: "hi", Value: 0.10, Gate: GateMax, Abs: 0.05},
+			Metric{Name: "lo", Value: 60, Gate: GateMin, Abs: 4},
+			Metric{Name: "fyi", Value: 7, Gate: GateInfo})
+		m := fresh.Benches[0].metric(bad.Name)
+		m.Value = bad.Value
+		if _, ok := CompareSuites(base, fresh, GateOptions{}); ok {
+			t.Errorf("%s gate did not trip on %v", bad.Name, bad.Value)
+		}
+	}
+}
+
+func TestCompareFingerprintSlack(t *testing.T) {
+	base := makeSuite(100, 0, 0)
+	fresh := makeSuite(150, 0, 0) // +50%
+	fresh.Env.CPU = "some other machine"
+	// Env differs: 0.15 × slack 4 = 0.60 tolerance, +50% passes.
+	if rows, ok := CompareSuites(base, fresh, GateOptions{}); !ok {
+		t.Fatalf("cross-env +50%% failed the slacked gate: %+v", rows)
+	}
+	// Same env: +50% must fail — and the alloc contract must stay strict
+	// even across environments.
+	fresh.Env = base.Env
+	if _, ok := CompareSuites(base, fresh, GateOptions{}); ok {
+		t.Fatal("same-env +50% passed")
+	}
+	crossAlloc := makeSuite(100, 8, 1)
+	crossAlloc.Env.CPU = "some other machine"
+	if _, ok := CompareSuites(makeSuite(100, 0, 0), crossAlloc, GateOptions{}); ok {
+		t.Fatal("zero-alloc contract relaxed across environments")
+	}
+}
+
+func TestLoadBaselineRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"corrupt.json":  `{"version": 1, "suites": {`,
+		"empty.json":    `{}`,
+		"badver.json":   `{"version": 99, "suites": {"core": {"version": 99, "suite": "core", "benches": [{"name": "x"}]}}}`,
+		"nosuites.json": `{"version": 1, "suites": {}}`,
+		"emptysuite.json": `{"version": 1, "suites": {"core": {"version": 1, "suite": "core",
+			"benches": []}}}`,
+	}
+	for name, content := range cases {
+		if _, err := LoadBaseline(write(name, content)); err == nil {
+			t.Errorf("%s: LoadBaseline accepted it", name)
+		}
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("absent file: LoadBaseline accepted it")
+	}
+	if _, err := LoadSuite(write("partial.json", `{"version": 1, "suite": "", "benches": []}`)); err == nil {
+		t.Error("partial suite: LoadSuite accepted it")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	b := &Baseline{Version: Version, Note: "test",
+		Suites: map[string]*SuiteResult{"core": makeSuite(100, 0, 0,
+			Metric{Name: "m", Value: 3, Gate: GateExact})}}
+	if err := b.WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != "test" || got.Suites["core"].Benches[0].metric("m").Value != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestGateSwarm(t *testing.T) {
+	good := &swarm.Report{Scenario: "s", Sessions: 64, Completed: 64,
+		Chunks: 800, DeadlineMissRate: 0.02}
+	if rows, ok := GateSwarm(good, SwarmThresholds{}); !ok {
+		t.Fatalf("healthy report failed: %+v", rows)
+	}
+
+	for name, rep := range map[string]*swarm.Report{
+		"miss rate":   {Scenario: "s", Sessions: 64, Completed: 64, Chunks: 800, DeadlineMissRate: 0.2},
+		"ledger":      {Scenario: "s", Sessions: 64, Completed: 64, Chunks: 800, LedgerViolations: 1},
+		"panic":       {Scenario: "s", Sessions: 64, Completed: 63, Panicked: 1, Chunks: 800},
+		"failed":      {Scenario: "s", Sessions: 64, Completed: 63, Failed: 1, Chunks: 800},
+		"unaccounted": {Scenario: "s", Sessions: 64, Completed: 60, Chunks: 800},
+		"no traffic":  {Scenario: "s", Sessions: 64, Completed: 64},
+	} {
+		if _, ok := GateSwarm(rep, SwarmThresholds{}); ok {
+			t.Errorf("%s: gate passed", name)
+		}
+	}
+
+	// Thresholds relax the absolute criteria.
+	lax := &swarm.Report{Scenario: "s", Sessions: 64, Completed: 62, Failed: 1,
+		TimedOut: 1, Chunks: 800, DeadlineMissRate: 0.2}
+	if _, ok := GateSwarm(lax, SwarmThresholds{MaxMissRate: 0.3, MaxFailed: 1, MaxTimedOut: 1}); !ok {
+		t.Fatal("relaxed thresholds still failed")
+	}
+}
+
+func TestRenderTableAndSummarize(t *testing.T) {
+	rows := []DiffRow{
+		{Bench: "a", Metric: "ns/op", Base: 100, Fresh: 130, Limit: "≤ 115", Verdict: VerdictFail},
+		{Bench: "a", Metric: "allocs/op", Base: 0, Fresh: 0, Limit: "= 0", Verdict: VerdictOK},
+		{Bench: "a", Metric: "share", Fresh: 0.2, Verdict: VerdictInfo},
+	}
+	var sb strings.Builder
+	if err := RenderTable(&sb, rows, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"BENCH", "ns/op", "FAIL", "+30.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var fb strings.Builder
+	if err := RenderTable(&fb, rows, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(fb.String(), "allocs/op") {
+		t.Error("failures-only table shows ok rows")
+	}
+	sum := Summarize(rows)
+	if !strings.Contains(sum, "1 ok") || !strings.Contains(sum, "1 FAILED") || !strings.Contains(sum, "1 info") {
+		t.Errorf("summary %q", sum)
+	}
+}

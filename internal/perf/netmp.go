@@ -1,0 +1,153 @@
+package perf
+
+// The "netmp" suite: macro scenarios over real sockets on loopback. A
+// trial is one full run of the scenario; ns/op is injected-clock wall
+// time over the scenario's unit of work (chunks, sessions). Byte and
+// count metrics are exact — chunk payloads are deterministic functions
+// of (video seed, index, level) — while timing-derived metrics carry
+// max/min gates with slack, because loopback scheduling is real.
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"mpdash/internal/dash"
+	"mpdash/internal/netmp"
+	"mpdash/internal/swarm"
+)
+
+func netmpScenarios() []*scenario {
+	return []*scenario{
+		{name: "netmp_session_fetch", run: runSessionFetch},
+		{name: "netmp_swarm", run: runSwarm},
+	}
+}
+
+// benchVideo is the fixed asset of the single-session scenario.
+func benchVideo(chunks int) *dash.Video {
+	return &dash.Video{
+		Name:          "perf-bench",
+		ChunkDuration: 250 * time.Millisecond,
+		NumChunks:     chunks,
+		SizeSeed:      0x5eed,
+		Levels: []dash.Level{
+			{ID: 1, AvgBitrateMbps: 1.0},
+			{ID: 2, AvgBitrateMbps: 2.5},
+		},
+	}
+}
+
+// runSessionFetch is the real-socket single-session scenario: two
+// unshaped loopback origins (one per path), a supervised dual-socket
+// fetcher, every chunk fetched at the top level with a generous
+// deadline. All wall time routes through cfg.Clock.
+func runSessionFetch(cfg Config) (time.Duration, int, []Metric, error) {
+	chunks := 24
+	if cfg.Quick {
+		chunks = 4
+	}
+	video := benchVideo(chunks)
+	level := video.HighestLevel()
+
+	wifi, err := netmp.NewChunkServer(video, 0)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer wifi.Close()
+	lte, err := netmp.NewChunkServer(video, 0)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer lte.Close()
+
+	f, err := netmp.NewFetcher(video, wifi.Addr(), lte.Addr())
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer f.Close()
+	f.SetClock(cfg.Clock)
+
+	var wantBytes, gotBytes, cellBytes int64
+	var misses, unverified int
+	var retries int64
+	start := cfg.Clock.Now()
+	for i := 0; i < chunks; i++ {
+		wantBytes += video.ChunkSize(i, level)
+		res, err := f.FetchChunk(i, level, 2*time.Second)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		gotBytes += res.PrimaryBytes + res.SecondaryBytes
+		cellBytes += res.SecondaryBytes
+		retries += res.Retries
+		if res.MissedBy > 0 {
+			misses++
+		}
+		if !res.Verified {
+			unverified++
+		}
+	}
+	wall := cfg.Clock.Now().Sub(start)
+
+	cellShare := 0.0
+	if gotBytes > 0 {
+		cellShare = float64(cellBytes) / float64(gotBytes)
+	}
+	metrics := []Metric{
+		{Name: "chunks", Value: float64(chunks), Gate: GateExact},
+		{Name: "bytes_total", Value: float64(gotBytes), Gate: GateExact},
+		{Name: "bytes_expected_delta", Value: float64(gotBytes - wantBytes), Gate: GateExact},
+		{Name: "unverified_chunks", Value: float64(unverified), Gate: GateExact},
+		{Name: "deadline_miss_rate", Value: float64(misses) / float64(chunks), Gate: GateMax, Abs: 0.25},
+		{Name: "cellular_byte_share", Value: cellShare, Gate: GateInfo},
+		{Name: "retries", Value: float64(retries), Gate: GateInfo},
+	}
+	return wall, chunks, metrics, nil
+}
+
+// swarmScenario declares the population macro run: a seeded Poisson
+// arrival of heterogeneous sessions against a shared loopback tier.
+func swarmScenario(quick bool) swarm.Scenario {
+	sessions, over := 64, 2*time.Second
+	if quick {
+		sessions, over = 8, 300*time.Millisecond
+	}
+	return swarm.Scenario{
+		Name:     "perf-bench",
+		Sessions: sessions,
+		Arrival:  swarm.Arrival{Kind: swarm.ArrivalPoisson, Over: swarm.Duration(over)},
+		Seed:     7,
+	}
+}
+
+// runSwarm is the population scenario: 64 concurrent real-socket
+// MP-DASH sessions (8 under Quick). Plan-level quantities (sessions)
+// are exact; outcome counters that depend on host scheduling carry
+// slack.
+func runSwarm(cfg Config) (time.Duration, int, []Metric, error) {
+	sw, err := swarm.New(swarmScenario(cfg.Quick))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	start := cfg.Clock.Now()
+	rep, err := sw.Run(context.Background())
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	wall := cfg.Clock.Now().Sub(start)
+	if rep.Sessions == 0 {
+		return 0, 0, nil, errors.New("swarm launched no sessions")
+	}
+	metrics := []Metric{
+		{Name: "sessions", Value: float64(rep.Sessions), Gate: GateExact},
+		{Name: "ledger_violations", Value: float64(rep.LedgerViolations), Gate: GateExact},
+		{Name: "panicked", Value: float64(rep.Panicked), Gate: GateExact},
+		{Name: "completed", Value: float64(rep.Completed), Gate: GateMin, Abs: 4},
+		{Name: "deadline_miss_rate", Value: rep.DeadlineMissRate, Gate: GateMax, Abs: 0.25},
+		{Name: "chunks", Value: float64(rep.Chunks), Gate: GateInfo},
+		{Name: "cellular_byte_share", Value: rep.CellularByteShare, Gate: GateInfo},
+		{Name: "stalls", Value: float64(rep.Stalls), Gate: GateInfo},
+	}
+	return wall, rep.Sessions, metrics, nil
+}

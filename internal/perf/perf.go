@@ -1,0 +1,473 @@
+// Package perf is the continuous performance benchmarking harness: a
+// fixed, deterministic suite of micro and macro scenarios over the
+// repo's hot paths — the core scheduler tick (Algorithm 1 decision
+// loop), the Holt-Winters update, the offline knapsack DP, the obs
+// metric-handle hot path, a real-socket single-session fetch over
+// loopback, and a multi-session swarm — measured with repeated trials
+// and written to versioned BENCH_core.json / BENCH_netmp.json files
+// that cmd/mpdash-benchgate diffs against the checked-in
+// BENCH_baseline.json.
+//
+// Two measurement classes:
+//
+//   - Micro scenarios run under testing.Benchmark and report ns/op,
+//     B/op and allocs/op (min and median across trials; min is the
+//     robust noise-damped estimator the gate compares).
+//   - Macro scenarios run real sockets once per trial and report
+//     wall-clock ns/op over their unit of work plus domain metrics
+//     (deadline-miss rate, cellular-byte share, ledger violations...).
+//
+// Every domain metric carries its own gate policy (exact, max, min, or
+// info) so the comparison knows which movements are regressions. All
+// domain-metric time measurement routes through the injectable
+// netmp.Clock — never time.Now() — so frozen-clock tests are exact, and
+// exact-gated metrics are verified identical across trials at run time
+// (a determinism violation fails the run rather than producing an
+// unstable baseline).
+package perf
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpdash/internal/netmp"
+)
+
+// Version is the BENCH_*.json schema version; benchgate refuses to
+// compare across versions.
+const Version = 1
+
+// SlowdownEnv is a test-only knob: setting it to a fraction (e.g.
+// "0.3") injects that much synthetic extra work into the scheduler-tick
+// micro bench, so the regression gate's trip wire can be verified end
+// to end without editing code.
+const SlowdownEnv = "MPDASH_PERF_SLOWDOWN"
+
+// Gate policies for domain metrics.
+const (
+	// GateExact fails on any change — the metric is deterministic.
+	GateExact = "exact"
+	// GateMax fails when fresh > base*(1+Tol)+Abs (lower is better).
+	GateMax = "max"
+	// GateMin fails when fresh < base*(1-Tol)-Abs (higher is better).
+	GateMin = "min"
+	// GateInfo is never gated; recorded for trend-watching only.
+	GateInfo = "info"
+)
+
+// Metric is one domain metric with its gate policy attached, so the
+// baseline itself documents how each number may move.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// Gate is one of GateExact, GateMax, GateMin, GateInfo.
+	Gate string `json:"gate"`
+	// Tol is the relative tolerance for max/min gates (fraction).
+	Tol float64 `json:"tol,omitempty"`
+	// Abs is the absolute slack for max/min gates.
+	Abs float64 `json:"abs,omitempty"`
+}
+
+// Stat is one measured quantity's min and median across trials.
+type Stat struct {
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+}
+
+func statOf(xs []float64) *Stat {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	med := s[len(s)/2]
+	if len(s)%2 == 0 {
+		med = (s[len(s)/2-1] + s[len(s)/2]) / 2
+	}
+	return &Stat{Min: s[0], Median: med}
+}
+
+// Bench is one scenario's result. Micro scenarios carry all three
+// standard stats; macro scenarios carry NsOp only (their allocation
+// profile is dominated by goroutine and socket machinery, which is not
+// a meaningful gate) plus domain metrics.
+type Bench struct {
+	Name     string   `json:"name"`
+	NsOp     *Stat    `json:"ns_op,omitempty"`
+	BOp      *Stat    `json:"b_op,omitempty"`
+	AllocsOp *Stat    `json:"allocs_op,omitempty"`
+	Metrics  []Metric `json:"metrics,omitempty"`
+}
+
+// metric returns the named domain metric, or nil.
+func (b *Bench) metric(name string) *Metric {
+	for i := range b.Metrics {
+		if b.Metrics[i].Name == name {
+			return &b.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Env is the environment fingerprint stamped into every result file.
+// Time comparisons across differing fingerprints are inherently noisy,
+// so the gate relaxes its time tolerance when fingerprints differ (see
+// GateOptions.FingerprintSlack); allocation and exact domain gates are
+// machine-independent and stay strict.
+type Env struct {
+	GoVersion  string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPU        string `json:"cpu,omitempty"`
+}
+
+// CaptureEnv fingerprints the running environment.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPU:        cpuModel(),
+	}
+}
+
+// cpuModel best-effort reads the CPU model name (Linux /proc/cpuinfo).
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// Comparable reports whether time measurements against o are
+// apples-to-apples: same Go, OS, architecture, CPU count and model.
+func (e Env) Comparable(o Env) bool {
+	return e.GoVersion == o.GoVersion && e.GOOS == o.GOOS && e.GOARCH == o.GOARCH &&
+		e.NumCPU == o.NumCPU && e.CPU == o.CPU
+}
+
+// String renders the fingerprint on one line.
+func (e Env) String() string {
+	cpu := e.CPU
+	if cpu == "" {
+		cpu = "unknown-cpu"
+	}
+	return fmt.Sprintf("%s %s/%s %d-cpu (GOMAXPROCS %d) %s",
+		e.GoVersion, e.GOOS, e.GOARCH, e.NumCPU, e.GOMAXPROCS, cpu)
+}
+
+// SuiteResult is one suite's full run — the BENCH_<suite>.json payload.
+type SuiteResult struct {
+	Version int     `json:"version"`
+	Suite   string  `json:"suite"`
+	Env     Env     `json:"env"`
+	Trials  int     `json:"trials"`
+	Benches []Bench `json:"benches"`
+}
+
+// bench returns the named bench result, or nil.
+func (s *SuiteResult) bench(name string) *Bench {
+	for i := range s.Benches {
+		if s.Benches[i].Name == name {
+			return &s.Benches[i]
+		}
+	}
+	return nil
+}
+
+// Baseline is the checked-in BENCH_baseline.json: one SuiteResult per
+// suite, refreshed via `go run ./cmd/mpdash-benchgate -update`.
+type Baseline struct {
+	Version int                     `json:"version"`
+	Note    string                  `json:"note,omitempty"`
+	Suites  map[string]*SuiteResult `json:"suites"`
+}
+
+// Config parameterizes a suite run.
+type Config struct {
+	// Trials is the repeated-trial count (default 3). The gate compares
+	// min-of-trials for times (robust against scheduling noise) and
+	// median for allocations.
+	Trials int
+	// BenchTime is the per-trial measuring time of micro scenarios, in
+	// testing -benchtime syntax (default "300ms").
+	BenchTime string
+	// Clock supplies wall time for every domain-metric computation and
+	// macro wall measurement (nil = time.Now via netmp.Clock). Frozen
+	// clocks make macro ns/op collapse to zero while domain byte/count
+	// metrics stay exact — the determinism contract tests rely on.
+	Clock netmp.Clock
+	// Quick shrinks the macro scenarios (fewer chunks, fewer sessions)
+	// so unit tests finish fast. Quick results are NOT comparable to
+	// full-size baselines; benchgate never sets it.
+	Quick bool
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, a ...any)
+}
+
+func (c Config) trials() int {
+	if c.Trials <= 0 {
+		return 3
+	}
+	return c.Trials
+}
+
+func (c Config) benchTime() string {
+	if c.BenchTime == "" {
+		return "300ms"
+	}
+	return c.BenchTime
+}
+
+func (c Config) logf(format string, a ...any) {
+	if c.Logf != nil {
+		c.Logf(format, a...)
+	}
+}
+
+// scenario is one suite entry. Micro scenarios define setup (returning
+// the op closure run b.N times) and optionally domain, a fixed-work
+// deterministic side run producing domain metrics. Macro scenarios
+// define run, one full trial returning wall time, op count and domain
+// metrics.
+type scenario struct {
+	name string
+	// inner is the micro batch size: each measured op executes the
+	// closure once, which performs inner logical operations; reported
+	// stats are divided by inner.
+	inner  int
+	setup  func(cfg Config) (func(), error)
+	domain func(cfg Config) ([]Metric, error)
+	run    func(cfg Config) (wall time.Duration, ops int, metrics []Metric, err error)
+}
+
+// Suites lists the suite names in run order.
+func Suites() []string { return []string{"core", "netmp"} }
+
+// suiteScenarios maps a suite name to its fixed scenario list.
+func suiteScenarios(suite string) ([]*scenario, error) {
+	switch suite {
+	case "core":
+		return coreScenarios(), nil
+	case "netmp":
+		return netmpScenarios(), nil
+	}
+	return nil, fmt.Errorf("perf: unknown suite %q (have %s)", suite, strings.Join(Suites(), ", "))
+}
+
+// benchTimeOnce wires testing.Benchmark's -test.benchtime knob exactly
+// once per process: testing.Init is idempotent, and the flag must not
+// be re-set concurrently with a running benchmark.
+var benchTimeOnce sync.Once
+
+func setBenchTime(d string) error {
+	var err error
+	benchTimeOnce.Do(func() {
+		testing.Init()
+		err = flag.Set("test.benchtime", d)
+	})
+	return err
+}
+
+// RunSuite executes the named suite under cfg.
+func RunSuite(suite string, cfg Config) (*SuiteResult, error) {
+	scs, err := suiteScenarios(suite)
+	if err != nil {
+		return nil, err
+	}
+	if err := setBenchTime(cfg.benchTime()); err != nil {
+		return nil, fmt.Errorf("perf: benchtime %q: %w", cfg.benchTime(), err)
+	}
+	res := &SuiteResult{Version: Version, Suite: suite, Env: CaptureEnv(), Trials: cfg.trials()}
+	for _, sc := range scs {
+		cfg.logf("perf: %s/%s (%d trials)\n", suite, sc.name, cfg.trials())
+		b, err := runScenario(sc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("perf: %s/%s: %w", suite, sc.name, err)
+		}
+		res.Benches = append(res.Benches, *b)
+	}
+	return res, nil
+}
+
+func runScenario(sc *scenario, cfg Config) (*Bench, error) {
+	b := &Bench{Name: sc.name}
+	var metricTrials [][]Metric
+	switch {
+	case sc.setup != nil:
+		var ns, bs, al []float64
+		inner := float64(sc.inner)
+		if inner <= 0 {
+			inner = 1
+		}
+		for t := 0; t < cfg.trials(); t++ {
+			op, err := sc.setup(cfg)
+			if err != nil {
+				return nil, err
+			}
+			r := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					op()
+				}
+			})
+			n := float64(r.N)
+			ns = append(ns, float64(r.T.Nanoseconds())/n/inner)
+			bs = append(bs, float64(r.MemBytes)/n/inner)
+			al = append(al, float64(r.MemAllocs)/n/inner)
+		}
+		b.NsOp, b.BOp, b.AllocsOp = statOf(ns), statOf(bs), statOf(al)
+		if sc.domain != nil {
+			for t := 0; t < cfg.trials(); t++ {
+				ms, err := sc.domain(cfg)
+				if err != nil {
+					return nil, err
+				}
+				metricTrials = append(metricTrials, ms)
+			}
+		}
+	case sc.run != nil:
+		var ns []float64
+		for t := 0; t < cfg.trials(); t++ {
+			wall, ops, ms, err := sc.run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if ops <= 0 {
+				ops = 1
+			}
+			ns = append(ns, float64(wall.Nanoseconds())/float64(ops))
+			metricTrials = append(metricTrials, ms)
+		}
+		b.NsOp = statOf(ns)
+	default:
+		return nil, fmt.Errorf("scenario defines neither setup nor run")
+	}
+	ms, err := foldMetricTrials(metricTrials)
+	if err != nil {
+		return nil, err
+	}
+	b.Metrics = ms
+	return b, nil
+}
+
+// foldMetricTrials merges per-trial domain metrics: exact-gated metrics
+// must be identical across trials (a violation is a determinism bug and
+// fails the run); gated and info metrics take the median.
+func foldMetricTrials(trials [][]Metric) ([]Metric, error) {
+	if len(trials) == 0 {
+		return nil, nil
+	}
+	out := append([]Metric(nil), trials[0]...)
+	for i := range out {
+		vals := make([]float64, 0, len(trials))
+		for t, tr := range trials {
+			if i >= len(tr) || tr[i].Name != out[i].Name {
+				return nil, fmt.Errorf("trial %d: metric list diverged at %q", t, out[i].Name)
+			}
+			vals = append(vals, tr[i].Value)
+		}
+		if out[i].Gate == GateExact {
+			for t, v := range vals {
+				if v != vals[0] {
+					return nil, fmt.Errorf("exact metric %q not deterministic: trial 0 %v vs trial %d %v",
+						out[i].Name, vals[0], t, v)
+				}
+			}
+			continue
+		}
+		out[i].Value = statOf(vals).Median
+	}
+	return out, nil
+}
+
+// ---- persistence ----
+
+// SuiteFileName returns the conventional per-suite result file name
+// (BENCH_core.json, BENCH_netmp.json).
+func SuiteFileName(suite string) string { return "BENCH_" + suite + ".json" }
+
+// WriteSuite writes one suite result, indented, to path.
+func (s *SuiteResult) WriteSuite(path string) error {
+	return writeJSON(path, s)
+}
+
+// LoadSuite reads a BENCH_<suite>.json and validates its version.
+func LoadSuite(path string) (*SuiteResult, error) {
+	var s SuiteResult
+	if err := readJSON(path, &s); err != nil {
+		return nil, err
+	}
+	if s.Version != Version {
+		return nil, fmt.Errorf("perf: %s: schema version %d, want %d", path, s.Version, Version)
+	}
+	if s.Suite == "" || len(s.Benches) == 0 {
+		return nil, fmt.Errorf("perf: %s: missing suite name or benches", path)
+	}
+	return &s, nil
+}
+
+// WriteBaseline writes the combined baseline, indented, to path.
+func (b *Baseline) WriteBaseline(path string) error {
+	return writeJSON(path, b)
+}
+
+// LoadBaseline reads and validates a BENCH_baseline.json.
+func LoadBaseline(path string) (*Baseline, error) {
+	var b Baseline
+	if err := readJSON(path, &b); err != nil {
+		return nil, err
+	}
+	if b.Version != Version {
+		return nil, fmt.Errorf("perf: %s: schema version %d, want %d", path, b.Version, Version)
+	}
+	if len(b.Suites) == 0 {
+		return nil, fmt.Errorf("perf: %s: baseline has no suites", path)
+	}
+	for name, s := range b.Suites {
+		if s == nil || len(s.Benches) == 0 {
+			return nil, fmt.Errorf("perf: %s: suite %q is empty", path, name)
+		}
+	}
+	return &b, nil
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: encode %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("perf: write: %w", err)
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("perf: read: %w", err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("perf: decode %s: %w", path, err)
+	}
+	return nil
+}

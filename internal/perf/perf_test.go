@@ -1,0 +1,192 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// quickCfg keeps harness tests fast: tiny measuring window, shrunken
+// macro scenarios.
+func quickCfg() Config {
+	return Config{Trials: 2, BenchTime: "10ms", Quick: true}
+}
+
+func TestSuitesAreKnown(t *testing.T) {
+	for _, name := range Suites() {
+		scs, err := suiteScenarios(name)
+		if err != nil || len(scs) == 0 {
+			t.Fatalf("suite %s: %v (%d scenarios)", name, err, len(scs))
+		}
+	}
+	if _, err := suiteScenarios("bogus"); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+}
+
+// TestCoreDomainDeterminism runs every core scenario's domain pass twice
+// and demands bit-identical exact metrics — the property the baseline
+// gate depends on. (foldMetricTrials additionally enforces this across
+// trials inside one run; here we check across runs.)
+func TestCoreDomainDeterminism(t *testing.T) {
+	cfg := quickCfg()
+	for _, sc := range coreScenarios() {
+		if sc.domain == nil {
+			continue
+		}
+		a, err := sc.domain(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		b, err := sc.domain(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: metric count %d vs %d", sc.name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Gate == GateExact && a[i].Value != b[i].Value {
+				t.Errorf("%s/%s: %v vs %v", sc.name, a[i].Name, a[i].Value, b[i].Value)
+			}
+		}
+	}
+}
+
+// TestSessionFetchDeterminism runs the real-socket macro scenario twice
+// (two trials each — foldMetricTrials also verifies within-run
+// determinism) and compares the exact domain metrics across runs.
+func TestSessionFetchDeterminism(t *testing.T) {
+	sc := netmpScenarios()[0]
+	if sc.name != "netmp_session_fetch" {
+		t.Fatalf("scenario order changed: %s", sc.name)
+	}
+	cfg := quickCfg()
+	a, err := runScenario(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runScenario(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, am := range a.Metrics {
+		if am.Gate != GateExact {
+			continue
+		}
+		bm := b.metric(am.Name)
+		if bm == nil || bm.Value != am.Value {
+			t.Errorf("%s: run A %v, run B %+v", am.Name, am.Value, bm)
+		}
+	}
+	if m := a.metric("bytes_total"); m == nil || m.Value <= 0 {
+		t.Fatalf("bytes_total: %+v", m)
+	}
+	if m := a.metric("unverified_chunks"); m == nil || m.Value != 0 {
+		t.Fatalf("unverified_chunks: %+v", m)
+	}
+}
+
+// TestFrozenClock pins the Clock-injection satellite: with a frozen
+// netmp.Clock every wall measurement collapses to zero while the
+// byte/count domain metrics stay exact — proof no time.Now() leaks into
+// the measured paths.
+func TestFrozenClock(t *testing.T) {
+	frozen := time.Now()
+	cfg := quickCfg()
+	cfg.Trials = 1
+	cfg.Clock = func() time.Time { return frozen }
+	sc := netmpScenarios()[0]
+	b, err := runScenario(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NsOp == nil || b.NsOp.Min != 0 {
+		t.Fatalf("frozen clock: ns/op = %+v, want 0 (time.Now leaked into the wall measurement)", b.NsOp)
+	}
+	if m := b.metric("bytes_total"); m == nil || m.Value <= 0 {
+		t.Fatalf("bytes_total under frozen clock: %+v", m)
+	}
+	if m := b.metric("deadline_miss_rate"); m == nil || m.Value != 0 {
+		t.Fatalf("deadline_miss_rate under frozen clock: %+v (durations must collapse to 0)", m)
+	}
+}
+
+// TestSlowdownTripsGate verifies the acceptance criterion end to end in
+// process: a synthetic slowdown injected into the scheduler bench via
+// MPDASH_PERF_SLOWDOWN must make the comparison fail.
+func TestSlowdownTripsGate(t *testing.T) {
+	sc := coreScenarios()[0]
+	if sc.name != "core_scheduler_tick" {
+		t.Fatalf("scenario order changed: %s", sc.name)
+	}
+	cfg := Config{Trials: 3, BenchTime: "30ms"}
+	baseBench, err := runScenario(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100% extra work against a 15% time tolerance: far outside noise.
+	t.Setenv(SlowdownEnv, "1.0")
+	slowBench, err := runScenario(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := CaptureEnv()
+	base := &SuiteResult{Version: Version, Suite: "core", Env: env, Trials: 3, Benches: []Bench{*baseBench}}
+	fresh := &SuiteResult{Version: Version, Suite: "core", Env: env, Trials: 3, Benches: []Bench{*slowBench}}
+	rows, ok := CompareSuites(base, fresh, GateOptions{})
+	if ok {
+		t.Fatalf("doubled scheduler work passed the gate: %+v", rows)
+	}
+	if r := findRow(rows, "core_scheduler_tick", "ns/op"); r == nil || r.Verdict != VerdictFail {
+		t.Fatalf("ns/op row: %+v", r)
+	}
+	// And the knob must reject garbage.
+	t.Setenv(SlowdownEnv, "not-a-number")
+	if _, err := sc.setup(cfg); err == nil {
+		t.Fatal("bad slowdown value accepted")
+	}
+}
+
+func TestRunSuiteCoreQuick(t *testing.T) {
+	res, err := RunSuite("core", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suite != "core" || res.Version != Version || len(res.Benches) != len(coreScenarios()) {
+		t.Fatalf("suite result: %+v", res)
+	}
+	for _, b := range res.Benches {
+		if b.NsOp == nil || b.NsOp.Min <= 0 {
+			t.Errorf("%s: ns/op %+v", b.Name, b.NsOp)
+		}
+	}
+	// The optimization-pass contract: the two hot paths this PR tuned
+	// must stay allocation-lean, or the baseline gate in CI will fail
+	// anyway — catch it here first.
+	tick := res.bench("core_scheduler_tick")
+	if tick.AllocsOp.Median != 0 {
+		t.Errorf("scheduler tick allocs/op %v, want 0", tick.AllocsOp.Median)
+	}
+	handle := res.bench("obs_handle_lookup")
+	if handle.AllocsOp.Median > 2 {
+		t.Errorf("obs handle lookup allocs/op %v, want ≤ 2", handle.AllocsOp.Median)
+	}
+}
+
+func TestFoldMetricTrialsRejectsNondeterminism(t *testing.T) {
+	trials := [][]Metric{
+		{{Name: "x", Value: 1, Gate: GateExact}, {Name: "y", Value: 2, Gate: GateMax}},
+		{{Name: "x", Value: 1.5, Gate: GateExact}, {Name: "y", Value: 4, Gate: GateMax}},
+	}
+	if _, err := foldMetricTrials(trials); err == nil {
+		t.Fatal("diverging exact metric accepted")
+	}
+	trials[1][0].Value = 1
+	out, err := foldMetricTrials(trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1].Value != 3 { // median of {2, 4}
+		t.Fatalf("median fold: %+v", out[1])
+	}
+}

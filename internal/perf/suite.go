@@ -1,0 +1,237 @@
+package perf
+
+// The "core" suite: micro scenarios over the compute hot paths. Each
+// scenario batches inner logical operations per measured op (stats are
+// normalized back to the logical operation) and runs a fixed-work
+// deterministic side pass for its domain metrics, so the numbers the
+// gate holds exact never depend on b.N or wall time.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"mpdash/internal/core"
+	"mpdash/internal/mptcp"
+	"mpdash/internal/obs"
+	"mpdash/internal/predict"
+	"mpdash/internal/sim"
+	"mpdash/internal/trace"
+)
+
+const (
+	tickInner    = 100
+	hwInner      = 64
+	observeInner = 128
+)
+
+func coreScenarios() []*scenario {
+	return []*scenario{
+		{name: "core_scheduler_tick", inner: tickInner, setup: setupSchedulerTick, domain: schedulerDomain},
+		{name: "core_holtwinters_update", inner: hwInner, setup: setupHoltWinters, domain: holtWintersDomain},
+		{name: "core_knapsack_dp", inner: 1, setup: setupKnapsack, domain: knapsackDomain},
+		{name: "obs_handle_lookup", inner: 1, setup: setupHandleLookup, domain: obsDomain},
+		{name: "obs_histogram_observe", inner: observeInner, setup: setupHistogramObserve, domain: nil},
+	}
+}
+
+// newBenchScheduler assembles a three-path connection (the N-path §4
+// generalization: WiFi primary, metered LTE, mid-cost ethernet) with an
+// active governed transfer, ready for Tick-driven evaluation.
+func newBenchScheduler() (*core.Scheduler, error) {
+	s := sim.New()
+	conn, err := mptcp.NewConn(s, mptcp.Config{Paths: []mptcp.PathSpec{
+		{Name: "wifi", Rate: trace.Constant("wifi", 30, 100*time.Millisecond, 1), RTT: 50 * time.Millisecond, Cost: 1, Primary: true},
+		{Name: "eth", Rate: trace.Constant("eth", 20, 100*time.Millisecond, 1), RTT: 40 * time.Millisecond, Cost: 3},
+		{Name: "lte", Rate: trace.Constant("lte", 25, 100*time.Millisecond, 1), RTT: 60 * time.Millisecond, Cost: 5},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	sch, err := core.NewScheduler(s, conn, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	// A governed 40 MB transfer with a 20 s window keeps every Tick on
+	// the full Algorithm 1 path (sort + prefix-cover walk) without the
+	// deadline ever passing — the simulator clock is never advanced.
+	if err := sch.Enable(40_000_000, 20*time.Second); err != nil {
+		return nil, err
+	}
+	return sch, nil
+}
+
+// setupSchedulerTick measures the Algorithm 1 decision loop. The
+// SlowdownEnv knob pads the batch with synthetic extra ticks so the
+// regression gate's trip wire is verifiable end to end.
+func setupSchedulerTick(Config) (func(), error) {
+	sch, err := newBenchScheduler()
+	if err != nil {
+		return nil, err
+	}
+	batch := tickInner
+	if s := os.Getenv(SlowdownEnv); s != "" {
+		frac, err := strconv.ParseFloat(s, 64)
+		if err != nil || frac < 0 {
+			return nil, fmt.Errorf("%s=%q: want a non-negative fraction", SlowdownEnv, s)
+		}
+		batch += int(frac * tickInner)
+	}
+	return func() {
+		for i := 0; i < batch; i++ {
+			sch.Tick()
+		}
+	}, nil
+}
+
+func schedulerDomain(Config) ([]Metric, error) {
+	sch, err := newBenchScheduler()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 500; i++ {
+		sch.Tick()
+	}
+	return []Metric{
+		{Name: "toggles_500_ticks", Value: float64(sch.Toggles()), Gate: GateExact},
+		{Name: "deadline_misses", Value: float64(sch.DeadlineMisses()), Gate: GateExact},
+	}, nil
+}
+
+// hwSample is the synthetic throughput process fed to the predictor: a
+// level shift plus a deterministic sawtooth, exercising both the level
+// and trend terms.
+func hwSample(i int) float64 {
+	base := 20e6
+	if i%97 > 48 {
+		base = 8e6
+	}
+	return base + float64(i%13)*250e3
+}
+
+func setupHoltWinters(Config) (func(), error) {
+	h := predict.NewDefaultHoltWinters()
+	i := 0
+	return func() {
+		for k := 0; k < hwInner; k++ {
+			h.Observe(hwSample(i))
+			i++
+		}
+		_ = h.Predict()
+	}, nil
+}
+
+func holtWintersDomain(Config) ([]Metric, error) {
+	h := predict.NewDefaultHoltWinters()
+	var absErr float64
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			d := h.Predict() - hwSample(i)
+			if d < 0 {
+				d = -d
+			}
+			absErr += d
+		}
+		h.Observe(hwSample(i))
+	}
+	return []Metric{
+		{Name: "forecast_bps", Value: h.Predict(), Gate: GateExact},
+		{Name: "mae_bps", Value: absErr / 499, Gate: GateExact},
+	}, nil
+}
+
+// knapsackInput is the fixed Table 2-shaped DP instance: two interfaces
+// across 30 half-second slots, 4 MB demand, 4 KiB quantum.
+func knapsackInput() (bw [][]float64, cost []float64, slot time.Duration, S, q int64) {
+	const slots = 30
+	bw = make([][]float64, 2)
+	for i := range bw {
+		bw[i] = make([]float64, slots)
+		for j := 0; j < slots; j++ {
+			bw[i][j] = 2e6 + float64((i+1)*(j%7))*300e3
+		}
+	}
+	return bw, []float64{1, 5}, 500 * time.Millisecond, 4_000_000, 4096
+}
+
+func setupKnapsack(Config) (func(), error) {
+	bw, cost, slot, S, q := knapsackInput()
+	return func() {
+		if _, err := core.MinCostSchedule(bw, cost, slot, S, q); err != nil {
+			panic(err)
+		}
+	}, nil
+}
+
+func knapsackDomain(Config) ([]Metric, error) {
+	bw, cost, slot, S, q := knapsackInput()
+	plan, err := core.MinCostSchedule(bw, cost, slot, S, q)
+	if err != nil {
+		return nil, err
+	}
+	feasible := 0.0
+	if plan.Feasible {
+		feasible = 1
+	}
+	return []Metric{
+		{Name: "plan_cost", Value: plan.Cost, Gate: GateExact},
+		{Name: "cheap_iface_bytes", Value: plan.Bytes[0], Gate: GateExact},
+		{Name: "feasible", Value: feasible, Gate: GateExact},
+	}, nil
+}
+
+// setupHandleLookup measures the metric-handle acquisition path exactly
+// as instrumented code hits it when re-resolving a labeled series:
+// label-map literal, canonical render, registry lookup, counter add.
+func setupHandleLookup(Config) (func(), error) {
+	r := obs.NewRegistry()
+	// Pre-register so the measured path is the steady-state lookup, not
+	// first-use registration.
+	r.Counter("mpdash_path_bytes_total", "bench", obs.Labels{"path": "wifi"})
+	r.Counter("mpdash_path_bytes_total", "bench", obs.Labels{"path": "lte"})
+	return func() {
+		r.Counter("mpdash_path_bytes_total", "bench", obs.Labels{"path": "wifi"}).Add(1)
+	}, nil
+}
+
+func setupHistogramObserve(Config) (func(), error) {
+	r := obs.NewRegistry()
+	h := r.Histogram("mpdash_chunk_duration_seconds", "bench", obs.DefSecondsBuckets, nil)
+	i := 0
+	return func() {
+		for k := 0; k < observeInner; k++ {
+			h.Observe(float64(i%40) * 0.02)
+			i++
+		}
+	}, nil
+}
+
+// obsDomain pins down the exposition contract: fixed samples in, exact
+// quantile estimates and byte-exact Prometheus rendering out.
+func obsDomain(Config) ([]Metric, error) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench_ops_total", "Ops.", obs.Labels{"kind": "domain"})
+	h := r.Histogram("bench_seconds", "Durations.", obs.DefSecondsBuckets, nil)
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+		h.Observe(float64(i%40) * 0.02)
+	}
+	var sb countingWriter
+	if err := r.WritePrometheus(&sb); err != nil {
+		return nil, err
+	}
+	return []Metric{
+		{Name: "quantile_p50_s", Value: h.Quantile(0.50), Gate: GateExact},
+		{Name: "quantile_p99_s", Value: h.Quantile(0.99), Gate: GateExact},
+		{Name: "exposition_bytes", Value: float64(sb.n), Gate: GateExact},
+	}, nil
+}
+
+// countingWriter counts bytes without keeping them.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

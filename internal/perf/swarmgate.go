@@ -1,0 +1,73 @@
+package perf
+
+// The swarm report gate: absolute success criteria for a BENCH_swarm.json
+// produced by cmd/mpdash-swarm. Unlike the baseline diff, this gate is
+// self-contained — a swarm smoke run must satisfy its own invariants
+// (every session accounted for, zero ledger violations, zero panics,
+// bounded deadline-miss rate) regardless of any prior run.
+
+import (
+	"fmt"
+
+	"mpdash/internal/swarm"
+)
+
+// SwarmThresholds are the absolute criteria applied to a swarm report.
+type SwarmThresholds struct {
+	// MaxMissRate is the highest acceptable population deadline-miss
+	// rate (default 0.10).
+	MaxMissRate float64
+	// MaxFailed is the highest acceptable failed-session count
+	// (default 0).
+	MaxFailed int
+	// MaxTimedOut is the highest acceptable timed-out-session count
+	// (default 0).
+	MaxTimedOut int
+}
+
+func (t SwarmThresholds) withDefaults() SwarmThresholds {
+	if t.MaxMissRate <= 0 {
+		t.MaxMissRate = 0.10
+	}
+	return t
+}
+
+// GateSwarm checks rep against the thresholds and returns one row per
+// criterion plus overall pass/fail.
+func GateSwarm(rep *swarm.Report, t SwarmThresholds) ([]DiffRow, bool) {
+	t = t.withDefaults()
+	ok := true
+	row := func(metric string, value, limit float64, cmp string, pass bool, note string) DiffRow {
+		v := VerdictOK
+		if !pass {
+			v = VerdictFail
+			ok = false
+		}
+		return DiffRow{Bench: "swarm:" + rep.Scenario, Metric: metric, Fresh: value,
+			Limit: fmt.Sprintf("%s %g", cmp, limit), Verdict: v, Note: note}
+	}
+	accounted := rep.Completed + rep.Failed + rep.TimedOut + rep.Panicked
+	rows := []DiffRow{
+		row("sessions_accounted", float64(accounted), float64(rep.Sessions), "=",
+			accounted == rep.Sessions, "completed+failed+timed_out+panicked"),
+		row("ledger_violations", float64(rep.LedgerViolations), 0, "=",
+			rep.LedgerViolations == 0, "byte-for-byte verification"),
+		row("panicked", float64(rep.Panicked), 0, "=", rep.Panicked == 0, ""),
+		row("failed", float64(rep.Failed), float64(t.MaxFailed), "≤",
+			rep.Failed <= t.MaxFailed, ""),
+		row("timed_out", float64(rep.TimedOut), float64(t.MaxTimedOut), "≤",
+			rep.TimedOut <= t.MaxTimedOut, ""),
+		row("deadline_miss_rate", rep.DeadlineMissRate, t.MaxMissRate, "≤",
+			rep.DeadlineMissRate <= t.MaxMissRate, ""),
+		{Bench: "swarm:" + rep.Scenario, Metric: "chunks", Fresh: float64(rep.Chunks),
+			Verdict: VerdictInfo},
+		{Bench: "swarm:" + rep.Scenario, Metric: "cellular_byte_share",
+			Fresh: rep.CellularByteShare, Verdict: VerdictInfo},
+	}
+	if rep.Chunks == 0 {
+		rows = append(rows, DiffRow{Bench: "swarm:" + rep.Scenario, Metric: "chunks",
+			Limit: "> 0", Verdict: VerdictFail, Note: "swarm moved no traffic"})
+		ok = false
+	}
+	return rows, ok
+}
