@@ -18,6 +18,10 @@
 //	mpdash-benchgate -swarm BENCH_swarm.json -max-miss-rate 0.10
 //	    gate a swarm population report against absolute thresholds
 //	    (ledger violations, panics, deadline-miss rate).
+//	mpdash-benchgate -swarm BENCH_on.json -swarm-baseline BENCH_off.json
+//	    additionally require the report to strictly beat a baseline run
+//	    of the same scenario with graceful degradation off on BOTH the
+//	    deadline-miss rate and the wasted cellular bytes.
 //
 // Exit codes: 0 pass, 1 regression or threshold violation, 2 usage or
 // I/O error.
@@ -49,6 +53,7 @@ func run() int {
 		timeTol      = flag.Float64("time-tolerance", 0, "relative ns/op tolerance (0 = 0.15)")
 		fpSlack      = flag.Float64("fingerprint-slack", 0, "time-tolerance multiplier when env fingerprints differ (0 = 4)")
 		swarmPath    = flag.String("swarm", "", "gate this swarm report (BENCH_swarm.json) against absolute thresholds instead of the baseline diff")
+		swarmBase    = flag.String("swarm-baseline", "", "with -swarm: also require the report to strictly beat this baseline report (same scenario, graceful degradation off) on deadline-miss rate AND wasted cellular bytes")
 		maxMissRate  = flag.Float64("max-miss-rate", 0, "swarm gate: max population deadline-miss rate (0 = 0.10)")
 		maxFailed    = flag.Int("max-failed", 0, "swarm gate: max failed sessions")
 		maxTimedOut  = flag.Int("max-timed-out", 0, "swarm gate: max timed-out sessions")
@@ -62,9 +67,13 @@ func run() int {
 	}
 
 	if *swarmPath != "" {
-		return gateSwarm(*swarmPath, perf.SwarmThresholds{
+		return gateSwarm(*swarmPath, *swarmBase, perf.SwarmThresholds{
 			MaxMissRate: *maxMissRate, MaxFailed: *maxFailed, MaxTimedOut: *maxTimedOut,
 		}, *quiet)
+	}
+	if *swarmBase != "" {
+		fmt.Fprintln(os.Stderr, "mpdash-benchgate: -swarm-baseline needs -swarm")
+		return 2
 	}
 
 	names := splitSuites(*suites)
@@ -158,13 +167,23 @@ func run() int {
 	return 0
 }
 
-func gateSwarm(path string, t perf.SwarmThresholds, quiet bool) int {
+func gateSwarm(path, basePath string, t perf.SwarmThresholds, quiet bool) int {
 	rep, err := swarm.ReadReport(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
 		return 2
 	}
 	rows, ok := perf.GateSwarm(rep, t)
+	if basePath != "" {
+		base, err := swarm.ReadReport(basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
+			return 2
+		}
+		cmpRows, cmpOK := perf.CompareSwarm(base, rep)
+		rows = append(rows, cmpRows...)
+		ok = ok && cmpOK
+	}
 	if err := perf.RenderTable(os.Stdout, rows, quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "mpdash-benchgate:", err)
 		return 2

@@ -61,6 +61,10 @@ func run() int {
 		hedgeFactor   = flag.Float64("hedge-factor", 2, "pace multiple of the predicted service time that arms a hedge")
 		hedgeBudgetKB = flag.Int64("hedge-budget-kb", 4096, "session budget of payload bytes wasted on hedge losers")
 
+		abort            = flag.Bool("abort", false, "abort doomed chunks (predicted deadline miss even with all paths engaged) and downgrade the rendition")
+		abortFactor      = flag.Float64("abort-factor", 1, "doom-test scale: abort when best-case finish exceeds this multiple of the remaining window")
+		abortMinProgress = flag.Float64("abort-min-progress", 0.25, "fraction of the deadline window that must elapse before the first doom evaluation")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
 		journalPath = flag.String("journal", "", "stream the structured event journal to this JSONL file (- = stderr)")
 		quiet       = flag.Bool("quiet", false, "suppress informational output (errors still print)")
@@ -111,6 +115,11 @@ func run() int {
 		Disabled:    !*hedge,
 		Factor:      *hedgeFactor,
 		BudgetBytes: *hedgeBudgetKB * 1024,
+	}
+	f.Abort = netmp.AbortPolicy{
+		Enabled:     *abort,
+		Factor:      *abortFactor,
+		MinProgress: *abortMinProgress,
 	}
 
 	st := &netmp.Streamer{Fetcher: f, ABR: abr.NewGPAC(), RateBased: *rateBase}
@@ -182,6 +191,10 @@ func run() int {
 			res.FaultsSurvived, res.Retries, res.Requeued, res.Redials, res.Refetches, res.LostChunks)
 		infof("wasted %0.1f KB, degraded %v\n",
 			float64(res.WastedBytes)/1e3, res.DegradedTime.Round(time.Millisecond))
+	}
+	if res.Aborts > 0 {
+		infof("doomed aborts %d, downgrades %d, abandoned %0.1f KB\n",
+			res.Aborts, res.Downgrades, float64(res.AbortWastedBytes)/1e3)
 	}
 	if res.Failovers > 0 || res.HedgesIssued > 0 {
 		infof("origin failovers %d; hedges issued %d, won %d, cancelled %d, wasted %0.1f KB\n",

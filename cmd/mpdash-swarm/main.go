@@ -52,6 +52,14 @@ func run() int {
 		origins  = flag.Int("origins", 0, "origins per path per group (>1 enables failover/hedging)")
 		maxConns = flag.Int("max-conns", 0, "per-origin MaxConns admission limit (0 = unlimited)")
 
+		abort            = flag.Bool("abort", false, "enable doomed-chunk abort + rendition downgrade for every session")
+		abortFactor      = flag.Float64("abort-factor", 0, "doom-test scale (0 = netmp default 1)")
+		abortMinProgress = flag.Float64("abort-min-progress", 0, "window fraction before the first doom evaluation (0 = netmp default 0.25)")
+		board            = flag.Bool("board", false, "share a congestion board across sessions (predictor seeding + capacity-drop pre-arming)")
+		dropAt           = flag.Duration("drop-at", 0, "schedule a tier capacity drop at this offset from run start (0 = none)")
+		dropWiFiFactor   = flag.Float64("drop-wifi-factor", 1, "capacity-drop multiplier for shaped WiFi origins (1 = unchanged)")
+		dropLTEFactor    = flag.Float64("drop-lte-factor", 1, "capacity-drop multiplier for shaped LTE origins (1 = unchanged)")
+
 		out          = flag.String("out", "BENCH_swarm.json", "population report output path (empty = skip)")
 		keepSessions = flag.Bool("session-detail", false, "include per-session outcomes in the report")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address while the swarm runs (empty = off)")
@@ -102,6 +110,19 @@ func run() int {
 	}
 	if *maxConns > 0 {
 		scn.Servers.MaxConns = *maxConns
+	}
+	if *abort {
+		scn.Abort = &swarm.AbortSpec{Factor: *abortFactor, MinProgress: *abortMinProgress}
+	}
+	if *board {
+		scn.Board = true
+	}
+	if *dropAt > 0 {
+		scn.CapacityDrop = &swarm.CapacityDropSpec{
+			At:         swarm.Duration(*dropAt),
+			WiFiFactor: *dropWiFiFactor,
+			LTEFactor:  *dropLTEFactor,
+		}
 	}
 	if scn.Sessions <= 0 {
 		fmt.Fprintln(os.Stderr, "mpdash-swarm: need -sessions (or a -scenario file that sets them)")

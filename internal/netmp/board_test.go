@@ -1,0 +1,207 @@
+package netmp
+
+// Congestion-board tests: the shared-registry mechanics (EWMA fold, drop
+// detection, epoch bookkeeping) are exercised with a frozen clock; the
+// fetcher attachment tests cover predictor seeding, publish throttling
+// and the pre-arm/ack cycle; the concurrent test runs the sharded hot
+// path under -race.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// frozenClock returns a Clock pinned to the moment of the call, keeping
+// board timestamps deterministic while real-future socket deadlines
+// still work.
+func frozenClock() Clock {
+	at := time.Now()
+	return func() time.Time { return at }
+}
+
+func TestBoardPublishAndRate(t *testing.T) {
+	b := NewCongestionBoardClocked(frozenClock())
+	if _, ok := b.Rate("k"); ok {
+		t.Error("empty board reported a rate")
+	}
+	if b.Publish("k", 1000) {
+		t.Error("first sample registered as a capacity drop")
+	}
+	if r, ok := b.Rate("k"); !ok || r != 1000 {
+		t.Errorf("rate after first sample = %v, %v; want 1000, true", r, ok)
+	}
+	// EWMA fold: 0.3*800 + 0.7*1000 = 940.
+	b.Publish("k", 800)
+	if r, _ := b.Rate("k"); r < 939 || r > 941 {
+		t.Errorf("EWMA rate = %v, want ~940", r)
+	}
+	// Non-positive samples are ignored.
+	if b.Publish("k", 0) || b.Publish("k", -5) {
+		t.Error("degenerate sample registered as a drop")
+	}
+	st := b.Stats()
+	if st.Publishes != 2 || st.Keys != 1 {
+		t.Errorf("stats = %+v, want 2 publishes over 1 key", st)
+	}
+}
+
+func TestBoardDropEpoch(t *testing.T) {
+	b := NewCongestionBoardClocked(frozenClock())
+	for i := 0; i < 3; i++ {
+		b.Publish("link", 1000)
+	}
+	if e := b.DropEpoch("link"); e != 0 {
+		t.Fatalf("epoch = %d before any drop", e)
+	}
+	// A sample under half the running estimate is a capacity drop: epoch
+	// bumps and the estimate snaps to the observed post-drop rate instead
+	// of draining the EWMA's memory.
+	if !b.Publish("link", 400) {
+		t.Fatal("collapse to 40% not registered as a drop")
+	}
+	if e := b.DropEpoch("link"); e != 1 {
+		t.Errorf("epoch = %d after the drop, want 1", e)
+	}
+	if r, _ := b.Rate("link"); r != 400 {
+		t.Errorf("post-drop rate = %v, want snapped 400", r)
+	}
+	// Settling near the new capacity is not another drop.
+	if b.Publish("link", 380) {
+		t.Error("steady post-drop sample registered as a second drop")
+	}
+	if st := b.Stats(); st.Drops != 1 {
+		t.Errorf("stats drops = %d, want 1", st.Drops)
+	}
+	// Epoch reads on unknown keys are zero, not allocations.
+	if e := b.DropEpoch("never-published"); e != 0 {
+		t.Errorf("unknown key epoch = %d", e)
+	}
+	if st := b.Stats(); st.Keys != 1 {
+		t.Errorf("DropEpoch created a key: %+v", st)
+	}
+}
+
+func TestBoardSeedCountsReads(t *testing.T) {
+	b := NewCongestionBoardClocked(frozenClock())
+	if _, ok := b.Seed("k"); ok {
+		t.Error("seed served from an empty board")
+	}
+	b.Publish("k", 5e5)
+	if r, ok := b.Seed("k"); !ok || r != 5e5 {
+		t.Errorf("seed = %v, %v; want 5e5, true", r, ok)
+	}
+	if st := b.Stats(); st.Seeds != 1 {
+		t.Errorf("seeds counter = %d, want 1 (misses don't count)", st.Seeds)
+	}
+}
+
+func TestBoardConcurrentPublish(t *testing.T) {
+	b := NewCongestionBoard()
+	const workers, perWorker, keys = 16, 200, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("link-%d", (w+i)%keys)
+				b.Publish(key, 1e5+float64(i))
+				b.Rate(key)
+				b.DropEpoch(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Publishes != workers*perWorker {
+		t.Errorf("publishes = %d, want %d", st.Publishes, workers*perWorker)
+	}
+	if st.Keys != keys {
+		t.Errorf("keys = %d, want %d", st.Keys, keys)
+	}
+	for k := 0; k < keys; k++ {
+		if _, ok := b.Rate(fmt.Sprintf("link-%d", k)); !ok {
+			t.Errorf("key link-%d lost its estimate", k)
+		}
+	}
+}
+
+func TestJoinBoardSeedsPredictor(t *testing.T) {
+	_, _, f := streamRig(t, 0, 0)
+	b := NewCongestionBoard()
+	b.Publish("cell", 5e5)
+	if got := f.PredictedRate(); got != 0 {
+		t.Fatalf("fresh fetcher predicts %v before joining", got)
+	}
+	f.JoinBoard(b, "cell")
+	if got := f.PredictedRate(); got != 5e5 {
+		t.Errorf("seeded prediction = %v, want the board's 5e5", got)
+	}
+	if st := b.Stats(); st.Seeds != 1 {
+		t.Errorf("board seeds = %d, want 1", st.Seeds)
+	}
+}
+
+func TestJoinBoardKeepsWarmPredictor(t *testing.T) {
+	_, _, f := streamRig(t, 0, 0)
+	f.observeSegRate(32*1024, 32*time.Millisecond) // warm: 1 MB/s
+	warm := f.PredictedRate()
+	if warm <= 0 {
+		t.Fatal("predictor did not warm")
+	}
+	b := NewCongestionBoard()
+	b.Publish("cell", 100)
+	f.JoinBoard(b, "cell")
+	if got := f.PredictedRate(); got != warm {
+		t.Errorf("board seed overwrote a warm predictor: %v -> %v", warm, got)
+	}
+}
+
+func TestBoardPreArmAndAck(t *testing.T) {
+	_, _, f := streamRig(t, 0, 0)
+	b := NewCongestionBoardClocked(frozenClock())
+	for i := 0; i < 3; i++ {
+		b.Publish("house", 1e6)
+	}
+	f.JoinBoard(b, "house")
+	if f.boardPreArmed() {
+		t.Fatal("pre-armed with no drop since join")
+	}
+	// A neighbor session hits the wall: its published collapse bumps the
+	// epoch and pre-arms this fetcher.
+	b.Publish("house", 2e5)
+	if !f.boardPreArmed() {
+		t.Fatal("neighbor drop did not pre-arm")
+	}
+	// The pre-armed doom estimate is clamped by the board's post-drop
+	// figure even while the local predictor is stale-high.
+	f.hedge.observe(32*1024, time.Millisecond) // stale-fast local view
+	if got := f.bestRateEstimate(true); got != 2e5 {
+		t.Errorf("pre-armed estimate = %v, want board clamp 2e5", got)
+	}
+	// An on-time chunk acks the signal: the local predictor has caught
+	// up, so the stale pre-arm must not keep tightening future chunks.
+	f.ackBoardEpoch()
+	if f.boardPreArmed() {
+		t.Error("ack did not consume the pre-arm")
+	}
+}
+
+func TestPublishRateThrottles(t *testing.T) {
+	_, _, f := streamRig(t, 0, 0)
+	b := NewCongestionBoard()
+	f.JoinBoard(b, "k")
+	// A burst of per-segment observations inside one publish interval
+	// must cost at most one board write (plus the join-time none).
+	for i := 0; i < 100; i++ {
+		f.observeSegRate(8*1024, 10*time.Millisecond)
+	}
+	if st := b.Stats(); st.Publishes > 2 {
+		t.Errorf("publishes = %d, want the hot path throttled to <=2", st.Publishes)
+	}
+	if _, ok := b.Rate("k"); !ok {
+		t.Error("throttle swallowed every publish")
+	}
+}

@@ -52,10 +52,18 @@ type Fetcher struct {
 	// value selects the defaults documented on HedgePolicy. Hedging
 	// engages only on paths built with multiple origins.
 	Hedge HedgePolicy
+	// Abort bounds doomed-chunk aborts (abort.go); the zero value leaves
+	// the mechanism off. Aborts engage only above the lowest rendition —
+	// with nothing to downgrade to, a doomed level-0 chunk rides out.
+	Abort AbortPolicy
 
 	primary   *pathConn
 	secondary *pathConn
 	hedge     hedgeState
+	abort     abortState
+	// board is the optional congestion-board attachment (board.go); set
+	// by JoinBoard before fetching, nil when flying solo.
+	board *boardLink
 
 	// clk supplies wall time for deadlines, durations, and telemetry
 	// timestamps (nil = time.Now); set with SetClock before fetching.
@@ -170,6 +178,11 @@ type FetchResult struct {
 	// Degraded is true when part of the chunk was fetched with a path
 	// down (single-path mode).
 	Degraded bool
+	// AbortedDoomed is true when the fetch was abandoned mid-flight
+	// because even best-case all-path delivery could not meet the
+	// deadline (the ErrChunkDoomed outcome). The partial byte counters
+	// report what the abort discarded.
+	AbortedDoomed bool
 
 	// Failovers counts origin switches across all paths during this
 	// fetch (a tripped breaker re-routing the path's connection).
@@ -201,6 +214,7 @@ type fetchState struct {
 	done          int
 	total         int
 	failed        bool // requeue budget blown: abort the chunk
+	doomed        bool // predicted deadline miss: abandon, downgrade
 	requeueBudget int
 	requeueCount  int64
 }
@@ -233,7 +247,7 @@ func (st *fetchState) takeRequeuedLocked(pc *pathConn, selfOK bool) (int, bool) 
 func (st *fetchState) claimFrontFor(pc *pathConn) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.failed {
+	if st.failed || st.doomed {
 		return -1
 	}
 	if seg, ok := st.takeRequeuedLocked(pc, false); ok {
@@ -255,7 +269,7 @@ func (st *fetchState) claimFrontFor(pc *pathConn) int {
 func (st *fetchState) claimBackFor(pc *pathConn) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.failed {
+	if st.failed || st.doomed {
 		return -1
 	}
 	if st.front <= st.back {
@@ -311,6 +325,37 @@ func (st *fetchState) aborted() bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.failed
+}
+
+// markDoomed flags the chunk as a predicted deadline miss: no further
+// segments will be claimed and the workers wind down.
+func (st *fetchState) markDoomed() {
+	st.mu.Lock()
+	st.doomed = true
+	st.mu.Unlock()
+}
+
+// isDoomed reports whether the chunk was abandoned as doomed.
+func (st *fetchState) isDoomed() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.doomed
+}
+
+// release returns a claimed segment without completing or requeueing it
+// — the abort path: the ledger forgets the claim, spending no requeue
+// budget and charging no fault.
+func (st *fetchState) release() {
+	st.mu.Lock()
+	st.inflight--
+	st.mu.Unlock()
+}
+
+// doneSegments reports how many segments have completed and verified.
+func (st *fetchState) doneSegments() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.done
 }
 
 // remainingSegments reports how many segments are still unclaimed
@@ -415,6 +460,18 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 		case err == nil:
 			st.complete()
 			return true
+		case errors.Is(err, errHedgeCancelled):
+			// A doomed-chunk abort cut this transfer mid-read. Not a
+			// fault: forget the claim — no requeue budget spent, no
+			// breaker fuel — and wind the worker down.
+			if st.isDoomed() {
+				st.release()
+				return false
+			}
+			// Stale cancellation without a doom verdict (the chunk
+			// completed inside the cancel race): hand the segment back.
+			st.requeue(seg, pc)
+			return true
 		case errors.Is(err, errSegmentFailed):
 			st.requeue(seg, pc)
 			return true
@@ -428,13 +485,22 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 		}
 	}
 
+	// Doom monitor: abort the chunk once even best-case all-path
+	// delivery projects a deadline miss. Only above the lowest rendition
+	// — with nothing to downgrade to, a doomed level-0 chunk rides out.
+	var doomStop chan struct{}
+	if f.Abort.Enabled && level > 0 {
+		doomStop = make(chan struct{})
+		go f.monitorDoom(st, f.Abort.withDefaults(), size, segSize, start, dlAt, index, level, doomStop)
+	}
+
 	// Primary: drain from the front while the path lives.
 	if !f.primary.isDown() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				if st.finished() || st.aborted() {
+				if st.finished() || st.aborted() || st.isDoomed() {
 					return
 				}
 				seg := st.claimFrontFor(f.primary)
@@ -463,7 +529,7 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 			defer wg.Done()
 			engaged := false
 			for {
-				if st.finished() || st.aborted() {
+				if st.finished() || st.aborted() || st.isDoomed() {
 					return
 				}
 				remaining := float64(st.remainingSegments()) * float64(segSize)
@@ -490,7 +556,7 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 				}
 				seg := st.claimBackFor(f.secondary)
 				if seg < 0 {
-					if st.finished() || st.aborted() {
+					if st.finished() || st.aborted() || st.isDoomed() {
 						return
 					}
 					time.Sleep(ledgerIdleSleep)
@@ -504,6 +570,9 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 	}
 
 	wg.Wait()
+	if doomStop != nil {
+		close(doomStop)
+	}
 
 	pRet, pRed, pWaste := f.primary.counters()
 	sRet, sRed, sWaste := f.secondary.counters()
@@ -524,6 +593,18 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 	// On failure the partial result still carries the fault accounting,
 	// so callers can fold retries/redials into session totals.
 	if !st.finished() {
+		if st.isDoomed() {
+			// An abort is a scheduling decision, not a fault: no
+			// chunk.fail event, no breaker fuel. The partial bytes are
+			// charged as waste and the cut connections restored so the
+			// downgraded refetch starts on live sockets.
+			res.AbortedDoomed = true
+			wasted := res.PrimaryBytes + res.SecondaryBytes
+			f.abort.wastedBytes.Add(wasted)
+			fo.noteAbortWaste(wasted)
+			f.restoreAfterAbort(pol)
+			return res, doomError(index, level)
+		}
 		var ferr error
 		switch {
 		case st.aborted():
@@ -543,9 +624,21 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 		fo.emitChunkFail(index, level, ferr)
 		return res, ferr
 	}
+	if st.isDoomed() {
+		// The last segments landed inside the doom-verdict race window:
+		// the chunk completed after all, but the monitor already cut the
+		// connections — restore them and drop the stale cancel flags.
+		f.restoreAfterAbort(pol)
+	}
 	res.Duration = f.clk.now().Sub(start)
 	if res.Duration > d {
 		res.MissedBy = res.Duration - d
+	}
+	if res.MissedBy == 0 {
+		// On-time delivery means the local predictor has caught up with
+		// whatever capacity drop a neighbor announced: consume the
+		// board pre-arm so it stops tightening future chunks.
+		f.ackBoardEpoch()
 	}
 	fo.emitChunkDone(index, level, d, res)
 	return res, nil

@@ -78,6 +78,34 @@ func (h *hedgeState) observe(bytes int64, d time.Duration) {
 	h.mu.Unlock()
 }
 
+// seed warm-starts the predictor at a board-supplied rate (bytes/s)
+// with zero trend. A no-op once a real sample exists: local observation
+// always beats the population prior.
+func (h *hedgeState) seed(rate float64) {
+	if rate <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.hw == nil {
+		h.hw = predict.NewDefaultHoltWinters()
+	}
+	if h.hw.Samples() == 0 {
+		h.hw.Seed(rate)
+	}
+}
+
+// predictedRate returns the one-step-ahead service-rate forecast in
+// bytes/s, or 0 before any sample exists.
+func (h *hedgeState) predictedRate() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.hw == nil {
+		return 0
+	}
+	return h.hw.Predict()
+}
+
 // predictedServiceTime returns the forecast transfer time for a segment
 // of n bytes, or 0 before any sample exists.
 func (h *hedgeState) predictedServiceTime(n int64) time.Duration {
@@ -183,7 +211,7 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 	if backup == nil {
 		n, err := f.fetchSegSupervised(pc, pol, index, level, from, to)
 		if err == nil {
-			f.hedge.observe(n, f.clk.now().Sub(start))
+			f.observeSegRate(n, f.clk.now().Sub(start))
 		}
 		return n, err
 	}
@@ -202,7 +230,7 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 		// The primary finished before the hedge armed — the common case.
 		timer.Stop()
 		if first.err == nil {
-			f.hedge.observe(first.n, f.clk.now().Sub(start))
+			f.observeSegRate(first.n, f.clk.now().Sub(start))
 		}
 		return first.n, first.err
 	case <-timer.C:
@@ -226,7 +254,7 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 		f.hedge.noteCancelled(second.n)
 		f.emitHedge(obs.NewEvent("hedge.cancel").WithPath(pc.name).
 			WithNum("wasted_bytes", float64(second.n)))
-		f.hedge.observe(first.n, f.clk.now().Sub(start))
+		f.observeSegRate(first.n, f.clk.now().Sub(start))
 		return first.n, nil
 	}
 	if first.err == nil && first.hedge {
@@ -243,7 +271,7 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 		if !pc.isDown() {
 			pc.redial(pol) // best effort; a failure marks the path down
 		}
-		f.hedge.observe(first.n, f.clk.now().Sub(start))
+		f.observeSegRate(first.n, f.clk.now().Sub(start))
 		return first.n, nil
 	}
 	// First finisher failed; the other side may still deliver.
@@ -255,7 +283,7 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 				WithNum("wasted_bytes", float64(first.n)))
 		}
 		f.hedge.noteWasted(first.n)
-		f.hedge.observe(second.n, f.clk.now().Sub(start))
+		f.observeSegRate(second.n, f.clk.now().Sub(start))
 		return second.n, nil
 	}
 	// Both failed: charge the hedge side's partial bytes to the budget

@@ -77,6 +77,23 @@ type StreamResult struct {
 	// (single-path mode).
 	DegradedTime time.Duration
 
+	// Aborts counts chunks abandoned mid-flight as doomed: the fetcher
+	// predicted a deadline miss even with all paths engaged and cut the
+	// transfer rather than ride it out.
+	Aborts int
+	// Downgrades counts abort recoveries: the chunk re-requested at the
+	// highest lower rendition the predictor said still fits the window.
+	Downgrades int
+	// AbortWastedBytes counts the partial payload those aborts discarded.
+	AbortWastedBytes int64
+	// WastedPrimaryBytes / WastedSecondaryBytes split, per path, the
+	// payload that bought no on-time video: partial bytes of aborted and
+	// failed chunks plus the full payload of deadline-missed chunks. The
+	// swarm maps the preference-deprioritized path's share to wasted
+	// cellular bytes.
+	WastedPrimaryBytes   int64
+	WastedSecondaryBytes int64
+
 	// StartupDelay is the time from session start to the first chunk
 	// being fully fetched — the join delay a viewer experiences before
 	// playback can begin.
@@ -193,11 +210,45 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			res.Redials += fr.Redials
 			res.Requeued += fr.Requeued
 			res.WastedBytes += fr.WastedBytes + fr.PrimaryBytes + fr.SecondaryBytes
+			res.WastedPrimaryBytes += fr.PrimaryBytes
+			res.WastedSecondaryBytes += fr.SecondaryBytes
 			absorbOriginStats(res, fr)
 		}
 
 		dlStart := clk.now()
 		fr, err := s.Fetcher.FetchChunk(i, level, deadline)
+		// Doomed-chunk downgrade loop: an abort means even best-case
+		// all-path delivery could not land this rendition in time, so
+		// re-request at the highest rendition the predictor says still
+		// fits what is left of the window — the lowest when nothing fits
+		// (the stall, if any, falls out of the buffer math below). The
+		// loop terminates because the fetcher never dooms level 0 and
+		// fitLevel only ever moves down.
+		for err != nil && errors.Is(err, ErrChunkDoomed) {
+			res.Aborts++
+			res.AbortWastedBytes += fr.PrimaryBytes + fr.SecondaryBytes
+			res.WastedBytes += fr.PrimaryBytes + fr.SecondaryBytes
+			res.WastedPrimaryBytes += fr.PrimaryBytes
+			res.WastedSecondaryBytes += fr.SecondaryBytes
+			res.Retries += fr.Retries
+			res.Redials += fr.Redials
+			res.Requeued += fr.Requeued
+			absorbOriginStats(res, fr)
+			window := deadline - clk.now().Sub(dlStart)
+			if window < time.Millisecond {
+				window = time.Millisecond
+			}
+			aggRate := s.Fetcher.PredictedRate() * float64(s.Fetcher.livePaths())
+			next := fitLevel(video, s.Fetcher.Sizes, i, level-1, aggRate, window)
+			if next < 0 {
+				next = 0
+			}
+			res.Downgrades++
+			s.sobs.emitDowngrade(i, level, next, aggRate, window)
+			level = next
+			size = s.Fetcher.chunkSize(i, level)
+			fr, err = s.Fetcher.FetchChunk(i, level, window)
+		}
 		if err != nil && errors.Is(err, ErrChunkExhausted) && level != 0 {
 			// Lifeline: one refetch at the lowest level before declaring
 			// the chunk lost.
@@ -237,6 +288,11 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 		}
 		if playing && fr.MissedBy > 0 {
 			res.DeadlineMisses++
+			// A late chunk's payload bought no on-time video: charge it
+			// to the per-path waste split the swarm's cellular-byte
+			// accounting reads.
+			res.WastedPrimaryBytes += fr.PrimaryBytes
+			res.WastedSecondaryBytes += fr.SecondaryBytes
 		}
 		if dl > 0 {
 			throughputs = append(throughputs, float64(size*8)/dl.Seconds())

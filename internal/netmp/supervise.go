@@ -424,9 +424,15 @@ func (pc *pathConn) redial(pol RetryPolicy) error {
 			conn, err = net.DialTimeout("tcp", o.addr, pol.IOTimeout)
 			pc.emitRedial(o.addr, err == nil, attempt)
 			if err == nil {
+				// Swap the connection under the mutex: the doom monitor
+				// may call cancelForHedge concurrently, and it must see
+				// either the old conn (already closed) or the new one —
+				// never a torn pair. A cancel that raced the swap is
+				// dropped with the old conn; the worker winds down at the
+				// ledger's doomed check instead.
+				pc.mu.Lock()
 				pc.conn = conn
 				pc.r = bufio.NewReader(conn)
-				pc.mu.Lock()
 				pc.reconnects++
 				pc.consecFails = 0
 				pc.cancelled = false

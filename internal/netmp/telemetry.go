@@ -35,6 +35,8 @@ type fetcherObs struct {
 	chunksFailed *obs.Counter
 	engages      *obs.Counter
 	standdowns   *obs.Counter
+	aborts       *obs.Counter
+	abortWaste   *obs.Counter
 }
 
 // Instrument wires the fetcher to t: chunk histograms and counters on
@@ -93,6 +95,10 @@ func newFetcherObs(t *obs.Telemetry) *fetcherObs {
 		chunksFailed: chunks("failed"),
 		engages:      toggles("engage"),
 		standdowns:   toggles("standdown"),
+		aborts: r.Counter("netmp_aborts_total",
+			"Chunks abandoned mid-flight as doomed (predicted deadline miss).", nil),
+		abortWaste: r.Counter("netmp_abort_wasted_bytes_total",
+			"Partial payload bytes discarded by doomed-chunk aborts.", nil),
 	}
 }
 
@@ -204,6 +210,24 @@ func (fo *fetcherObs) emitChunkFail(index, level int, err error) {
 	}
 }
 
+// noteAbort counts one doomed-chunk abort (the journal event is emitted
+// by emitAbort, which carries the decision's numbers).
+func (fo *fetcherObs) noteAbort() {
+	if fo == nil {
+		return
+	}
+	fo.aborts.Inc()
+}
+
+// noteAbortWaste charges the partial bytes a doomed-chunk abort threw
+// away.
+func (fo *fetcherObs) noteAbortWaste(n int64) {
+	if fo == nil || n <= 0 {
+		return
+	}
+	fo.abortWaste.Add(n)
+}
+
 // emitToggle journals one secondary engage (on=true) or stand-down with
 // the numbers that drove the decision: the measured rate (converted to
 // bits/s to match the sim scheduler's estimate_bps), the bytes still
@@ -282,13 +306,14 @@ func (f *Fetcher) noteFirstByte() {
 
 // streamerObs bundles the playback loop's telemetry handles; nil = off.
 type streamerObs struct {
-	sink      obs.Sink
-	stalls    *obs.Counter
-	stallTime *obs.Histogram
-	refetches *obs.Counter
-	lost      *obs.Counter
-	extends   *obs.Counter
-	buffer    *obs.Gauge
+	sink       obs.Sink
+	stalls     *obs.Counter
+	stallTime  *obs.Histogram
+	refetches  *obs.Counter
+	lost       *obs.Counter
+	extends    *obs.Counter
+	downgrades *obs.Counter
+	buffer     *obs.Gauge
 }
 
 // Instrument wires the streamer (and its fetcher) to t. Call before
@@ -311,6 +336,8 @@ func (s *Streamer) Instrument(t *obs.Telemetry) {
 			"Chunks abandoned after the lifeline refetch failed too.", nil),
 		extends: r.Counter("mpdash_stream_deadline_extensions_total",
 			"Chunk deadlines extended by the Φ high-buffer rule (§5.1).", nil),
+		downgrades: r.Counter("netmp_downgrades_total",
+			"Rendition downgrades after a doomed-chunk abort.", nil),
 		buffer: r.Gauge("mpdash_stream_buffer_seconds",
 			"Playback buffer level at the last chunk boundary.", nil),
 	}
@@ -348,6 +375,22 @@ func (so *streamerObs) emitRefetch(chunk, level int) {
 	so.refetches.Inc()
 	if so.sink != nil {
 		so.sink.Emit(obs.NewEvent("stream.refetch").WithChunk(chunk, level))
+	}
+}
+
+// emitDowngrade journals one abort-driven rendition downgrade: chunk
+// re-requested at `to` after being doomed at `from`, with the rate and
+// window that drove the fitLevel choice.
+func (so *streamerObs) emitDowngrade(chunk, from, to int, rate float64, window time.Duration) {
+	if so == nil {
+		return
+	}
+	so.downgrades.Inc()
+	if so.sink != nil {
+		so.sink.Emit(obs.NewEvent("stream.downgrade").WithChunk(chunk, from).
+			WithNum("to_level", float64(to)).
+			WithNum("rate_bps", rate*8).
+			WithNum("window_s", window.Seconds()))
 	}
 }
 

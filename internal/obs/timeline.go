@@ -89,6 +89,14 @@ func describe(e Event) string {
 			fmtBytes(e.Num["primary_bytes"]), fmtBytes(e.Num["secondary_bytes"]))
 	case "chunk.fail":
 		return fmt.Sprintf("%s: FAILED: %s", loc, e.Str["error"])
+	case "chunk.abort":
+		pre := ""
+		if e.Str["prearmed"] == "true" {
+			pre = " [board pre-armed]"
+		}
+		return fmt.Sprintf("%s: ABORT doomed%s: est=%s×%.0f paths, %s left, best finish %.2fs > window %.2fs",
+			loc, pre, fmtRate(e.Num["rate_bps"]), e.Num["paths"],
+			fmtBytes(e.Num["remaining_bytes"]), e.Num["best_finish_s"], e.Num["window_s"])
 	case "path.engage":
 		reason := e.Str["reason"]
 		if reason == "" {
@@ -146,6 +154,17 @@ func describe(e Event) string {
 		return "retry budget blown: lifeline refetch at lowest level"
 	case "stream.lost":
 		return "chunk LOST (lifeline failed too)"
+	case "stream.downgrade":
+		return fmt.Sprintf("DOWNGRADE level %d→%.0f (est=%s, %.2fs left)",
+			e.Level, e.Num["to_level"], fmtRate(e.Num["rate_bps"]), e.Num["window_s"])
+	case "board.seed":
+		return fmt.Sprintf("board seed %s: est=%s", e.Str["key"], fmtRate(e.Num["rate_bps"]))
+	case "board.drop":
+		return fmt.Sprintf("board DROP %s: observed %s (epoch %.0f)",
+			e.Str["key"], fmtRate(e.Num["rate_bps"]), e.Num["epoch"])
+	case "swarm.capacity.drop":
+		return fmt.Sprintf("tier capacity drop at %.1fs: wifi ×%g lte ×%g (%.0f origins)",
+			e.Num["at_s"], e.Num["wifi_factor"], e.Num["lte_factor"], e.Num["origins"])
 	default:
 		return genericLine(e, loc)
 	}

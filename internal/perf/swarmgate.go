@@ -71,3 +71,67 @@ func GateSwarm(rep *swarm.Report, t SwarmThresholds) ([]DiffRow, bool) {
 	}
 	return rows, ok
 }
+
+// CompareSwarm gates a graceful-degradation run (abort + congestion
+// board enabled) against a baseline run of the same scenario with the
+// mechanism off: the treated population must strictly reduce BOTH the
+// deadline-miss rate AND the wasted cellular bytes, with zero ledger
+// violations and zero panics — proving the aborts bought on-time video
+// rather than just discarding traffic. A baseline metric already at
+// zero cannot strictly improve; holding it at zero passes.
+func CompareSwarm(base, fresh *swarm.Report) ([]DiffRow, bool) {
+	ok := true
+	bench := "swarm:" + fresh.Scenario
+	row := func(metric string, baseV, freshV float64, pass bool, note string) DiffRow {
+		v := VerdictOK
+		if !pass {
+			v = VerdictFail
+			ok = false
+		}
+		return DiffRow{Bench: bench, Metric: metric, Base: baseV, Fresh: freshV,
+			Limit: "< base", Verdict: v, Note: note}
+	}
+	mustFall := func(baseV, freshV float64) bool {
+		if baseV <= 0 {
+			return freshV <= 0
+		}
+		return freshV < baseV
+	}
+	rows := []DiffRow{
+		row("deadline_miss_rate", base.DeadlineMissRate, fresh.DeadlineMissRate,
+			mustFall(base.DeadlineMissRate, fresh.DeadlineMissRate),
+			"population deadline misses must fall"),
+		row("wasted_cellular_bytes", float64(base.WastedCellularBytes), float64(fresh.WastedCellularBytes),
+			mustFall(float64(base.WastedCellularBytes), float64(fresh.WastedCellularBytes)),
+			"cellular bytes buying no on-time video must fall"),
+		{Bench: bench, Metric: "ledger_violations", Base: float64(base.LedgerViolations),
+			Fresh: float64(fresh.LedgerViolations), Limit: "= 0",
+			Verdict: verdictIf(fresh.LedgerViolations == 0 && base.LedgerViolations == 0),
+			Note:    "byte-for-byte verification, both runs"},
+		{Bench: bench, Metric: "panicked", Base: float64(base.Panicked),
+			Fresh: float64(fresh.Panicked), Limit: "= 0",
+			Verdict: verdictIf(fresh.Panicked == 0 && base.Panicked == 0)},
+		{Bench: bench, Metric: "aborts", Base: float64(base.Aborts),
+			Fresh: float64(fresh.Aborts), Verdict: VerdictInfo},
+		{Bench: bench, Metric: "downgrades", Base: float64(base.Downgrades),
+			Fresh: float64(fresh.Downgrades), Verdict: VerdictInfo},
+	}
+	if fresh.LedgerViolations != 0 || base.LedgerViolations != 0 ||
+		fresh.Panicked != 0 || base.Panicked != 0 {
+		ok = false
+	}
+	if fresh.Chunks == 0 || base.Chunks == 0 {
+		rows = append(rows, DiffRow{Bench: bench, Metric: "chunks", Limit: "> 0",
+			Base: float64(base.Chunks), Fresh: float64(fresh.Chunks),
+			Verdict: VerdictFail, Note: "a run moved no traffic"})
+		ok = false
+	}
+	return rows, ok
+}
+
+func verdictIf(pass bool) string {
+	if pass {
+		return VerdictOK
+	}
+	return VerdictFail
+}

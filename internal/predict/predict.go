@@ -94,6 +94,13 @@ func (h *HoltWinters) Predict() float64 {
 // Reset implements Predictor.
 func (h *HoltWinters) Reset() { h.level, h.trend, h.samples = 0, 0, 0 }
 
+// Seed warm-starts the smoother at level x with zero trend, as if x had
+// already been observed enough times to be an established level (the
+// next Observe smooths against it rather than re-initializing the
+// trend). Callers use it to inherit an external estimate — e.g. a
+// congestion board's population rate — instead of starting blind.
+func (h *HoltWinters) Seed(x float64) { h.level, h.trend, h.samples = x, 0, 2 }
+
 // Samples returns how many samples have been observed.
 func (h *HoltWinters) Samples() int { return h.samples }
 

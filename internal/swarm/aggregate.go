@@ -86,6 +86,14 @@ type Report struct {
 	LostChunks     int   `json:"lost_chunks"`
 	BytesTotal     int64 `json:"bytes_total"`
 	CellularBytes  int64 `json:"cellular_bytes"`
+	// Graceful-degradation totals: doomed-chunk aborts, the rendition
+	// downgrades that recovered them, the partial payload the aborts
+	// discarded, and the LTE-path share of payload that bought no
+	// on-time video (aborted/failed partials + deadline-missed chunks).
+	Aborts              int   `json:"aborts"`
+	Downgrades          int   `json:"downgrades"`
+	AbortWastedBytes    int64 `json:"abort_wasted_bytes"`
+	WastedCellularBytes int64 `json:"wasted_cellular_bytes"`
 
 	// Resilience totals (PRs 1–3 machinery under population load).
 	FaultsSurvived  int64 `json:"faults_survived"`
@@ -166,6 +174,10 @@ func aggregate(scn *Scenario, outs []SessionOutcome, srv ServerReport, wall time
 		r.LostChunks += res.LostChunks
 		r.BytesTotal += o.TotalBytes
 		r.CellularBytes += o.CellularBytes
+		r.Aborts += res.Aborts
+		r.Downgrades += res.Downgrades
+		r.AbortWastedBytes += res.AbortWastedBytes
+		r.WastedCellularBytes += o.WastedCellularBytes
 		r.FaultsSurvived += res.FaultsSurvived
 		r.Retries += res.Retries
 		r.Redials += res.Redials
@@ -275,6 +287,10 @@ func (r *Report) Summary() string {
 		r.DeadlineMisses, r.Chunks, 100*r.DeadlineMissRate, r.AvgLevel)
 	fmt.Fprintf(&b, "  bytes        %.1f MB total, %.1f%% cellular\n",
 		float64(r.BytesTotal)/1e6, 100*r.CellularByteShare)
+	if r.Aborts > 0 || r.WastedCellularBytes > 0 {
+		fmt.Fprintf(&b, "  degradation  %d aborts, %d downgrades, %.2f MB abandoned, %.2f MB wasted cellular\n",
+			r.Aborts, r.Downgrades, float64(r.AbortWastedBytes)/1e6, float64(r.WastedCellularBytes)/1e6)
+	}
 	fmt.Fprintf(&b, "  resilience   %d faults survived (retries %d, requeued %d), redials %d, failovers %d\n",
 		r.FaultsSurvived, r.Retries, r.Requeued, r.Redials, r.Failovers)
 	if r.HedgesIssued > 0 {

@@ -154,6 +154,28 @@ type FaultSpec struct {
 	StallForMs  int     `json:"stall_for_ms,omitempty"`
 }
 
+// AbortSpec enables doomed-chunk abort (netmp.AbortPolicy) for every
+// session of the run. Zero fields inherit the netmp defaults.
+type AbortSpec struct {
+	// Factor scales the doom test (default 1; above 1 aborts later).
+	Factor float64 `json:"factor,omitempty"`
+	// MinProgress is the fraction of the deadline window that must
+	// elapse before the first doom evaluation (default 0.25).
+	MinProgress float64 `json:"min_progress,omitempty"`
+}
+
+// CapacityDropSpec schedules a mid-run capacity drop on the shared tier:
+// at offset At from run start, every shaped origin's rate is multiplied
+// by its link class's factor. Unshaped origins (rate 0) are unaffected.
+type CapacityDropSpec struct {
+	// At is the drop instant as an offset from run start.
+	At Duration `json:"at"`
+	// WiFiFactor / LTEFactor multiply the shaped per-origin rates
+	// (0 or 1 = that class unchanged; 0.5 = halved).
+	WiFiFactor float64 `json:"wifi_factor,omitempty"`
+	LTEFactor  float64 `json:"lte_factor,omitempty"`
+}
+
 // Servers declares the shared origin tier.
 type Servers struct {
 	// WiFiMbps / LTEMbps shape each origin of the default link class
@@ -193,6 +215,15 @@ type Scenario struct {
 	Catalog  []CatalogItem `json:"catalog,omitempty"`
 	Profiles []Profile     `json:"profiles,omitempty"`
 	Servers  Servers       `json:"servers,omitempty"`
+	// Abort enables doomed-chunk abort for every session (nil = off).
+	Abort *AbortSpec `json:"abort,omitempty"`
+	// Board shares one congestion board across the run's sessions,
+	// keyed per origin group: predictors seed from neighbors and a
+	// capacity drop seen by one session pre-arms the rest.
+	Board bool `json:"board,omitempty"`
+	// CapacityDrop schedules a mid-run tier-wide capacity drop
+	// (nil = none).
+	CapacityDrop *CapacityDropSpec `json:"capacity_drop,omitempty"`
 }
 
 // DefaultCatalog is a scaled-down four-item analogue of the paper's test
@@ -292,6 +323,19 @@ func (s Scenario) Validate() error {
 	}
 	if len(s.Profiles) > 0 && total <= 0 {
 		return fmt.Errorf("swarm: profile weights sum to %g", total)
+	}
+	if a := s.Abort; a != nil {
+		if a.Factor < 0 || a.MinProgress < 0 || a.MinProgress > 1 {
+			return fmt.Errorf("swarm: abort: factor %g, min_progress %g (want factor >= 0, min_progress in [0,1])", a.Factor, a.MinProgress)
+		}
+	}
+	if d := s.CapacityDrop; d != nil {
+		if d.At <= 0 {
+			return fmt.Errorf("swarm: capacity_drop: at must be > 0, got %v", d.At.D())
+		}
+		if d.WiFiFactor < 0 || d.WiFiFactor > 1 || d.LTEFactor < 0 || d.LTEFactor > 1 {
+			return fmt.Errorf("swarm: capacity_drop: factors must be in [0,1], got wifi %g lte %g", d.WiFiFactor, d.LTEFactor)
+		}
 	}
 	return nil
 }

@@ -41,7 +41,11 @@ type SessionOutcome struct {
 	// CellularBytes is the session's bytes over the LTE path, whichever
 	// role (primary or secondary) that path played.
 	CellularBytes int64 `json:"cellular_bytes"`
-	TotalBytes    int64 `json:"total_bytes"`
+	// WastedCellularBytes is the LTE-path share of payload that bought
+	// no on-time video: partial bytes of aborted/failed chunks plus the
+	// full payload of deadline-missed chunks.
+	WastedCellularBytes int64 `json:"wasted_cellular_bytes,omitempty"`
+	TotalBytes          int64 `json:"total_bytes"`
 	// RebufferRatio is stall time over (stall + played) time.
 	RebufferRatio float64 `json:"rebuffer_ratio"`
 	Err           string  `json:"err,omitempty"`
@@ -113,6 +117,29 @@ func (sw *Swarm) Run(ctx context.Context) (*Report, error) {
 	sw.logf("swarm %q: %d sessions, %s arrival over %v, %d origins, seed %d\n",
 		scn.Name, len(plan), scn.Arrival.Kind, scn.Arrival.Over.D(), len(tr.servers), scn.Seed)
 	sw.sobs.emitRunStart(scn, len(plan), len(tr.servers))
+
+	// Shared congestion board: sessions of the same origin group publish
+	// their service rates under one key, so neighbors seed their
+	// predictors from the population and a capacity drop seen by one
+	// session pre-arms the rest.
+	var board *netmp.CongestionBoard
+	if scn.Board {
+		board = netmp.NewCongestionBoard()
+		if sw.tel != nil {
+			board.Instrument(sw.tel)
+		}
+	}
+
+	// Scheduled capacity drop: rescale the shaped tier mid-run.
+	if d := scn.CapacityDrop; d != nil {
+		drop := time.AfterFunc(d.At.D(), func() {
+			n := tr.applyDrop(d.WiFiFactor, d.LTEFactor)
+			sw.logf("swarm: capacity drop at %v: %d origins rescaled (wifi ×%g, lte ×%g)\n",
+				d.At.D(), n, d.WiFiFactor, d.LTEFactor)
+			sw.sobs.emitCapacityDrop(d, n)
+		})
+		defer drop.Stop()
+	}
 
 	// Peak-connection sampler: the tier-wide admission gauge.
 	var peakConns atomic.Int64
@@ -190,7 +217,7 @@ launch:
 			queueWait := time.Since(arrived)
 			noteActive(1)
 			defer noteActive(-1)
-			out := sw.runSession(ctx, spec, videos[spec.Video], tr.groups[scn.groupFor(spec)])
+			out := sw.runSession(ctx, spec, videos[spec.Video], tr.groups[scn.groupFor(spec)], board, boardKey(scn.groupFor(spec)))
 			out.QueueWait = Duration(queueWait)
 			outcomes[i] = out
 			sw.sobs.observeSession(out)
@@ -214,7 +241,14 @@ launch:
 // runSession executes one client session against the shared tier. It
 // never panics out: a panic inside the session (or the libraries under
 // it) is absorbed into the outcome.
-func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.Video, grp originGroup) (out SessionOutcome) {
+// boardKey names one origin group's bottleneck on the congestion board:
+// sessions streaming the same video through the same link class share
+// the shaped servers, so they share a key.
+func boardKey(k groupKey) string {
+	return fmt.Sprintf("group:v%d:w%g:l%g", k.video, k.wifiMbps, k.lteM)
+}
+
+func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.Video, grp originGroup, board *netmp.CongestionBoard, key string) (out SessionOutcome) {
 	scn := &sw.Scenario
 	prof := scn.Profiles[spec.Profile]
 	out = SessionOutcome{
@@ -253,6 +287,12 @@ func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.V
 	}
 	if prof.SegmentKB > 0 {
 		f.SegmentSize = int64(prof.SegmentKB) * 1024
+	}
+	if a := scn.Abort; a != nil {
+		f.Abort = netmp.AbortPolicy{Enabled: true, Factor: a.Factor, MinProgress: a.MinProgress}
+	}
+	if board != nil {
+		f.JoinBoard(board, key)
 	}
 	adapter, err := newABR(prof.ABR, video)
 	if err != nil {
@@ -302,8 +342,10 @@ func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.V
 		out.TotalBytes = res.PrimaryBytes + res.SecondaryBytes
 		if lteIsSecondary {
 			out.CellularBytes = res.SecondaryBytes
+			out.WastedCellularBytes = res.WastedSecondaryBytes
 		} else {
 			out.CellularBytes = res.PrimaryBytes
+			out.WastedCellularBytes = res.WastedPrimaryBytes
 		}
 		played := time.Duration(res.Chunks) * video.ChunkDuration
 		if denom := res.StallTime + played; denom > 0 {

@@ -28,8 +28,11 @@ type swarmObs struct {
 	chunksOK  *obs.Counter
 	chunksMis *obs.Counter
 	chunksLost *obs.Counter
-	wifiBytes *obs.Counter
-	cellBytes *obs.Counter
+	wifiBytes  *obs.Counter
+	cellBytes  *obs.Counter
+	aborts     *obs.Counter
+	downgrades *obs.Counter
+	wastedCell *obs.Counter
 }
 
 func newSwarmObs(t *obs.Telemetry) *swarmObs {
@@ -69,6 +72,12 @@ func newSwarmObs(t *obs.Telemetry) *swarmObs {
 		cellBytes: r.Counter("swarm_bytes_total",
 			"Payload bytes delivered across the population, by network.",
 			obs.Labels{"net": "cellular"}),
+		aborts: r.Counter("swarm_aborts_total",
+			"Doomed-chunk aborts across the population.", nil),
+		downgrades: r.Counter("swarm_downgrades_total",
+			"Abort-driven rendition downgrades across the population.", nil),
+		wastedCell: r.Counter("swarm_wasted_cellular_bytes_total",
+			"Cellular payload that bought no on-time video, across the population.", nil),
 	}
 }
 
@@ -125,6 +134,9 @@ func (so *swarmObs) observeSession(out SessionOutcome) {
 		so.chunksLost.Add(int64(res.LostChunks))
 		so.cellBytes.Add(out.CellularBytes)
 		so.wifiBytes.Add(out.TotalBytes - out.CellularBytes)
+		so.aborts.Add(int64(res.Aborts))
+		so.downgrades.Add(int64(res.Downgrades))
+		so.wastedCell.Add(out.WastedCellularBytes)
 	}
 	if so.sink == nil {
 		return
@@ -141,6 +153,18 @@ func (so *swarmObs) observeSession(out SessionOutcome) {
 			WithNum("deadline_misses", float64(res.DeadlineMisses))
 	}
 	so.sink.Emit(e)
+}
+
+// emitCapacityDrop journals the scheduled tier-wide capacity drop.
+func (so *swarmObs) emitCapacityDrop(d *CapacityDropSpec, origins int) {
+	if so == nil || so.sink == nil {
+		return
+	}
+	so.sink.Emit(obs.NewEvent("swarm.capacity.drop").
+		WithNum("at_s", d.At.D().Seconds()).
+		WithNum("wifi_factor", d.WiFiFactor).
+		WithNum("lte_factor", d.LTEFactor).
+		WithNum("origins", float64(origins)))
 }
 
 func (so *swarmObs) emitRunDone(r *Report) {

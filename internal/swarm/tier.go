@@ -30,6 +30,11 @@ type originGroup struct {
 type tier struct {
 	groups  map[groupKey]originGroup
 	servers []*netmp.ChunkServer
+	// kinds / rates remember each server's link class ("wifi"/"lte")
+	// and current shaped rate (0 = unshaped) so a scheduled capacity
+	// drop can rescale the right origins mid-run.
+	kinds []string
+	rates []float64
 }
 
 // groupFor resolves the group key a spec maps to.
@@ -60,7 +65,7 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 		}
 	}
 	t := &tier{groups: make(map[groupKey]originGroup)}
-	start := func(v *dash.Video, mbps float64) (string, error) {
+	start := func(v *dash.Video, kind string, mbps float64) (string, error) {
 		var plan *netmp.FaultPlan
 		if faults != nil {
 			p := *faults // distinct draw streams per server
@@ -76,6 +81,8 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 			MaxRequestsPerConn: s.Servers.MaxRequestsPerConn,
 		})
 		t.servers = append(t.servers, srv)
+		t.kinds = append(t.kinds, kind)
+		t.rates = append(t.rates, mbps)
 		return srv.Addr(), nil
 	}
 	for _, spec := range plan {
@@ -85,7 +92,7 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 		}
 		var g originGroup
 		for o := 0; o < s.Servers.WiFiOrigins; o++ {
-			addr, err := start(videos[k.video], k.wifiMbps)
+			addr, err := start(videos[k.video], "wifi", k.wifiMbps)
 			if err != nil {
 				t.close()
 				return nil, fmt.Errorf("swarm: start wifi origin: %w", err)
@@ -93,7 +100,7 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 			g.wifi = append(g.wifi, addr)
 		}
 		for o := 0; o < s.Servers.LTEOrigins; o++ {
-			addr, err := start(videos[k.video], k.lteM)
+			addr, err := start(videos[k.video], "lte", k.lteM)
 			if err != nil {
 				t.close()
 				return nil, fmt.Errorf("swarm: start lte origin: %w", err)
@@ -103,6 +110,27 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 		t.groups[k] = g
 	}
 	return t, nil
+}
+
+// applyDrop rescales every shaped origin's rate by its link class's
+// factor (0 or 1 = unchanged) and reports how many origins changed.
+// Unshaped origins (rate 0) cannot drop multiplicatively and are left
+// alone.
+func (t *tier) applyDrop(wifiFactor, lteFactor float64) int {
+	changed := 0
+	for i, srv := range t.servers {
+		factor := wifiFactor
+		if t.kinds[i] == "lte" {
+			factor = lteFactor
+		}
+		if factor <= 0 || factor == 1 || t.rates[i] <= 0 {
+			continue
+		}
+		t.rates[i] *= factor
+		srv.SetRateMbps(t.rates[i])
+		changed++
+	}
+	return changed
 }
 
 // close stops every server.
