@@ -7,12 +7,16 @@
 // mpdash-netfetch -journal or obs.Journal.StreamTo) and renders the
 // per-chunk decision timeline: every subflow engage/stand-down with the
 // throughput estimate that drove it, adapter Φ/Ω actions, breaker and
-// hedge activity, and each chunk's outcome against its deadline.
+// hedge activity, and each chunk's outcome against its deadline. Chaos
+// timeline events (chaos.*) render as == CHAOS == markers, and audit
+// and session-panic events surface as loud one-liners, so a chaos run's
+// journal reads as a failure-and-recovery story.
 //
 // With -swarm it renders the population summary from a BENCH_swarm.json
 // report written by mpdash-swarm: outcome counts, startup-delay /
 // rebuffering / queue-wait quantiles, deadline and cellular shares, the
-// server-tier ledger, and the per-profile breakdown.
+// server-tier ledger, the executed chaos timeline with per-event MTTR,
+// the invariant-audit verdict, and the per-profile breakdown.
 //
 // Usage:
 //
@@ -63,6 +67,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.Summary())
+		if rep.Audit != nil {
+			fmt.Print(rep.Audit.Summary())
+		}
 		return
 	}
 

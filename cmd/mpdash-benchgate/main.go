@@ -18,6 +18,12 @@
 //	mpdash-benchgate -swarm BENCH_swarm.json -max-miss-rate 0.10
 //	    gate a swarm population report against absolute thresholds
 //	    (ledger violations, panics, deadline-miss rate).
+//	mpdash-benchgate -swarm BENCH_swarm.json -max-mttr-p95 5
+//	    additionally gate chaos recovery: the report must carry an
+//	    executed chaos timeline, every event must have recovered, and the
+//	    population's p95 MTTR must sit at or under the bound (seconds).
+//	    An audited report (mpdash-swarm -audit) is always additionally
+//	    required to be invariant-violation-free.
 //	mpdash-benchgate -swarm BENCH_on.json -swarm-baseline BENCH_off.json
 //	    additionally require the report to strictly beat a baseline run
 //	    of the same scenario with graceful degradation off on BOTH the
@@ -57,6 +63,7 @@ func run() int {
 		maxMissRate  = flag.Float64("max-miss-rate", 0, "swarm gate: max population deadline-miss rate (0 = 0.10)")
 		maxFailed    = flag.Int("max-failed", 0, "swarm gate: max failed sessions")
 		maxTimedOut  = flag.Int("max-timed-out", 0, "swarm gate: max timed-out sessions")
+		maxMTTRP95   = flag.Float64("max-mttr-p95", 0, "swarm gate: max p95 chaos recovery time in seconds; requires an executed chaos timeline with every event recovered (0 = recovery not gated)")
 		quiet        = flag.Bool("quiet", false, "print failures only")
 	)
 	flag.Parse()
@@ -69,6 +76,7 @@ func run() int {
 	if *swarmPath != "" {
 		return gateSwarm(*swarmPath, *swarmBase, perf.SwarmThresholds{
 			MaxMissRate: *maxMissRate, MaxFailed: *maxFailed, MaxTimedOut: *maxTimedOut,
+			MaxMTTRP95: *maxMTTRP95,
 		}, *quiet)
 	}
 	if *swarmBase != "" {

@@ -10,6 +10,15 @@
 // retry jitter — descends from -seed, so any population is exactly
 // reproducible.
 //
+// A scenario may declare a chaos timeline — scheduled capacity drops
+// and restores, fault surges, path blackouts, origin crashes and
+// restarts executed against the shared tier mid-run — either in its
+// "chaos" stanza or via -chaos FILE; the report then carries per-event
+// recovery times (MTTR). -audit additionally runs the runtime invariant
+// auditor (internal/audit) over the run and fails it loudly on ledger,
+// goroutine-leak, playback-monotonicity, abort-pairing or waste-bound
+// violations.
+//
 // The machine-readable population report is written to -out
 // (BENCH_swarm.json by default); render it later with
 // mpdash-analyze -swarm BENCH_swarm.json.
@@ -19,10 +28,13 @@
 //	mpdash-swarm -sessions 200 -arrival poisson -duration 10s
 //	mpdash-swarm -sessions 500 -arrival spike -duration 2s -seed 42
 //	mpdash-swarm -scenario flashcrowd.json -metrics-addr 127.0.0.1:9090
+//	mpdash-swarm -scenario scenarios/chaos-crash.json -audit -journal chaos.jsonl
+//	mpdash-swarm -scenario scenarios/chaos-crash.json -validate
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +42,7 @@ import (
 	"os/signal"
 	"time"
 
+	"mpdash/internal/audit"
 	"mpdash/internal/obs"
 	"mpdash/internal/swarm"
 )
@@ -59,6 +72,10 @@ func run() int {
 		dropAt           = flag.Duration("drop-at", 0, "schedule a tier capacity drop at this offset from run start (0 = none)")
 		dropWiFiFactor   = flag.Float64("drop-wifi-factor", 1, "capacity-drop multiplier for shaped WiFi origins (1 = unchanged)")
 		dropLTEFactor    = flag.Float64("drop-lte-factor", 1, "capacity-drop multiplier for shaped LTE origins (1 = unchanged)")
+
+		chaosPath = flag.String("chaos", "", "chaos timeline JSON file (an array of events; replaces the scenario's chaos stanza)")
+		auditOn   = flag.Bool("audit", false, "run the runtime invariant auditor (ledger, goroutine leaks, playback monotonicity, abort pairing, waste bound); violations fail the run")
+		validate  = flag.Bool("validate", false, "validate the scenario (after flag overlays) and exit without running")
 
 		out          = flag.String("out", "BENCH_swarm.json", "population report output path (empty = skip)")
 		keepSessions = flag.Bool("session-detail", false, "include per-session outcomes in the report")
@@ -124,6 +141,14 @@ func run() int {
 			LTEFactor:  *dropLTEFactor,
 		}
 	}
+	if *chaosPath != "" {
+		events, err := loadChaos(*chaosPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		scn.Chaos = events
+	}
 	if scn.Sessions <= 0 {
 		fmt.Fprintln(os.Stderr, "mpdash-swarm: need -sessions (or a -scenario file that sets them)")
 		flag.Usage()
@@ -135,12 +160,18 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	if *validate {
+		fmt.Printf("scenario %q: valid (%d sessions, %d chaos events)\n",
+			sw.Scenario.Name, sw.Scenario.Sessions, len(sw.Scenario.Chaos))
+		return 0
+	}
 	sw.KeepSessions = *keepSessions
 	if !*quiet {
 		sw.Logf = func(format string, a ...any) { fmt.Printf(format, a...) }
 	}
 
-	if *metricsAddr != "" || *journalPath != "" {
+	var auditor *audit.Auditor
+	if *metricsAddr != "" || *journalPath != "" || *auditOn {
 		tel := obs.New()
 		if *journalPath != "" {
 			var w io.Writer = os.Stderr
@@ -171,6 +202,14 @@ func run() int {
 				fmt.Printf("telemetry: http://%s/metrics\n", ms.Addr())
 			}
 		}
+		if *auditOn {
+			// The auditor watches the telemetry stream live (abort
+			// pairing, chaos markers) and hooks every session's playback
+			// position through sw.Audit.
+			auditor = audit.New(audit.Config{Sink: tel})
+			tel.OnEmit = auditor.Watch
+			sw.Audit = auditor
+		}
 		sw.Instrument(tel)
 	}
 
@@ -187,13 +226,26 @@ func run() int {
 	}()
 
 	t0 := time.Now()
+	if auditor != nil {
+		auditor.Start() // the pre-run goroutine watermark
+	}
 	rep, err := sw.Run(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	if auditor != nil {
+		// The tier is drained when Run returns; settle the goroutine
+		// check, audit the aggregated counters, and attach the verdict to
+		// the report so benchgate can gate on it.
+		auditor.CheckTotals(rep.LedgerViolations, rep.WastedBytes, rep.BytesTotal)
+		rep.Audit = auditor.Finish()
+	}
 	if !*quiet {
 		fmt.Printf("\n%s", rep.Summary())
+		if rep.Audit != nil {
+			fmt.Print(rep.Audit.Summary())
+		}
 		fmt.Printf("run finished in %v\n", time.Since(t0).Round(time.Millisecond))
 	}
 	if *out != "" {
@@ -210,5 +262,24 @@ func run() int {
 			rep.LedgerViolations, rep.Panicked)
 		return 1
 	}
+	if rep.Audit != nil && !rep.Audit.OK() {
+		fmt.Fprintf(os.Stderr, "mpdash-swarm: audit FAILED — %d invariant violations\n",
+			rep.Audit.Count())
+		return 1
+	}
 	return 0
+}
+
+// loadChaos reads a chaos timeline file: a JSON array of chaos events
+// (the same schema as a scenario's "chaos" stanza).
+func loadChaos(path string) ([]swarm.ChaosEvent, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mpdash-swarm: chaos: %w", err)
+	}
+	var events []swarm.ChaosEvent
+	if err := json.Unmarshal(b, &events); err != nil {
+		return nil, fmt.Errorf("mpdash-swarm: chaos %s: %w", path, err)
+	}
+	return events, nil
 }

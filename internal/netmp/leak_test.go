@@ -1,0 +1,85 @@
+package netmp
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"mpdash/internal/abr"
+)
+
+// settleGoroutines polls until the live goroutine count recedes to limit
+// or the deadline passes, returning the last count observed.
+func settleGoroutines(limit int, deadline time.Duration) int {
+	end := time.Now().Add(deadline)
+	n := runtime.NumGoroutine()
+	for n > limit && time.Now().Before(end) {
+		time.Sleep(20 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestStreamerStopLeavesNoGoroutines is the standalone leak check the
+// invariant auditor runs at swarm scale: a mid-session Stop followed by
+// Fetcher/server teardown must return the process to its pre-run
+// goroutine watermark — no acceptor, supervisor, shaper or hedge
+// goroutine may outlive the session.
+func TestStreamerStopLeavesNoGoroutines(t *testing.T) {
+	const slack = 8 // timer and netpoll wiggle, matching audit.Config
+	watermark := runtime.NumGoroutine()
+
+	v := miniVideo()
+	ps, err := NewChunkServer(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewChunkServer(v, 8)
+	if err != nil {
+		ps.Close()
+		t.Fatal(err)
+	}
+	f, err := NewFetcher(v, ps.Addr(), ss.Addr())
+	if err != nil {
+		ps.Close()
+		ss.Close()
+		t.Fatal(err)
+	}
+
+	st := &Streamer{Fetcher: f, ABR: abr.NewGPAC(), RateBased: true}
+	type outcome struct {
+		res *StreamResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := st.Stream(v.NumChunks)
+		done <- outcome{res, err}
+	}()
+
+	// Let a chunk or two land, then ask for a graceful stop.
+	time.Sleep(250 * time.Millisecond)
+	st.Stop()
+	var got outcome
+	select {
+	case got = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stream did not return after Stop")
+	}
+	if got.err != nil {
+		t.Fatalf("stopped stream errored: %v", got.err)
+	}
+	if !got.res.Stopped {
+		t.Error("result does not carry Stopped")
+	}
+
+	f.Close()
+	ps.Close()
+	ss.Close()
+
+	if n := settleGoroutines(watermark+slack, 5*time.Second); n > watermark+slack {
+		buf := make([]byte, 64<<10)
+		t.Fatalf("goroutines %d > watermark %d + slack %d after teardown\n%s",
+			n, watermark, slack, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -106,6 +106,28 @@ func (s *OriginSet) pick() (*origin, bool) {
 	return nil, false
 }
 
+// pickSkip returns the highest-ranked origin not in skip, regardless of
+// breaker state, updating the current origin (and counting a failover on
+// a switch). The initial dial uses it to try each distinct origin at
+// most once: a refused dial rarely trips a fresh breaker, so pick()
+// alone would hand back the same dead rank-0 address until the attempt
+// budget ran out.
+func (s *OriginSet) pickSkip(skip map[*origin]bool) (*origin, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, o := range s.origins {
+		if skip[o] {
+			continue
+		}
+		if i != s.cur {
+			s.failovers++
+			s.cur = i
+		}
+		return o, true
+	}
+	return nil, false
+}
+
 // current returns the origin the path last dialed.
 func (s *OriginSet) current() *origin {
 	s.mu.Lock()

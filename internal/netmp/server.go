@@ -32,18 +32,35 @@ import (
 // (EMFILE, ECONNABORTED) are retried with capped backoff rather than
 // killing the listener; and Drain stops accepting while letting
 // in-flight bodies finish.
+//
+// For chaos orchestration the server can also die and come back: Crash
+// stops the listener and resets every admitted connection (the way a
+// machine loss looks to clients), and Restart re-listens on the same
+// address, so client-side breakers exercise their full
+// open → half-open → failback cycle against one stable origin identity.
 type ChunkServer struct {
 	Video *dash.Video
 
-	ln      net.Listener
+	addr    string // stable listen address, identical across restarts
 	bucket  *TokenBucket
 	wg      sync.WaitGroup
-	ctx     context.Context
-	cancel  context.CancelFunc
 	start   time.Time
 	mu      sync.Mutex
 	served  int64
 	chunkSz func(index, level int) int64
+
+	// lifeMu guards the listener generation: the current listener and
+	// write-cancel function, whether the listener is closed, and the
+	// crashed flag. It is leaf-level: never acquire another server lock
+	// while holding it. The generation's context itself travels as a
+	// parameter into acceptLoop/serve/writeBody so an old generation can
+	// never observe a new generation's state.
+	lifeMu   sync.Mutex
+	ln       net.Listener
+	lnClosed bool
+	lnErr    error
+	crashed  bool
+	cancel   context.CancelFunc
 
 	connMu   sync.Mutex
 	conns    map[net.Conn]*connTrack
@@ -53,9 +70,6 @@ type ChunkServer struct {
 	sink     obs.Sink // telemetry journal (nil = off); guarded by connMu
 
 	clk Clock // injectable wall clock (nil = time.Now)
-
-	lnOnce sync.Once
-	lnErr  error
 
 	plan    *FaultPlan
 	faultMu sync.Mutex
@@ -125,9 +139,9 @@ func newChunkServerClocked(video *dash.Video, rateMbps float64, plan *FaultPlan,
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &ChunkServer{
 		Video:   video,
+		addr:    ln.Addr().String(),
 		ln:      ln,
 		bucket:  newTokenBucketClocked(rateMbps*1e6/8, 64*1024, clk),
-		ctx:     ctx,
 		cancel:  cancel,
 		clk:     clk,
 		start:   clk.now(),
@@ -143,12 +157,13 @@ func newChunkServerClocked(video *dash.Video, rateMbps float64, plan *FaultPlan,
 		s.faultRN = rand.New(rand.NewSource(seed))
 	}
 	s.wg.Add(1)
-	go s.acceptLoop()
+	go s.acceptLoop(ln, ctx)
 	return s, nil
 }
 
-// Addr returns the server's listen address.
-func (s *ChunkServer) Addr() string { return s.ln.Addr().String() }
+// Addr returns the server's listen address. It is stable across
+// Crash/Restart cycles — the origin identity clients dial.
+func (s *ChunkServer) Addr() string { return s.addr }
 
 // ServedBytes returns the total payload bytes written.
 func (s *ChunkServer) ServedBytes() int64 {
@@ -162,6 +177,30 @@ func (s *ChunkServer) FaultStats() FaultStats {
 	s.faultMu.Lock()
 	defer s.faultMu.Unlock()
 	return s.fstats
+}
+
+// SetFaultProbs replaces the per-request fault probabilities mid-run —
+// the chaos-timeline "fault surge" and "fault clear" lever. A server
+// started without a FaultPlan gains one (seeded with seed, or 1 when 0);
+// a server that already has a plan keeps its draw stream, script,
+// blackouts and level filter, only the probabilities change. Cumulative
+// FaultStats are preserved either way.
+func (s *ChunkServer) SetFaultProbs(seed int64, reset, stall, closeProb, corrupt float64) {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if s.plan == nil {
+		s.plan = &FaultPlan{Seed: seed}
+	}
+	if s.faultRN == nil {
+		if seed == 0 {
+			seed = 1
+		}
+		s.faultRN = rand.New(rand.NewSource(seed))
+	}
+	s.plan.ResetProb = reset
+	s.plan.StallProb = stall
+	s.plan.CloseProb = closeProb
+	s.plan.CorruptProb = corrupt
 }
 
 // SetRateMbps changes the path's shaped rate in place (non-positive =
@@ -203,6 +242,94 @@ func (s *ChunkServer) Draining() bool {
 	return s.draining
 }
 
+// closeListener closes the current generation's listener exactly once
+// and remembers the error. Safe to call repeatedly and across
+// generations.
+func (s *ChunkServer) closeListener() error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if !s.lnClosed {
+		s.lnErr = s.ln.Close()
+		s.lnClosed = true
+	}
+	return s.lnErr
+}
+
+// cancelWrites cancels the current generation's write context,
+// unblocking shaped writes and injected stalls.
+func (s *ChunkServer) cancelWrites() {
+	s.lifeMu.Lock()
+	cancel := s.cancel
+	s.lifeMu.Unlock()
+	cancel()
+}
+
+// Crashed reports whether the server is between a Crash and a Restart.
+func (s *ChunkServer) Crashed() bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	return s.crashed
+}
+
+// crashQuiesce is how long Crash waits for in-flight handlers to notice
+// their reset connections before returning anyway.
+const crashQuiesce = 2 * time.Second
+
+// Crash kills the origin the way a machine loss looks from outside: the
+// listener closes (new dials are refused), every admitted connection is
+// reset (RST), and in-flight shaped writes abort. Unlike Blackhole the
+// death is recoverable — Restart brings the same address back. Crash
+// waits (bounded) for the reset handlers to exit so a crash→restart
+// sequence observes a quiet server in between. Idempotent.
+func (s *ChunkServer) Crash() {
+	s.lifeMu.Lock()
+	if s.crashed {
+		s.lifeMu.Unlock()
+		return
+	}
+	s.crashed = true
+	if !s.lnClosed {
+		s.lnErr = s.ln.Close()
+		s.lnClosed = true
+	}
+	s.cancel()
+	s.lifeMu.Unlock()
+	s.connMu.Lock()
+	for c := range s.conns {
+		hardClose(c)
+	}
+	s.connMu.Unlock()
+	deadline := time.Now().Add(crashQuiesce)
+	for time.Now().Before(deadline) {
+		if s.CurrentConns() == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Restart brings a crashed server back on its original address with a
+// fresh listener and write context; counters (served bytes, fault and
+// overload stats) carry over. Returns an error when the server is not
+// crashed or the address cannot be re-bound.
+func (s *ChunkServer) Restart() error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if !s.crashed {
+		return fmt.Errorf("netmp: restart: server %s is not crashed", s.addr)
+	}
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return fmt.Errorf("netmp: restart %s: %w", s.addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.ln, s.lnClosed, s.crashed = ln, false, false
+	s.cancel = cancel
+	s.wg.Add(1)
+	go s.acceptLoop(ln, ctx)
+	return nil
+}
+
 // Drain gracefully retires the server: the listener closes (new dials
 // are refused), idle keep-alive connections are kicked, and connections
 // mid-request finish writing their current body before closing. Drain
@@ -224,20 +351,20 @@ func (s *ChunkServer) Drain() error {
 		sink.Emit(obs.NewEvent("server.drain").WithStr("addr", s.Addr()).
 			WithNum("active_conns", float64(active)))
 	}
-	s.lnOnce.Do(func() { s.lnErr = s.ln.Close() })
+	err := s.closeListener()
 	for _, c := range idle {
 		c.Close() // parked in readRequest; the handler exits on the error
 	}
 	s.wg.Wait()
-	return s.lnErr
+	return err
 }
 
 // Blackhole kills the path permanently mid-session: the listener closes
 // so client redials are refused, and every active connection is reset.
 // The server object remains valid (Close is still required).
 func (s *ChunkServer) Blackhole() {
-	s.lnOnce.Do(func() { s.lnErr = s.ln.Close() })
-	s.cancel() // unblock shaped writes
+	s.closeListener()
+	s.cancelWrites() // unblock shaped writes
 	s.connMu.Lock()
 	for c := range s.conns {
 		hardClose(c)
@@ -249,31 +376,35 @@ func (s *ChunkServer) Blackhole() {
 // connections are closed too — a handler parked in readRequest on an
 // idle keep-alive connection would otherwise park Close forever.
 func (s *ChunkServer) Close() error {
-	s.cancel()
-	s.lnOnce.Do(func() { s.lnErr = s.ln.Close() })
+	s.cancelWrites()
+	err := s.closeListener()
 	s.connMu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
-	return s.lnErr
+	return err
 }
 
 // acceptBackoffMax caps the accept-retry backoff on transient errors.
 const acceptBackoffMax = time.Second
 
-func (s *ChunkServer) acceptLoop() {
+// acceptLoop accepts connections for one listener generation. The
+// listener and write-cancel context are captured as parameters (not read
+// from the struct) so a Crash/Restart cycle cannot hand this generation
+// the next generation's listener.
+func (s *ChunkServer) acceptLoop(ln net.Listener, ctx context.Context) {
 	defer s.wg.Done()
 	backoff := 5 * time.Millisecond
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			// Only a closed listener (or server shutdown) ends the loop.
 			// Anything else — EMFILE, ECONNABORTED, a momentary kernel
 			// hiccup — is retried with capped backoff: a transient error
 			// must not permanently kill the listener.
-			if errors.Is(err, net.ErrClosed) || s.ctx.Err() != nil {
+			if errors.Is(err, net.ErrClosed) || ctx.Err() != nil {
 				return
 			}
 			s.connMu.Lock()
@@ -281,7 +412,7 @@ func (s *ChunkServer) acceptLoop() {
 			s.connMu.Unlock()
 			select {
 			case <-time.After(backoff):
-			case <-s.ctx.Done():
+			case <-ctx.Done():
 				return
 			}
 			if backoff *= 2; backoff > acceptBackoffMax {
@@ -291,10 +422,19 @@ func (s *ChunkServer) acceptLoop() {
 		}
 		backoff = 5 * time.Millisecond
 
-		// Admission control: under MaxConns pressure the excess accept is
-		// turned away with a 503 so admitted connections keep their
-		// bandwidth and file descriptors.
+		// Admission control: a Crash racing this accept must not leave an
+		// admitted connection the crash sweep missed, so the crashed check
+		// happens under connMu — if crashed is still false here, the sweep
+		// (which also takes connMu) has not run yet and will reset this
+		// connection. Under MaxConns pressure the excess accept is turned
+		// away with a 503 so admitted connections keep their bandwidth and
+		// file descriptors.
 		s.connMu.Lock()
+		if s.Crashed() {
+			s.connMu.Unlock()
+			hardClose(conn)
+			continue
+		}
 		if s.limits.MaxConns > 0 && len(s.conns) >= s.limits.MaxConns {
 			s.ostats.RejectedConns++
 			sink := s.sink
@@ -324,7 +464,7 @@ func (s *ChunkServer) acceptLoop() {
 				s.connMu.Unlock()
 				conn.Close()
 			}()
-			s.serve(conn)
+			s.serve(conn, ctx)
 		}()
 	}
 }
@@ -358,13 +498,14 @@ func ChunkBody(index, level int, off int64) byte {
 
 // nextFault decides the fault (if any) for a chunk request at level:
 // blackout windows first, then the scripted schedule, then seeded
-// probability draws evaluated in a fixed order.
+// probability draws evaluated in a fixed order. The plan is read under
+// faultMu because SetFaultProbs can install or mutate it mid-run.
 func (s *ChunkServer) nextFault(level int) FaultKind {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
 	if s.plan == nil || !s.plan.appliesTo(level) {
 		return FaultNone
 	}
-	s.faultMu.Lock()
-	defer s.faultMu.Unlock()
 	s.reqN++
 	now := s.clk.now().Sub(s.start)
 	for _, b := range s.plan.Blackouts {
@@ -397,6 +538,14 @@ func (s *ChunkServer) nextFault(level int) FaultKind {
 	return FaultNone
 }
 
+// stallDuration reads the plan's stall length under faultMu (the plan
+// can be swapped mid-run by SetFaultProbs).
+func (s *ChunkServer) stallDuration() time.Duration {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	return s.plan.stallFor()
+}
+
 func (s *ChunkServer) countFaultLocked(k FaultKind) {
 	switch k {
 	case FaultReset:
@@ -412,8 +561,9 @@ func (s *ChunkServer) countFaultLocked(k FaultKind) {
 
 // serve handles one keep-alive connection, honoring the per-connection
 // request cap and the drain flag (finish the in-flight response, then
-// close instead of waiting for the next request).
-func (s *ChunkServer) serve(conn net.Conn) {
+// close instead of waiting for the next request). ctx is the listener
+// generation's write context, cancelled by Crash/Close.
+func (s *ChunkServer) serve(conn net.Conn, ctx context.Context) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	served := 0
@@ -473,7 +623,7 @@ func (s *ChunkServer) serve(conn net.Conn) {
 		}
 		n := to - from + 1
 		fmt.Fprintf(w, "HTTP/1.1 206 Partial Content\r\nContent-Length: %d\r\nContent-Range: bytes %d-%d/%d\r\n\r\n", n, from, to, size)
-		if err := s.writeBody(w, index, level, from, n, fault); err != nil {
+		if err := s.writeBody(ctx, w, index, level, from, n, fault); err != nil {
 			w.Flush() // deliver whatever was produced before the fault
 			return
 		}
@@ -568,7 +718,7 @@ func (s *ChunkServer) writeManifest(w *bufio.Writer) error {
 // applying the chosen mid-body fault: a stall freezes at the halfway
 // point, a premature close stops after half the advertised length, and
 // corruption flips a short run of bytes in the first block.
-func (s *ChunkServer) writeBody(w io.Writer, index, level int, from, n int64, fault FaultKind) error {
+func (s *ChunkServer) writeBody(ctx context.Context, w io.Writer, index, level int, from, n int64, fault FaultKind) error {
 	const block = 16 * 1024
 	buf := make([]byte, block)
 	off := from
@@ -587,9 +737,9 @@ func (s *ChunkServer) writeBody(w io.Writer, index, level int, from, n int64, fa
 		if fault == FaultStall && !stalled && (written >= n/2 || n <= block) {
 			stalled = true
 			select {
-			case <-time.After(s.plan.stallFor()):
-			case <-s.ctx.Done():
-				return s.ctx.Err()
+			case <-time.After(s.stallDuration()):
+			case <-ctx.Done():
+				return ctx.Err()
 			}
 		}
 		if fault == FaultClose && written >= closeAt {
@@ -610,7 +760,7 @@ func (s *ChunkServer) writeBody(w io.Writer, index, level int, from, n int64, fa
 				buf[i] ^= 0xA5
 			}
 		}
-		if err := s.bucket.Take(s.ctx, int(m)); err != nil {
+		if err := s.bucket.Take(ctx, int(m)); err != nil {
 			return err
 		}
 		if _, err := w.Write(buf[:m]); err != nil {

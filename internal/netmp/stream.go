@@ -32,6 +32,13 @@ type Streamer struct {
 	// PhiFrac is the deadline-extension threshold as a fraction of
 	// BufferCap (default 0.8).
 	PhiFrac float64
+	// OnChunk, when set, is called synchronously after every chunk
+	// resolves: landed chunks report whether they missed their playback
+	// deadline, and lost chunks (lifeline exhausted) report missed=true.
+	// The swarm's recovery tracker feeds its rolling miss-rate window —
+	// and hence MTTR measurement — from this hook. Must be fast and
+	// goroutine-safe: many sessions may share one callback.
+	OnChunk func(index int, missed bool)
 
 	stop atomic.Bool
 	sobs *streamerObs // telemetry handles (nil = off); set by Instrument
@@ -269,6 +276,9 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 				res.StallTime += video.ChunkDuration
 				s.sobs.emitLost(i)
 				s.sobs.emitStall(i, video.ChunkDuration)
+				if s.OnChunk != nil {
+					s.OnChunk(i, true)
+				}
 				continue
 			}
 			finish()
@@ -286,13 +296,17 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 		if !fr.Verified {
 			res.AllVerified = false
 		}
-		if playing && fr.MissedBy > 0 {
+		missed := playing && fr.MissedBy > 0
+		if missed {
 			res.DeadlineMisses++
 			// A late chunk's payload bought no on-time video: charge it
 			// to the per-path waste split the swarm's cellular-byte
 			// accounting reads.
 			res.WastedPrimaryBytes += fr.PrimaryBytes
 			res.WastedSecondaryBytes += fr.SecondaryBytes
+		}
+		if s.OnChunk != nil {
+			s.OnChunk(i, missed)
 		}
 		if dl > 0 {
 			throughputs = append(throughputs, float64(size*8)/dl.Seconds())

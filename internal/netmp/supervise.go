@@ -223,11 +223,18 @@ func dialOrigins(name string, addrs []string, pol BreakerPolicy) (*pathConn, err
 	}
 	pc := &pathConn{name: name, set: set}
 	var lastErr error
+	tried := make(map[*origin]bool, len(addrs))
 	for range addrs {
 		o, ok := set.pick()
+		if !ok || tried[o] {
+			// The breakers offer nothing new — walk to the best untried
+			// origin so the initial dial covers each address once.
+			o, ok = set.pickSkip(tried)
+		}
 		if !ok {
 			break
 		}
+		tried[o] = true
 		conn, err := net.DialTimeout("tcp", o.addr, 5*time.Second)
 		if err == nil {
 			pc.conn = conn

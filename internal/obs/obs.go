@@ -91,6 +91,12 @@ type Telemetry struct {
 	Journal  *Journal
 	// Now stamps events whose T is zero; nil means time.Now.
 	Now func() time.Time
+	// OnEmit, when set, observes every event synchronously after it is
+	// journaled — the hook for runtime auditors that watch the stream as
+	// it happens rather than replaying the ring afterwards. It runs on
+	// the emitting goroutine, so it must be fast and goroutine-safe.
+	// Set it before the Telemetry is shared; mutating it mid-flight races.
+	OnEmit func(Event)
 }
 
 // DefaultJournalCap is the journal ring capacity used by New.
@@ -116,4 +122,7 @@ func (t *Telemetry) Emit(e Event) {
 		}
 	}
 	t.Journal.Append(e)
+	if t.OnEmit != nil {
+		t.OnEmit(e)
+	}
 }

@@ -165,9 +165,57 @@ func describe(e Event) string {
 	case "swarm.capacity.drop":
 		return fmt.Sprintf("tier capacity drop at %.1fs: wifi ×%g lte ×%g (%.0f origins)",
 			e.Num["at_s"], e.Num["wifi_factor"], e.Num["lte_factor"], e.Num["origins"])
+	case "chaos.capacity.drop":
+		return fmt.Sprintf("%s capacity DROP: wifi ×%g lte ×%g (%.0f origins)",
+			chaosMarker, e.Num["wifi_factor"], e.Num["lte_factor"], e.Num["origins"])
+	case "chaos.capacity.restore":
+		return fmt.Sprintf("%s capacity RESTORE (%.0f origins back to original rates)",
+			chaosMarker, e.Num["origins"])
+	case "chaos.fault.surge":
+		return fmt.Sprintf("%s fault SURGE (%.0f origins)", chaosMarker, e.Num["origins"])
+	case "chaos.fault.clear":
+		return fmt.Sprintf("%s fault CLEAR (%.0f origins)", chaosMarker, e.Num["origins"])
+	case "chaos.path.blackout":
+		return fmt.Sprintf("%s path BLACKOUT %s (%.0f origins down)",
+			chaosMarker, e.Str["path"], e.Num["origins"])
+	case "chaos.path.heal":
+		return fmt.Sprintf("%s path HEAL %s (%.0f origins back)",
+			chaosMarker, e.Str["path"], e.Num["origins"])
+	case "chaos.origin.crash":
+		return fmt.Sprintf("%s origin CRASH %s#%.0f (%.0f origins down)",
+			chaosMarker, e.Str["path"], e.Num["origin"], e.Num["origins"])
+	case "chaos.origin.restart":
+		return fmt.Sprintf("%s origin RESTART %s#%.0f (%.0f origins back)",
+			chaosMarker, e.Str["path"], e.Num["origin"], e.Num["origins"])
+	case "session.panic":
+		return fmt.Sprintf("session %.0f PANIC: %s", e.Num["session"], firstLine(e.Str["panic"]))
+	case "audit.start":
+		return fmt.Sprintf("audit start (goroutine watermark %.0f)", e.Num["goroutine_watermark"])
+	case "audit.violation":
+		return fmt.Sprintf("AUDIT VIOLATION [%s]: %s", e.Str["invariant"], firstLine(e.Str["detail"]))
+	case "audit.done":
+		verdict := "PASS"
+		if e.Num["violations"] > 0 {
+			verdict = "FAIL"
+		}
+		return fmt.Sprintf("audit %s: %.0f violations, %.0f events, goroutines %.0f (watermark %.0f)",
+			verdict, e.Num["violations"], e.Num["events"], e.Num["goroutines"], e.Num["goroutine_watermark"])
 	default:
 		return genericLine(e, loc)
 	}
+}
+
+// chaosMarker flags executed chaos-timeline events so they stand out as
+// timeline markers among the per-chunk noise.
+const chaosMarker = "== CHAOS =="
+
+// firstLine truncates multi-line payloads (panic values, stack hints)
+// to their first line for the one-line timeline.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " ..."
+	}
+	return s
 }
 
 // genericLine renders unknown event types as type + sorted key=value.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"mpdash/internal/audit"
 	"mpdash/internal/swarm"
 )
 
@@ -244,6 +245,63 @@ func TestGateSwarm(t *testing.T) {
 		TimedOut: 1, Chunks: 800, DeadlineMissRate: 0.2}
 	if _, ok := GateSwarm(lax, SwarmThresholds{MaxMissRate: 0.3, MaxFailed: 1, MaxTimedOut: 1}); !ok {
 		t.Fatal("relaxed thresholds still failed")
+	}
+}
+
+func TestGateSwarmMTTR(t *testing.T) {
+	base := func() *swarm.Report {
+		return &swarm.Report{Scenario: "chaos", Sessions: 64, Completed: 64,
+			Chunks: 800, DeadlineMissRate: 0.02,
+			Chaos: []swarm.ChaosEventReport{
+				{Kind: swarm.ChaosOriginCrash, Recovered: true, MTTRS: 1.2},
+				{Kind: swarm.ChaosOriginRestart, Recovered: true, MTTRS: 0.4},
+			},
+			MTTR: &swarm.Quantiles{P50: 0.8, P95: 1.2}}
+	}
+
+	if rows, ok := GateSwarm(base(), SwarmThresholds{MaxMTTRP95: 5}); !ok {
+		t.Fatalf("recovered chaos run failed the MTTR gate: %+v", rows)
+	}
+
+	// p95 over the bound fails.
+	slow := base()
+	slow.MTTR.P95 = 9
+	if _, ok := GateSwarm(slow, SwarmThresholds{MaxMTTRP95: 5}); ok {
+		t.Error("slow recovery passed the MTTR gate")
+	}
+	// An unrecovered event fails even with fast quantiles.
+	unrec := base()
+	unrec.Chaos[1].Recovered = false
+	if _, ok := GateSwarm(unrec, SwarmThresholds{MaxMTTRP95: 5}); ok {
+		t.Error("unrecovered event passed the MTTR gate")
+	}
+	// No chaos timeline at all fails: the gate demands the events ran.
+	empty := base()
+	empty.Chaos, empty.MTTR = nil, nil
+	if _, ok := GateSwarm(empty, SwarmThresholds{MaxMTTRP95: 5}); ok {
+		t.Error("chaos-free report passed the MTTR gate")
+	}
+	// Quantiles missing while events recovered: still a failure.
+	noq := base()
+	noq.MTTR = nil
+	if _, ok := GateSwarm(noq, SwarmThresholds{MaxMTTRP95: 5}); ok {
+		t.Error("report without MTTR quantiles passed the gate")
+	}
+	// Without the threshold the same reports are not recovery-gated.
+	if _, ok := GateSwarm(empty, SwarmThresholds{}); !ok {
+		t.Error("chaos-free report failed without an MTTR threshold")
+	}
+}
+
+func TestGateSwarmAudit(t *testing.T) {
+	rep := &swarm.Report{Scenario: "s", Sessions: 64, Completed: 64,
+		Chunks: 800, Audit: &audit.Result{Watermark: 10, Settled: 10}}
+	if rows, ok := GateSwarm(rep, SwarmThresholds{}); !ok {
+		t.Fatalf("clean audited report failed: %+v", rows)
+	}
+	rep.Audit.Violations = []audit.Violation{{Invariant: audit.InvLeak, Detail: "leak"}}
+	if _, ok := GateSwarm(rep, SwarmThresholds{}); ok {
+		t.Error("audited report with violations passed")
 	}
 }
 

@@ -23,6 +23,10 @@ type SwarmThresholds struct {
 	// MaxTimedOut is the highest acceptable timed-out-session count
 	// (default 0).
 	MaxTimedOut int
+	// MaxMTTRP95 gates chaos recovery: when > 0 the report must carry an
+	// executed chaos timeline whose every event recovered, with p95 MTTR
+	// (seconds) at or under this bound. 0 = recovery not gated.
+	MaxMTTRP95 float64
 }
 
 func (t SwarmThresholds) withDefaults() SwarmThresholds {
@@ -68,6 +72,36 @@ func GateSwarm(rep *swarm.Report, t SwarmThresholds) ([]DiffRow, bool) {
 		rows = append(rows, DiffRow{Bench: "swarm:" + rep.Scenario, Metric: "chunks",
 			Limit: "> 0", Verdict: VerdictFail, Note: "swarm moved no traffic"})
 		ok = false
+	}
+	// Chaos recovery gate: the timeline must have executed, every event
+	// must have recovered, and the p95 MTTR must sit under the bound.
+	if t.MaxMTTRP95 > 0 {
+		recovered := 0
+		for _, c := range rep.Chaos {
+			if c.Recovered {
+				recovered++
+			}
+		}
+		rows = append(rows,
+			row("chaos_events", float64(len(rep.Chaos)), 1, "≥",
+				len(rep.Chaos) >= 1, "an MTTR gate needs an executed chaos timeline"),
+			row("chaos_recovered", float64(recovered), float64(len(rep.Chaos)), "=",
+				len(rep.Chaos) >= 1 && recovered == len(rep.Chaos),
+				"every chaos event must recover"))
+		if rep.MTTR == nil {
+			rows = append(rows, DiffRow{Bench: "swarm:" + rep.Scenario, Metric: "mttr_p95_s",
+				Limit: fmt.Sprintf("≤ %g", t.MaxMTTRP95), Verdict: VerdictFail,
+				Note: "report carries no MTTR quantiles"})
+			ok = false
+		} else {
+			rows = append(rows, row("mttr_p95_s", rep.MTTR.P95, t.MaxMTTRP95, "≤",
+				rep.MTTR.P95 <= t.MaxMTTRP95, "time to rolling miss rate back under threshold"))
+		}
+	}
+	// Invariant audit gate: an audited report must be violation-free.
+	if rep.Audit != nil {
+		rows = append(rows, row("audit_violations", float64(rep.Audit.Count()), 0, "=",
+			rep.Audit.Count() == 0, "runtime invariant auditor"))
 	}
 	return rows, ok
 }

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"mpdash/internal/audit"
 )
 
 // Quantiles summarizes one population distribution. Values are exact
@@ -94,6 +96,9 @@ type Report struct {
 	Downgrades          int   `json:"downgrades"`
 	AbortWastedBytes    int64 `json:"abort_wasted_bytes"`
 	WastedCellularBytes int64 `json:"wasted_cellular_bytes"`
+	// WastedBytes is the all-path population total of payload that
+	// bought no on-time video — the auditor's unbounded-waste input.
+	WastedBytes int64 `json:"wasted_bytes"`
 
 	// Resilience totals (PRs 1–3 machinery under population load).
 	FaultsSurvived  int64 `json:"faults_survived"`
@@ -109,6 +114,18 @@ type Report struct {
 	LedgerViolations int `json:"ledger_violations"`
 
 	Server ServerReport `json:"server"`
+
+	// Chaos is the executed chaos timeline, one entry per event, with
+	// per-event recovery times (MTTRS = -1 when the population's rolling
+	// miss rate never returned under threshold before the run ended).
+	Chaos []ChaosEventReport `json:"chaos,omitempty"`
+	// MTTR summarizes recovery times (seconds) across the recovered
+	// chaos events; nil when the run had no chaos timeline.
+	MTTR *Quantiles `json:"mttr_s,omitempty"`
+
+	// Audit is the runtime invariant auditor's verdict, attached by the
+	// caller that ran the audit (nil = the run was not audited).
+	Audit *audit.Result `json:"audit,omitempty"`
 
 	// PerProfile breaks the headline QoE down by session profile.
 	PerProfile []ProfileReport `json:"per_profile,omitempty"`
@@ -178,6 +195,7 @@ func aggregate(scn *Scenario, outs []SessionOutcome, srv ServerReport, wall time
 		r.Downgrades += res.Downgrades
 		r.AbortWastedBytes += res.AbortWastedBytes
 		r.WastedCellularBytes += o.WastedCellularBytes
+		r.WastedBytes += res.WastedBytes
 		r.FaultsSurvived += res.FaultsSurvived
 		r.Retries += res.Retries
 		r.Redials += res.Redials
@@ -300,7 +318,44 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "  server tier  %d origins, served %.1f MB, rejected %d, capped %d, accept retries %d, faults injected %d\n",
 		r.Server.Origins, float64(r.Server.ServedBytes)/1e6, r.Server.RejectedConns,
 		r.Server.CappedConns, r.Server.AcceptRetries, r.Server.InjectedFaults)
+	if len(r.Chaos) > 0 {
+		recovered := 0
+		for _, c := range r.Chaos {
+			if c.Recovered {
+				recovered++
+			}
+		}
+		if r.MTTR != nil {
+			fmt.Fprintf(&b, "  chaos        %d events, %d/%d recovered, mttr p50 %.2fs p95 %.2fs\n",
+				len(r.Chaos), recovered, len(r.Chaos), r.MTTR.P50, r.MTTR.P95)
+		} else {
+			fmt.Fprintf(&b, "  chaos        %d events, %d/%d recovered\n", len(r.Chaos), recovered, len(r.Chaos))
+		}
+		for _, c := range r.Chaos {
+			target := ""
+			switch c.Kind {
+			case ChaosBlackout, ChaosHeal:
+				target = fmt.Sprintf(" %s", pathLabel(c.Path))
+			case ChaosOriginCrash, ChaosOriginRestart:
+				target = fmt.Sprintf(" %s#%d", pathLabel(c.Path), c.Origin)
+			}
+			rec := "not recovered"
+			if c.Recovered {
+				rec = fmt.Sprintf("recovered in %.2fs", c.MTTRS)
+			}
+			fmt.Fprintf(&b, "    %6.2fs %-16s%s (%d origins) — %s\n",
+				c.AppliedS, c.Kind, target, c.Origins, rec)
+		}
+	}
 	fmt.Fprintf(&b, "  ledger       %d violations\n", r.LedgerViolations)
+	if r.Audit != nil {
+		verdict := "PASS"
+		if !r.Audit.OK() {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "  audit        %s — %d invariant violations (%d events watched, goroutines %d vs watermark %d)\n",
+			verdict, r.Audit.Count(), r.Audit.Events, r.Audit.Settled, r.Audit.Watermark)
+	}
 	if len(r.PerProfile) > 0 {
 		fmt.Fprintf(&b, "  per profile:\n")
 		for _, p := range r.PerProfile {

@@ -34,8 +34,8 @@ func TestApplyDropRescalesByLinkClass(t *testing.T) {
 	defer tr.close()
 
 	wifiN, lteN := 0, 0
-	for _, k := range tr.kinds {
-		if k == "wifi" {
+	for _, m := range tr.meta {
+		if m.kind == "wifi" {
 			wifiN++
 		} else {
 			lteN++
@@ -47,8 +47,8 @@ func TestApplyDropRescalesByLinkClass(t *testing.T) {
 	}
 	for i := range tr.servers {
 		// WiFi 8*0.5 = 4; LTE untouched at 4.
-		if tr.rates[i] != 4.0 {
-			t.Errorf("origin %d (%s) rate %g, want 4", i, tr.kinds[i], tr.rates[i])
+		if tr.meta[i].rate != 4.0 {
+			t.Errorf("origin %d (%s) rate %g, want 4", i, tr.meta[i].kind, tr.meta[i].rate)
 		}
 	}
 	// Both classes: every shaped origin changes; factors compound.

@@ -1,0 +1,49 @@
+package swarm
+
+import (
+	"context"
+	"testing"
+
+	"mpdash/internal/audit"
+	"mpdash/internal/obs"
+)
+
+// TestSwarmDrainLeavesNoGoroutines wires the runtime invariant auditor
+// the way cmd/mpdash-swarm does — Watch on the telemetry stream, Start
+// before Run, CheckTotals + Finish after the tier has drained — and
+// requires a clean verdict: zero invariant violations and a goroutine
+// count settled back to the pre-run watermark.
+func TestSwarmDrainLeavesNoGoroutines(t *testing.T) {
+	tel := obs.New()
+	auditor := audit.New(audit.Config{Sink: tel})
+	tel.OnEmit = auditor.Watch
+
+	sw, err := New(tinyScenario(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Audit = auditor
+	sw.Instrument(tel)
+
+	auditor.Start()
+	rep, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Sessions {
+		t.Fatalf("completed %d of %d (failed=%d timedout=%d panicked=%d)",
+			rep.Completed, rep.Sessions, rep.Failed, rep.TimedOut, rep.Panicked)
+	}
+
+	auditor.CheckTotals(rep.LedgerViolations, rep.WastedBytes, rep.BytesTotal)
+	res := auditor.Finish()
+	if !res.OK() {
+		t.Fatalf("audit failed:\n%s", res.Summary())
+	}
+	if res.Settled > res.Watermark+8 {
+		t.Errorf("goroutines settled at %d, watermark %d", res.Settled, res.Watermark)
+	}
+	if res.Events == 0 {
+		t.Error("auditor watched no journal events")
+	}
+}

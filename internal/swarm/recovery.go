@@ -1,0 +1,168 @@
+package swarm
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// MTTR measurement: every chunk completion across the population is
+// stamped with its offset from run start and whether it missed its
+// playback deadline. After the run, each executed chaos event is dated
+// against this stream — recovery is the first completion at or after
+// the event where the trailing window's miss rate is back under the
+// threshold (with enough samples in the window to be trusted), and
+// MTTR is that instant minus the event instant.
+
+// chunkSample is one chunk completion in the population stream.
+type chunkSample struct {
+	at     time.Duration // offset from run start
+	missed bool
+}
+
+// missTracker collects the population's chunk completions. One tracker
+// is shared by every session of a run; note() sits on the per-chunk
+// path, so it does nothing but stamp and append under a mutex.
+type missTracker struct {
+	start time.Time
+
+	mu      sync.Mutex
+	samples []chunkSample
+}
+
+func newMissTracker(start time.Time) *missTracker {
+	return &missTracker{start: start}
+}
+
+// note records one chunk completion. Goroutine-safe; nil-safe so
+// sessions can call it unconditionally.
+func (m *missTracker) note(missed bool) {
+	if m == nil {
+		return
+	}
+	at := time.Since(m.start)
+	m.mu.Lock()
+	m.samples = append(m.samples, chunkSample{at: at, missed: missed})
+	m.mu.Unlock()
+}
+
+// snapshot returns the completions sorted by time. Concurrent appends
+// land roughly ordered but can interleave; the sort makes the window
+// math exact.
+func (m *missTracker) snapshot() []chunkSample {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	s := append([]chunkSample(nil), m.samples...)
+	m.mu.Unlock()
+	sort.Slice(s, func(i, j int) bool { return s[i].at < s[j].at })
+	return s
+}
+
+// appliedChaos records one executed timeline event: what was declared,
+// when it actually fired, and how many origins it touched.
+type appliedChaos struct {
+	ev      ChaosEvent
+	applied time.Duration
+	touched int
+}
+
+// ChaosEventReport is one executed chaos event in the population
+// report, with its recovery time.
+type ChaosEventReport struct {
+	Kind ChaosKind `json:"kind"`
+	// AtS is the scheduled offset; AppliedS is when it actually fired.
+	AtS      float64 `json:"at_s"`
+	AppliedS float64 `json:"applied_s"`
+	// Path / Origin echo the event's target (origin kinds only).
+	Path   string `json:"path,omitempty"`
+	Origin int    `json:"origin,omitempty"`
+	// Origins is how many origins the event touched.
+	Origins int `json:"origins"`
+	// Impacted reports whether the event visibly hurt: the rolling miss
+	// rate exceeded the threshold at some point at or after the event.
+	// An un-impacting event is trivially recovered with MTTR 0.
+	Impacted bool `json:"impacted"`
+	// MTTRS is the recovery time in seconds (-1 = the population's miss
+	// rate never returned under the threshold before the run ended).
+	MTTRS     float64 `json:"mttr_s"`
+	Recovered bool    `json:"recovered"`
+}
+
+// computeMTTR dates each executed event's recovery against the chunk
+// stream. samples must be sorted by time (snapshot's contract).
+func computeMTTR(samples []chunkSample, applied []appliedChaos, rec RecoverySpec) []ChaosEventReport {
+	window := rec.Window.D()
+	// missPrefix[i] = misses among samples[0:i].
+	missPrefix := make([]int, len(samples)+1)
+	for i, s := range samples {
+		missPrefix[i+1] = missPrefix[i]
+		if s.missed {
+			missPrefix[i+1]++
+		}
+	}
+	out := make([]ChaosEventReport, 0, len(applied))
+	for _, a := range applied {
+		r := ChaosEventReport{
+			Kind:     a.ev.Kind,
+			AtS:      a.ev.At.D().Seconds(),
+			AppliedS: a.applied.Seconds(),
+			Origins:  a.touched,
+			MTTRS:    -1,
+		}
+		if a.ev.Kind == ChaosOriginCrash || a.ev.Kind == ChaosOriginRestart ||
+			a.ev.Kind == ChaosBlackout || a.ev.Kind == ChaosHeal {
+			r.Path = a.ev.Path
+			r.Origin = a.ev.Origin
+		}
+		// rateAt evaluates the trailing window (at-window, at] ending at
+		// sample i; ok only once the window holds enough samples.
+		rateAt := func(i int) (float64, bool) {
+			lo := sort.Search(len(samples), func(j int) bool { return samples[j].at > samples[i].at-window })
+			count := i - lo + 1
+			if count < rec.MinChunks {
+				return 0, false
+			}
+			return float64(missPrefix[i+1]-missPrefix[lo]) / float64(count), true
+		}
+		// An event's damage appears with delay (in-flight chunks still
+		// land on time), so recovery is dated in two phases: first find
+		// impact — the rolling rate exceeding the threshold at or after
+		// the event — then the first return under it. An event that
+		// never pushes the rate over the threshold did not hurt and is
+		// trivially recovered with MTTR 0 — but only if at least one
+		// window was trustworthy; a stream too sparse to measure stays
+		// unrecovered rather than passing a gate it never faced.
+		from := sort.Search(len(samples), func(i int) bool { return samples[i].at >= a.applied })
+		impact, measured := -1, false
+		for i := from; i < len(samples); i++ {
+			rate, ok := rateAt(i)
+			if !ok {
+				continue
+			}
+			measured = true
+			if rate > rec.MissThreshold {
+				impact = i
+				break
+			}
+		}
+		if impact < 0 {
+			if measured {
+				r.MTTRS = 0
+				r.Recovered = true
+			}
+		} else {
+			r.Impacted = true
+			for i := impact + 1; i < len(samples); i++ {
+				if rate, ok := rateAt(i); ok && rate <= rec.MissThreshold {
+					r.MTTRS = (samples[i].at - a.applied).Seconds()
+					r.Recovered = true
+					break
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -222,8 +222,17 @@ type Scenario struct {
 	// capacity drop seen by one session pre-arms the rest.
 	Board bool `json:"board,omitempty"`
 	// CapacityDrop schedules a mid-run tier-wide capacity drop
-	// (nil = none).
+	// (nil = none). It is legacy shorthand for a one-event Chaos
+	// timeline and merges into it (see chaosTimeline).
 	CapacityDrop *CapacityDropSpec `json:"capacity_drop,omitempty"`
+	// Chaos is the ordered timeline of scheduled tier mutations —
+	// capacity drops/restores, fault surges/clears, path blackouts/
+	// heals, origin crashes/restarts — executed mid-run.
+	Chaos []ChaosEvent `json:"chaos,omitempty"`
+	// Recovery tunes the rolling-window detector that dates each chaos
+	// event's recovery (MTTR); nil = defaults (1s window, 0.10 miss
+	// threshold, 5 chunks minimum).
+	Recovery *RecoverySpec `json:"recovery,omitempty"`
 }
 
 // DefaultCatalog is a scaled-down four-item analogue of the paper's test
@@ -336,6 +345,9 @@ func (s Scenario) Validate() error {
 		if d.WiFiFactor < 0 || d.WiFiFactor > 1 || d.LTEFactor < 0 || d.LTEFactor > 1 {
 			return fmt.Errorf("swarm: capacity_drop: factors must be in [0,1], got wifi %g lte %g", d.WiFiFactor, d.LTEFactor)
 		}
+	}
+	if err := s.validateChaos(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -3,11 +3,13 @@ package swarm
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mpdash/internal/abr"
+	"mpdash/internal/audit"
 	"mpdash/internal/dash"
 	"mpdash/internal/netmp"
 	"mpdash/internal/obs"
@@ -60,6 +62,12 @@ type Swarm struct {
 	Logf func(format string, a ...any)
 	// KeepSessions retains per-session outcomes in the report.
 	KeepSessions bool
+	// Audit, when set, wires the runtime invariant auditor into every
+	// session (per-session playback-monotonicity hooks). The caller owns
+	// the auditor lifecycle: Start before Run, CheckTotals/Finish after
+	// Run returns (the tier is fully drained by then, so the goroutine
+	// check sees a quiet process).
+	Audit *audit.Auditor
 
 	tel  *obs.Telemetry
 	sobs *swarmObs
@@ -130,17 +138,6 @@ func (sw *Swarm) Run(ctx context.Context) (*Report, error) {
 		}
 	}
 
-	// Scheduled capacity drop: rescale the shaped tier mid-run.
-	if d := scn.CapacityDrop; d != nil {
-		drop := time.AfterFunc(d.At.D(), func() {
-			n := tr.applyDrop(d.WiFiFactor, d.LTEFactor)
-			sw.logf("swarm: capacity drop at %v: %d origins rescaled (wifi ×%g, lte ×%g)\n",
-				d.At.D(), n, d.WiFiFactor, d.LTEFactor)
-			sw.sobs.emitCapacityDrop(d, n)
-		})
-		defer drop.Stop()
-	}
-
 	// Peak-connection sampler: the tier-wide admission gauge.
 	var peakConns atomic.Int64
 	sampleCtx, stopSampler := context.WithCancel(context.Background())
@@ -181,6 +178,50 @@ func (sw *Swarm) Run(ctx context.Context) (*Report, error) {
 	}
 
 	start := time.Now()
+
+	// Chaos executor: one goroutine walks the merged timeline in order,
+	// firing each event against the shared tier at its offset from run
+	// start. Every executed event is logged (with how many origins it
+	// touched) so MTTR can be dated against the chunk stream afterwards.
+	timeline := scn.chaosTimeline()
+	var tracker *missTracker
+	var chaosLog []appliedChaos
+	var chaosMu sync.Mutex
+	chaosCtx, stopChaos := context.WithCancel(context.Background())
+	defer stopChaos()
+	var chaosWG sync.WaitGroup
+	if len(timeline) > 0 {
+		tracker = newMissTracker(start)
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			chaosTimer := time.NewTimer(0)
+			defer chaosTimer.Stop()
+			if !chaosTimer.Stop() {
+				<-chaosTimer.C
+			}
+			for _, ev := range timeline {
+				if wait := ev.At.D() - time.Since(start); wait > 0 {
+					chaosTimer.Reset(wait)
+					select {
+					case <-chaosCtx.Done():
+						return
+					case <-chaosTimer.C:
+					}
+				} else if chaosCtx.Err() != nil {
+					return
+				}
+				// Stamp the instant the mutation begins (a crash's quiesce
+				// wait is part of the outage, not before it).
+				appliedAt := time.Since(start)
+				touched := sw.applyChaos(tr, scn, ev, appliedAt)
+				chaosMu.Lock()
+				chaosLog = append(chaosLog, appliedChaos{ev: ev, applied: appliedAt, touched: touched})
+				chaosMu.Unlock()
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	timer := time.NewTimer(0)
 	defer timer.Stop()
@@ -217,13 +258,15 @@ launch:
 			queueWait := time.Since(arrived)
 			noteActive(1)
 			defer noteActive(-1)
-			out := sw.runSession(ctx, spec, videos[spec.Video], tr.groups[scn.groupFor(spec)], board, boardKey(scn.groupFor(spec)))
+			out := sw.runSession(ctx, spec, videos[spec.Video], tr.groups[scn.groupFor(spec)], board, boardKey(scn.groupFor(spec)), tracker)
 			out.QueueWait = Duration(queueWait)
 			outcomes[i] = out
 			sw.sobs.observeSession(out)
 		}(i, spec)
 	}
 	wg.Wait()
+	stopChaos()
+	chaosWG.Wait()
 	stopSampler()
 	samplerWG.Wait()
 
@@ -231,11 +274,59 @@ launch:
 	if sw.KeepSessions {
 		rep.SessionOutcomes = outcomes[:launched]
 	}
+	if len(chaosLog) > 0 {
+		rep.Chaos = computeMTTR(tracker.snapshot(), chaosLog, scn.Recovery.withDefaults())
+		var mttrs []float64
+		for _, c := range rep.Chaos {
+			if c.Recovered {
+				mttrs = append(mttrs, c.MTTRS)
+			}
+		}
+		if len(mttrs) > 0 {
+			q := quantilesOf(mttrs)
+			rep.MTTR = &q
+		}
+	}
 	sw.sobs.emitRunDone(rep)
 	if ctx.Err() != nil && launched < int64(len(plan)) {
 		sw.logf("swarm: cancelled after launching %d/%d sessions\n", launched, len(plan))
 	}
 	return rep, nil
+}
+
+// chaosFaultSeed salts the draw streams of fault plans installed by
+// chaos fault surges on origins that started without one.
+const chaosFaultSeed = 0x5eed0006
+
+// applyChaos executes one timeline event against the tier and returns
+// how many origins it touched.
+func (sw *Swarm) applyChaos(tr *tier, scn *Scenario, ev ChaosEvent, at time.Duration) int {
+	var n int
+	var err error
+	switch ev.Kind {
+	case ChaosCapacityDrop:
+		n = tr.applyDrop(ev.WiFiFactor, ev.LTEFactor)
+	case ChaosCapacityRestore:
+		n = tr.applyRestore()
+	case ChaosFaultSurge:
+		n = tr.applyFaultProbs(ev.Faults, scn.Seed^chaosFaultSeed)
+	case ChaosFaultClear:
+		n = tr.applyFaultProbs(scn.Servers.Faults, scn.Seed^chaosFaultSeed)
+	case ChaosBlackout:
+		n = tr.crash(ev.Path, -1)
+	case ChaosHeal:
+		n, err = tr.restart(ev.Path, -1)
+	case ChaosOriginCrash:
+		n = tr.crash(ev.Path, ev.Origin)
+	case ChaosOriginRestart:
+		n, err = tr.restart(ev.Path, ev.Origin)
+	}
+	if err != nil {
+		sw.logf("swarm: chaos %s at %v: %v\n", ev.Kind, at, err)
+	}
+	sw.logf("swarm: chaos %s at %v: %d origins touched\n", ev.Kind, at.Round(time.Millisecond), n)
+	sw.sobs.emitChaos(ev, at, n)
+	return n
 }
 
 // runSession executes one client session against the shared tier. It
@@ -248,7 +339,7 @@ func boardKey(k groupKey) string {
 	return fmt.Sprintf("group:v%d:w%g:l%g", k.video, k.wifiMbps, k.lteM)
 }
 
-func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.Video, grp originGroup, board *netmp.CongestionBoard, key string) (out SessionOutcome) {
+func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.Video, grp originGroup, board *netmp.CongestionBoard, key string, tracker *missTracker) (out SessionOutcome) {
 	scn := &sw.Scenario
 	prof := scn.Profiles[spec.Profile]
 	out = SessionOutcome{
@@ -261,6 +352,9 @@ func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.V
 		if r := recover(); r != nil {
 			out.Panicked = true
 			out.Err = fmt.Sprintf("panic: %v", r)
+			// The stack goes to the journal, not the outcome: a chaos
+			// run's crash must be debuggable without bloating the report.
+			sw.sobs.emitSessionPanic(spec.ID, fmt.Sprint(r), string(debug.Stack()))
 		}
 	}()
 	sw.sobs.emitSessionStart(spec, video.Name, prof.Name)
@@ -302,6 +396,18 @@ func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.V
 	st := &netmp.Streamer{Fetcher: f, ABR: adapter, RateBased: !prof.DurationDeadlines}
 	if prof.BufferChunks > 0 {
 		st.BufferCap = time.Duration(prof.BufferChunks) * video.ChunkDuration
+	}
+	if tracker != nil || sw.Audit != nil {
+		var playback func(int, bool)
+		if sw.Audit != nil {
+			playback = sw.Audit.Playback(spec.ID)
+		}
+		st.OnChunk = func(i int, missed bool) {
+			tracker.note(missed) // nil-safe
+			if playback != nil {
+				playback(i, missed)
+			}
+		}
 	}
 
 	// Supervision: a cancelled run stops the session gracefully; a

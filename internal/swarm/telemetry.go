@@ -1,6 +1,8 @@
 package swarm
 
 import (
+	"time"
+
 	"mpdash/internal/obs"
 )
 
@@ -19,8 +21,11 @@ var rebufferBuckets = []float64{0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}
 // method is nil-safe).
 type swarmObs struct {
 	sink obs.Sink
+	reg  *obs.Registry // for per-kind chaos counters, created on demand
 
 	active    *obs.Gauge
+	mttrP50   *obs.Gauge
+	mttrP95   *obs.Gauge
 	startup   *obs.Histogram
 	rebuffer  *obs.Histogram
 	queueWait *obs.Histogram
@@ -44,7 +49,12 @@ func newSwarmObs(t *obs.Telemetry) *swarmObs {
 	}
 	return &swarmObs{
 		sink:   t,
+		reg:    r,
 		active: r.Gauge("swarm_sessions_active", "Sessions currently streaming.", nil),
+		mttrP50: r.Gauge("swarm_mttr_p50_seconds",
+			"Median time from a chaos event to population recovery (rolling miss rate back under threshold).", nil),
+		mttrP95: r.Gauge("swarm_mttr_p95_seconds",
+			"95th-percentile time from a chaos event to population recovery.", nil),
 		startup: r.Histogram("swarm_startup_delay_seconds",
 			"Per-session startup (join) delay.", obs.DefSecondsBuckets, nil),
 		rebuffer: r.Histogram("swarm_rebuffer_ratio",
@@ -155,28 +165,95 @@ func (so *swarmObs) observeSession(out SessionOutcome) {
 	so.sink.Emit(e)
 }
 
-// emitCapacityDrop journals the scheduled tier-wide capacity drop.
-func (so *swarmObs) emitCapacityDrop(d *CapacityDropSpec, origins int) {
+// chaosEventName maps a timeline kind to its journal event type.
+func chaosEventName(k ChaosKind) string {
+	switch k {
+	case ChaosCapacityDrop:
+		return "chaos.capacity.drop"
+	case ChaosCapacityRestore:
+		return "chaos.capacity.restore"
+	case ChaosFaultSurge:
+		return "chaos.fault.surge"
+	case ChaosFaultClear:
+		return "chaos.fault.clear"
+	case ChaosBlackout:
+		return "chaos.path.blackout"
+	case ChaosHeal:
+		return "chaos.path.heal"
+	case ChaosOriginCrash:
+		return "chaos.origin.crash"
+	case ChaosOriginRestart:
+		return "chaos.origin.restart"
+	}
+	return "chaos.event"
+}
+
+// emitChaos journals one executed timeline event and counts it by kind.
+func (so *swarmObs) emitChaos(ev ChaosEvent, at time.Duration, origins int) {
+	if so == nil {
+		return
+	}
+	so.reg.Counter("swarm_chaos_events_total",
+		"Chaos timeline events executed, by kind.",
+		obs.Labels{"kind": string(ev.Kind)}).Inc()
+	if so.sink == nil {
+		return
+	}
+	e := obs.NewEvent(chaosEventName(ev.Kind)).
+		WithNum("at_s", ev.At.D().Seconds()).
+		WithNum("applied_s", at.Seconds()).
+		WithNum("origins", float64(origins))
+	switch ev.Kind {
+	case ChaosCapacityDrop:
+		e = e.WithNum("wifi_factor", ev.WiFiFactor).WithNum("lte_factor", ev.LTEFactor)
+	case ChaosBlackout, ChaosHeal:
+		e = e.WithStr("path", pathLabel(ev.Path))
+	case ChaosOriginCrash, ChaosOriginRestart:
+		e = e.WithStr("path", pathLabel(ev.Path)).WithNum("origin", float64(ev.Origin))
+	}
+	so.sink.Emit(e)
+}
+
+func pathLabel(p string) string {
+	if p == "" {
+		return "both"
+	}
+	return p
+}
+
+// emitSessionPanic journals one absorbed session panic with its stack,
+// so chaos-run crashes are debuggable from the journal alone.
+func (so *swarmObs) emitSessionPanic(id int, val, stack string) {
 	if so == nil || so.sink == nil {
 		return
 	}
-	so.sink.Emit(obs.NewEvent("swarm.capacity.drop").
-		WithNum("at_s", d.At.D().Seconds()).
-		WithNum("wifi_factor", d.WiFiFactor).
-		WithNum("lte_factor", d.LTEFactor).
-		WithNum("origins", float64(origins)))
+	so.sink.Emit(obs.NewEvent("session.panic").
+		WithNum("session", float64(id)).
+		WithStr("panic", val).
+		WithStr("stack", stack))
 }
 
 func (so *swarmObs) emitRunDone(r *Report) {
-	if so == nil || so.sink == nil {
+	if so == nil {
 		return
 	}
-	so.sink.Emit(obs.NewEvent("swarm.run.done").
+	if r.MTTR != nil {
+		so.mttrP50.Set(r.MTTR.P50)
+		so.mttrP95.Set(r.MTTR.P95)
+	}
+	if so.sink == nil {
+		return
+	}
+	e := obs.NewEvent("swarm.run.done").
 		WithNum("sessions", float64(r.Sessions)).
 		WithNum("completed", float64(r.Completed)).
 		WithNum("peak_concurrent", float64(r.PeakConcurrent)).
 		WithNum("startup_p95_s", r.StartupDelayS.P95).
 		WithNum("deadline_miss_rate", r.DeadlineMissRate).
 		WithNum("cellular_byte_share", r.CellularByteShare).
-		WithNum("ledger_violations", float64(r.LedgerViolations)))
+		WithNum("ledger_violations", float64(r.LedgerViolations))
+	if r.MTTR != nil {
+		e = e.WithNum("mttr_p95_s", r.MTTR.P95)
+	}
+	so.sink.Emit(e)
 }

@@ -3,6 +3,7 @@ package swarm
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"mpdash/internal/dash"
@@ -26,15 +27,21 @@ type originGroup struct {
 	wifi, lte []string
 }
 
+// serverMeta remembers what the chaos executor needs to target one
+// origin mid-run: its link class ("wifi"/"lte"), its rank within its
+// group's class, its current shaped rate, and its original rate (0 =
+// unshaped) so capacity restores can undo compounded drops.
+type serverMeta struct {
+	kind        string
+	rank        int
+	rate, rate0 float64
+}
+
 // tier owns every running server of a swarm.
 type tier struct {
 	groups  map[groupKey]originGroup
 	servers []*netmp.ChunkServer
-	// kinds / rates remember each server's link class ("wifi"/"lte")
-	// and current shaped rate (0 = unshaped) so a scheduled capacity
-	// drop can rescale the right origins mid-run.
-	kinds []string
-	rates []float64
+	meta    []serverMeta
 }
 
 // groupFor resolves the group key a spec maps to.
@@ -65,7 +72,7 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 		}
 	}
 	t := &tier{groups: make(map[groupKey]originGroup)}
-	start := func(v *dash.Video, kind string, mbps float64) (string, error) {
+	start := func(v *dash.Video, kind string, rank int, mbps float64) (string, error) {
 		var plan *netmp.FaultPlan
 		if faults != nil {
 			p := *faults // distinct draw streams per server
@@ -81,8 +88,7 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 			MaxRequestsPerConn: s.Servers.MaxRequestsPerConn,
 		})
 		t.servers = append(t.servers, srv)
-		t.kinds = append(t.kinds, kind)
-		t.rates = append(t.rates, mbps)
+		t.meta = append(t.meta, serverMeta{kind: kind, rank: rank, rate: mbps, rate0: mbps})
 		return srv.Addr(), nil
 	}
 	for _, spec := range plan {
@@ -92,7 +98,7 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 		}
 		var g originGroup
 		for o := 0; o < s.Servers.WiFiOrigins; o++ {
-			addr, err := start(videos[k.video], "wifi", k.wifiMbps)
+			addr, err := start(videos[k.video], "wifi", o, k.wifiMbps)
 			if err != nil {
 				t.close()
 				return nil, fmt.Errorf("swarm: start wifi origin: %w", err)
@@ -100,7 +106,7 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 			g.wifi = append(g.wifi, addr)
 		}
 		for o := 0; o < s.Servers.LTEOrigins; o++ {
-			addr, err := start(videos[k.video], "lte", k.lteM)
+			addr, err := start(videos[k.video], "lte", o, k.lteM)
 			if err != nil {
 				t.close()
 				return nil, fmt.Errorf("swarm: start lte origin: %w", err)
@@ -115,30 +121,130 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 // applyDrop rescales every shaped origin's rate by its link class's
 // factor (0 or 1 = unchanged) and reports how many origins changed.
 // Unshaped origins (rate 0) cannot drop multiplicatively and are left
-// alone.
+// alone. Repeated drops compound; applyRestore undoes them all.
 func (t *tier) applyDrop(wifiFactor, lteFactor float64) int {
 	changed := 0
 	for i, srv := range t.servers {
 		factor := wifiFactor
-		if t.kinds[i] == "lte" {
+		if t.meta[i].kind == "lte" {
 			factor = lteFactor
 		}
-		if factor <= 0 || factor == 1 || t.rates[i] <= 0 {
+		if factor <= 0 || factor == 1 || t.meta[i].rate <= 0 {
 			continue
 		}
-		t.rates[i] *= factor
-		srv.SetRateMbps(t.rates[i])
+		t.meta[i].rate *= factor
+		srv.SetRateMbps(t.meta[i].rate)
 		changed++
 	}
 	return changed
 }
 
-// close stops every server.
-func (t *tier) close() error {
-	var errs []error
-	for _, s := range t.servers {
-		errs = append(errs, s.Close())
+// applyRestore resets every shaped origin to its original rate and
+// reports how many actually changed.
+func (t *tier) applyRestore() int {
+	changed := 0
+	for i, srv := range t.servers {
+		if t.meta[i].rate0 <= 0 || t.meta[i].rate == t.meta[i].rate0 {
+			continue
+		}
+		t.meta[i].rate = t.meta[i].rate0
+		srv.SetRateMbps(t.meta[i].rate)
+		changed++
 	}
+	return changed
+}
+
+// applyFaultProbs installs one fault mix on every origin (nil = clear
+// to zero), preserving each server's cumulative FaultStats. seed keys
+// the draw streams of origins that started without a fault plan.
+func (t *tier) applyFaultProbs(f *FaultSpec, seed int64) int {
+	mix := FaultSpec{}
+	if f != nil {
+		mix = *f
+	}
+	for i, srv := range t.servers {
+		srv.SetFaultProbs(seed+int64(i), mix.ResetProb, mix.StallProb, mix.CloseProb, mix.CorruptProb)
+	}
+	return len(t.servers)
+}
+
+// matchTargets returns the server indexes an event's (path, rank)
+// selector resolves to. path "" matches both classes; rank -1 matches
+// every rank.
+func (t *tier) matchTargets(path string, rank int) []int {
+	var idx []int
+	for i := range t.servers {
+		if path != "" && t.meta[i].kind != path {
+			continue
+		}
+		if rank != -1 && t.meta[i].rank != rank {
+			continue
+		}
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// crash kills the selected origins (concurrently: each Crash waits for
+// its handlers to quiesce) and reports how many went down.
+func (t *tier) crash(path string, rank int) int {
+	idx := t.matchTargets(path, rank)
+	var wg sync.WaitGroup
+	for _, i := range idx {
+		wg.Add(1)
+		go func(s *netmp.ChunkServer) {
+			defer wg.Done()
+			s.Crash()
+		}(t.servers[i])
+	}
+	wg.Wait()
+	return len(idx)
+}
+
+// restart re-listens the selected crashed origins on their original
+// addresses, reporting how many came back (and any rebind errors).
+func (t *tier) restart(path string, rank int) (int, error) {
+	idx := t.matchTargets(path, rank)
+	n := 0
+	var errs []error
+	for _, i := range idx {
+		if err := t.servers[i].Restart(); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		n++
+	}
+	return n, errors.Join(errs...)
+}
+
+// tierDrainTimeout bounds the graceful per-server drain at teardown
+// before falling back to an abrupt Close.
+const tierDrainTimeout = 3 * time.Second
+
+// close retires every server: a bounded graceful Drain first (so
+// end-of-run connection teardown is clean FINs, not resets that would
+// read like injected faults in FaultStats), then Close — which doubles
+// as the fallback that unblocks a drain stuck on a lingering handler.
+func (t *tier) close() error {
+	errs := make([]error, len(t.servers))
+	var wg sync.WaitGroup
+	for i, s := range t.servers {
+		wg.Add(1)
+		go func(i int, s *netmp.ChunkServer) {
+			defer wg.Done()
+			drained := make(chan struct{})
+			go func() {
+				s.Drain()
+				close(drained)
+			}()
+			select {
+			case <-drained:
+			case <-time.After(tierDrainTimeout):
+			}
+			errs[i] = s.Close() // Close unblocks a stuck Drain's wait
+		}(i, s)
+	}
+	wg.Wait()
 	return errors.Join(errs...)
 }
 
