@@ -18,15 +18,27 @@
 // server-tier ledger, the executed chaos timeline with per-event MTTR,
 // the invariant-audit verdict, and the per-profile breakdown.
 //
+// With -trace it ingests a span-trace JSONL file (mpdash-swarm -trace or
+// mpdash-netfetch -trace) and prints the verdict census plus the
+// critical-path deadline-miss budget: each missed chunk's overrun walked
+// back to the span categories (fetch, redial, backoff, hedge, sched, …)
+// that dominated its timeline, aggregated population-wide with
+// per-category shares and p50/p95 per-miss contributions.
+//
+// In -journal mode the exit status doubles as a CI gate: a journal
+// carrying audit.* violations or session.panic events exits non-zero.
+//
 // Usage:
 //
 //	mpdash-analyze -chunks 40
 //	mpdash-analyze -svg-dir /tmp/fig8 -chunks 150
 //	mpdash-analyze -journal session.jsonl
 //	mpdash-analyze -swarm BENCH_swarm.json
+//	mpdash-analyze -trace swarm-traces.jsonl
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,11 +62,19 @@ func main() {
 		lte     = flag.Float64("lte", 3.0, "LTE bandwidth (Mbps)")
 		journal = flag.String("journal", "", "render the decision timeline from this JSONL event journal (- = stdin) instead of simulating")
 		swarmIn = flag.String("swarm", "", "render the population summary from this BENCH_swarm.json report instead of simulating")
+		traceIn = flag.String("trace", "", "render the deadline-miss budget from this span-trace JSONL file (- = stdin) instead of simulating")
 	)
 	flag.Parse()
 
 	if *journal != "" {
 		if err := renderJournal(*journal); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceIn != "" {
+		if err := renderTraces(*traceIn); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -152,7 +172,10 @@ func main() {
 }
 
 // renderJournal reads a JSONL event journal and prints the per-chunk
-// decision timeline.
+// decision timeline. It fails (non-zero exit) when the journal records
+// invariant violations or session panics, so CI pipelines can gate on it
+// without parsing output. A truncated final line — a crashed writer —
+// degrades to a warning: the parsed prefix still renders.
 func renderJournal(path string) error {
 	r := os.Stdin
 	if path != "-" {
@@ -164,6 +187,10 @@ func renderJournal(path string) error {
 		r = f
 	}
 	events, err := obs.ReadJournal(r)
+	if errors.Is(err, obs.ErrTruncatedTail) {
+		fmt.Fprintf(os.Stderr, "warning: %v (rendering the parsed prefix)\n", err)
+		err = nil
+	}
 	if len(events) > 0 {
 		obs.RenderTimeline(os.Stdout, events)
 	}
@@ -173,5 +200,63 @@ func renderJournal(path string) error {
 	if len(events) == 0 {
 		return fmt.Errorf("journal %s: no events", path)
 	}
+	violations, panics := 0, 0
+	for _, e := range events {
+		switch {
+		case e.Type == "audit.violation":
+			violations++
+		case e.Type == "audit.done" && e.Num["violations"] > 0:
+			violations += int(e.Num["violations"]) - violations
+		case e.Type == "session.panic":
+			panics++
+		}
+	}
+	if violations > 0 || panics > 0 {
+		return fmt.Errorf("journal %s: %d audit violations, %d session panics", path, violations, panics)
+	}
+	return nil
+}
+
+// renderTraces reads a span-trace JSONL file (mpdash-swarm -trace or
+// mpdash-netfetch -trace) and prints the verdict census plus the
+// critical-path deadline-miss budget: which span categories the missed
+// chunks' overruns are attributed to, population-wide.
+func renderTraces(path string) error {
+	r := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := obs.ReadTraceJSONL(r)
+	if errors.Is(err, obs.ErrTruncatedTail) {
+		fmt.Fprintf(os.Stderr, "warning: %v (analyzing the parsed prefix)\n", err)
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("trace %s: no traces", path)
+	}
+	verdicts := map[string]int{}
+	for _, rec := range recs {
+		verdicts[rec.Verdict]++
+	}
+	fmt.Printf("traces %s: %d kept\n", path, len(recs))
+	for _, v := range []string{obs.TraceOK, obs.TraceMissed, obs.TraceLost, obs.TraceFailed, obs.TracePanic} {
+		if n := verdicts[v]; n > 0 {
+			fmt.Printf("  %-8s %d\n", v, n)
+			delete(verdicts, v)
+		}
+	}
+	for v, n := range verdicts {
+		fmt.Printf("  %-8s %d\n", v, n)
+	}
+	fmt.Println()
+	obs.BuildMissBudget(recs).Render(os.Stdout)
 	return nil
 }

@@ -67,6 +67,9 @@ func run() int {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
 		journalPath = flag.String("journal", "", "stream the structured event journal to this JSONL file (- = stderr)")
+		tracePath   = flag.String("trace", "", "write kept per-chunk span traces to this JSONL file (enables tracing)")
+		traceChrome = flag.String("trace-chrome", "", "additionally write kept traces as Chrome trace-event JSON (load in chrome://tracing or Perfetto)")
+		traceSample = flag.Float64("trace-sample", 1, "head-sample fraction of healthy traces kept (bad traces are always kept)")
 		quiet       = flag.Bool("quiet", false, "suppress informational output (errors still print)")
 	)
 	flag.Parse()
@@ -156,6 +159,12 @@ func run() int {
 		st.Instrument(tel)
 	}
 
+	var tracer *obs.Tracer
+	if *tracePath != "" || *traceChrome != "" {
+		tracer = obs.NewTracer(obs.TraceConfig{HeadSampleRate: *traceSample})
+		st.Tracer = tracer
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {
@@ -167,6 +176,17 @@ func run() int {
 	}()
 
 	res, err := st.Stream(*chunks)
+	if tracer != nil {
+		// Export even after a failed session: the bad traces are the
+		// interesting ones.
+		if terr := exportTraces(tracer, *tracePath, *traceChrome); terr != nil {
+			fmt.Fprintln(os.Stderr, terr)
+		} else {
+			ts := tracer.Stats()
+			infof("traces: kept %d of %d (%d bad, %d sampled)\n",
+				ts.Kept, ts.Finished, ts.KeptBad, ts.KeptSampled)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if res == nil {
@@ -218,6 +238,33 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// exportTraces writes the tracer's kept traces: JSONL to tracePath and
+// Chrome trace-event JSON to chromePath (either may be empty).
+func exportTraces(tracer *obs.Tracer, tracePath, chromePath string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("mpdash-netfetch: trace: %w", err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("mpdash-netfetch: trace %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if tracePath != "" {
+		if err := write(tracePath, tracer.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if chromePath != "" {
+		if err := write(chromePath, tracer.WriteChrome); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // splitOrigins parses a comma-separated origin list, dropping empties.

@@ -81,6 +81,9 @@ func run() int {
 		keepSessions = flag.Bool("session-detail", false, "include per-session outcomes in the report")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address while the swarm runs (empty = off)")
 		journalPath  = flag.String("journal", "", "stream the swarm event journal to this JSONL file (- = stderr)")
+		tracePath    = flag.String("trace", "", "write kept per-chunk span traces to this JSONL file (enables tracing)")
+		traceChrome  = flag.String("trace-chrome", "", "additionally write kept traces as Chrome trace-event JSON (load in chrome://tracing or Perfetto)")
+		traceSample  = flag.Float64("trace-sample", 0.01, "head-sample fraction of healthy traces kept (bad traces — misses, aborts, downgrades, requeues, panics — are always kept)")
 		quiet        = flag.Bool("quiet", false, "suppress informational output (errors still print)")
 	)
 	flag.Parse()
@@ -213,6 +216,12 @@ func run() int {
 		sw.Instrument(tel)
 	}
 
+	var tracer *obs.Tracer
+	if *tracePath != "" || *traceChrome != "" {
+		tracer = obs.NewTracer(obs.TraceConfig{HeadSampleRate: *traceSample, Seed: scn.Seed})
+		sw.Tracer = tracer
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	sig := make(chan os.Signal, 1)
@@ -241,6 +250,16 @@ func run() int {
 		auditor.CheckTotals(rep.LedgerViolations, rep.WastedBytes, rep.BytesTotal)
 		rep.Audit = auditor.Finish()
 	}
+	if tracer != nil {
+		rep.Trace = swarm.BuildTraceReport(tracer)
+		if err := exportTraces(tracer, *tracePath, *traceChrome); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if !*quiet && *tracePath != "" {
+			fmt.Printf("traces: %s (analyze with mpdash-analyze -trace %s)\n", *tracePath, *tracePath)
+		}
+	}
 	if !*quiet {
 		fmt.Printf("\n%s", rep.Summary())
 		if rep.Audit != nil {
@@ -268,6 +287,33 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// exportTraces writes the tracer's kept traces: JSONL to tracePath and
+// Chrome trace-event JSON to chromePath (either may be empty).
+func exportTraces(tracer *obs.Tracer, tracePath, chromePath string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("mpdash-swarm: trace: %w", err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("mpdash-swarm: trace %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if tracePath != "" {
+		if err := write(tracePath, tracer.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if chromePath != "" {
+		if err := write(chromePath, tracer.WriteChrome); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // loadChaos reads a chaos timeline file: a JSON array of chaos events

@@ -65,6 +65,20 @@ type Scheduler struct {
 	// no synchronization is needed.
 	Obs obs.Sink
 
+	// Tracer, when set, records one span trace per governed transfer
+	// (session TraceSession, chunk = activation ordinal): each secondary
+	// path's enabled interval becomes a sched-category span, and the
+	// transfer finishes with an ok or missed verdict. The scheduler runs
+	// in simulator time, so construct the Tracer with a Now that maps the
+	// virtual clock onto wall time (e.g. epoch.Add(sim.Now())). Nil = off
+	// — evaluate() stays allocation-free.
+	Tracer       *obs.Tracer
+	TraceSession int
+
+	trace       *obs.Trace           // in-flight transfer's trace
+	traceMissed bool                 // this activation passed its deadline
+	pathSpans   map[string]*obs.Span // open enabled-interval spans
+
 	toggles    int64
 	misses     int64
 	activation int64
@@ -147,6 +161,11 @@ func (s *Scheduler) Enable(size int64, window time.Duration) error {
 	s.emit(obs.NewEvent("sched.enable").
 		WithNum("size", float64(size)).
 		WithNum("window_s", window.Seconds()))
+	if s.Tracer != nil {
+		s.trace = s.Tracer.StartTrace(s.TraceSession, int(s.activation)-1, -1)
+		s.trace.SetDeadline(window)
+		s.traceMissed = false
+	}
 	// Line 3 of Algorithm 1: cellularEnabled = FALSE. We evaluate
 	// immediately rather than blindly disabling, so a clearly-infeasible
 	// deadline keeps the secondary paths on from the first byte.
@@ -163,6 +182,20 @@ func (s *Scheduler) Disable() {
 	}
 	s.active = false
 	s.emit(obs.NewEvent("sched.disable"))
+	// Close the trace before enableAll: the stand-down toggles restore
+	// stock MPTCP and are not part of the governed transfer.
+	if s.trace != nil {
+		for name, sp := range s.pathSpans {
+			sp.End()
+			delete(s.pathSpans, name)
+		}
+		if s.traceMissed {
+			s.trace.Finish(obs.TraceMissed)
+		} else {
+			s.trace.Finish(obs.TraceOK)
+		}
+		s.trace = nil
+	}
 	s.enableAll()
 }
 
@@ -225,6 +258,10 @@ func (s *Scheduler) evaluate() {
 		s.misses++
 		s.emit(obs.NewEvent("sched.miss").
 			WithNum("remaining_bytes", float64(s.size-s.sent)))
+		if s.trace != nil {
+			s.traceMissed = true
+			s.trace.SetOverrun(now - s.deadlineAt + 1)
+		}
 		s.Disable()
 		return
 	}
@@ -320,8 +357,34 @@ func (s *Scheduler) setPath(name string, on bool) {
 		WithNum("estimate_bps", s.conn.EstimatedThroughput(name)).
 		WithNum("remaining_bytes", float64(s.size-s.sent)).
 		WithNum("slack_s", (s.deadlineAt - s.sim.Now()).Seconds()))
+	s.traceToggle(name, on)
 	// The primary path can never be disabled; mptcp enforces it too.
 	_ = s.conn.SetPathEnabled(name, on)
+}
+
+// traceToggle mirrors a path toggle onto the transfer's trace: an
+// enabled secondary path is one open sched-category span, closed when
+// the path stands down (or at Disable). No-op — and allocation-free —
+// while no trace is in flight.
+func (s *Scheduler) traceToggle(name string, on bool) {
+	if s.trace == nil {
+		return
+	}
+	if on {
+		if s.pathSpans == nil {
+			s.pathSpans = make(map[string]*obs.Span, 4)
+		}
+		if s.pathSpans[name] == nil {
+			sp := s.trace.StartSpan(obs.CatSched, "path-on")
+			sp.SetPath(name)
+			s.pathSpans[name] = sp
+		}
+		return
+	}
+	if sp := s.pathSpans[name]; sp != nil {
+		sp.End()
+		delete(s.pathSpans, name)
+	}
 }
 
 // setAll enables or disables every secondary path. The MaxCost ceiling

@@ -145,6 +145,10 @@ func (f *Fetcher) monitorDoom(st *fetchState, ap AbortPolicy, size int64, segSiz
 			st.markDoomed()
 			f.abort.aborts.Add(1)
 			f.emitAbort(index, level, rate, paths, remaining, dlAt.Sub(now), best, preArmed)
+			if ctr := f.curTrace(); ctr != nil {
+				ctr.Event(obs.CatAbort, "abort")
+				ctr.MarkBad(obs.CatAbort)
+			}
 			// Cut the in-flight transfers: the loser-cancel path closes
 			// each connection mid-read and flags the supervised loop so
 			// the resulting I/O error is a cancellation, not a fault.

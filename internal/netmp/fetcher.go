@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mpdash/internal/dash"
+	"mpdash/internal/obs"
 )
 
 // DefaultSegmentSize is the range granularity of the dual-socket fetcher.
@@ -75,6 +76,10 @@ type Fetcher struct {
 	fobs  *fetcherObs
 
 	fb fbTrack // first-byte span tracking for the in-flight chunk
+
+	// tref names the in-flight chunk's span trace (tracing.go); shared
+	// with both pathConns so the supervisor can attach redial spans.
+	tref traceRef
 }
 
 // SetClock injects the fetcher's wall clock (nil restores time.Now),
@@ -123,7 +128,10 @@ func NewFetcherOrigins(video *dash.Video, primaryOrigins, secondaryOrigins []str
 		p.conn.Close()
 		return nil, err
 	}
-	return &Fetcher{Video: video, Alpha: 1, SegmentSize: DefaultSegmentSize, primary: p, secondary: s}, nil
+	f := &Fetcher{Video: video, Alpha: 1, SegmentSize: DefaultSegmentSize, primary: p, secondary: s}
+	p.tref = &f.tref
+	s.tref = &f.tref
+	return f, nil
 }
 
 // Close tears down both connections, reporting every failure.
@@ -418,6 +426,11 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 		f.fb.begin(start, index, level)
 		defer f.fb.end()
 	}
+	ctr := f.curTrace()
+	fsp := ctr.StartSpan(obs.CatFetch, "fetch")
+	fsp.SetNum("size", float64(size))
+	fsp.SetNum("segs", float64(nSegs))
+	defer fsp.End()
 	pRet0, pRed0, pWaste0 := f.primary.counters()
 	sRet0, sRed0, sWaste0 := f.secondary.counters()
 	fo0 := f.failoverCount()
@@ -439,7 +452,11 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 		if to >= size {
 			to = size - 1
 		}
+		ssp := ctr.StartSpan(obs.CatSegment, "segment")
+		ssp.SetPath(pc.name)
+		ssp.SetNum("seg", float64(seg))
 		n, err := f.fetchSegHedged(pc, pol, index, level, from, to, dlAt)
+		ssp.End()
 		if err != nil {
 			return err
 		}
@@ -474,9 +491,13 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 			return true
 		case errors.Is(err, errSegmentFailed):
 			st.requeue(seg, pc)
+			ctr.Event(obs.CatRequeue, "requeue")
+			ctr.MarkBad(obs.CatRequeue)
 			return true
 		case errors.Is(err, errPathDown):
 			st.requeue(seg, pc)
+			ctr.Event(obs.CatRequeue, "requeue")
+			ctr.MarkBad(obs.CatRequeue)
 			return false
 		default: // fatal protocol error; the path was marked down
 			st.requeue(seg, pc)
@@ -695,7 +716,10 @@ func (f *Fetcher) fetchSegSupervised(pc *pathConn, pol RetryPolicy, index, level
 		if attempt+1 >= pol.SegmentBudget {
 			return 0, errSegmentFailed
 		}
+		bsp := f.curTrace().StartSpan(obs.CatBackoff, "backoff")
+		bsp.SetPath(pc.name)
 		time.Sleep(pol.backoff(attempt, pc.jitterRNG(pol)))
+		bsp.End()
 	}
 }
 

@@ -240,6 +240,10 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 	f.hedge.noteIssued()
 	f.emitHedge(obs.NewEvent("hedge.arm").WithPath(pc.name).
 		WithStr("origin", backup.addr).WithNum("delay_s", delay.Seconds()))
+	hsp := f.curTrace().StartSpan(obs.CatHedge, "hedge")
+	hsp.SetPath(pc.name)
+	hsp.SetStr("origin", backup.addr)
+	defer hsp.End()
 	hedgeCancel := make(chan struct{})
 	go func() {
 		n, err := f.hedgeFetch(backup, pol, index, level, from, to, hedgeCancel)

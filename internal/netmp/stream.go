@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mpdash/internal/dash"
+	"mpdash/internal/obs"
 )
 
 // Streamer is a real-time DASH playback loop over the dual-socket
@@ -39,6 +40,14 @@ type Streamer struct {
 	// and hence MTTR measurement — from this hook. Must be fast and
 	// goroutine-safe: many sessions may share one callback.
 	OnChunk func(index int, missed bool)
+
+	// Tracer, when set, records one span trace per chunk (deadline,
+	// fetch/segment/redial/hedge/abort spans, terminal verdict) through
+	// the fetcher; nil is the off switch and costs one nil check per
+	// chunk. Many sessions may share one Tracer — TraceSession keeps
+	// their trace IDs distinct (and deterministic under a seeded plan).
+	Tracer       *obs.Tracer
+	TraceSession int
 
 	stop atomic.Bool
 	sobs *streamerObs // telemetry handles (nil = off); set by Instrument
@@ -222,6 +231,13 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			absorbOriginStats(res, fr)
 		}
 
+		// One trace per chunk: opened with the selected rendition and the
+		// deadline, installed on the fetcher so the workers' spans attach,
+		// and finished below with the chunk's terminal verdict.
+		ct := s.Tracer.StartTrace(s.TraceSession, i, level)
+		ct.SetDeadline(deadline)
+		s.Fetcher.SetTrace(ct)
+
 		dlStart := clk.now()
 		fr, err := s.Fetcher.FetchChunk(i, level, deadline)
 		// Doomed-chunk downgrade loop: an abort means even best-case
@@ -252,9 +268,12 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			}
 			res.Downgrades++
 			s.sobs.emitDowngrade(i, level, next, aggRate, window)
+			ct.MarkBad(obs.CatDowngrade)
+			dsp := ct.StartSpan(obs.CatDowngrade, "downgrade")
 			level = next
 			size = s.Fetcher.chunkSize(i, level)
 			fr, err = s.Fetcher.FetchChunk(i, level, window)
+			dsp.End()
 		}
 		if err != nil && errors.Is(err, ErrChunkExhausted) && level != 0 {
 			// Lifeline: one refetch at the lowest level before declaring
@@ -262,9 +281,11 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			absorbFaults(fr)
 			res.Refetches++
 			s.sobs.emitRefetch(i, level)
+			rsp := ct.StartSpan(obs.CatRefetch, "refetch")
 			level = 0
 			size = s.Fetcher.chunkSize(i, level)
 			fr, err = s.Fetcher.FetchChunk(i, level, deadline)
+			rsp.End()
 		}
 		if err != nil {
 			absorbFaults(fr)
@@ -276,11 +297,16 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 				res.StallTime += video.ChunkDuration
 				s.sobs.emitLost(i)
 				s.sobs.emitStall(i, video.ChunkDuration)
+				ct.Event(obs.CatStall, "stall")
+				ct.Finish(obs.TraceLost)
+				s.Fetcher.SetTrace(nil)
 				if s.OnChunk != nil {
 					s.OnChunk(i, true)
 				}
 				continue
 			}
+			ct.Finish(obs.TraceFailed)
+			s.Fetcher.SetTrace(nil)
 			finish()
 			return res, fmt.Errorf("netmp: chunk %d: %w", i, err)
 		}
@@ -298,6 +324,7 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 		}
 		missed := playing && fr.MissedBy > 0
 		if missed {
+			ct.SetOverrun(fr.MissedBy)
 			res.DeadlineMisses++
 			// A late chunk's payload bought no on-time video: charge it
 			// to the per-path waste split the swarm's cellular-byte
@@ -318,6 +345,7 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 				res.Stalls++
 				res.StallTime += dl - buffer
 				s.sobs.emitStall(i, dl-buffer)
+				ct.Event(obs.CatStall, "stall")
 				buffer = 0
 			}
 		}
@@ -326,6 +354,12 @@ func (s *Streamer) Stream(n int) (*StreamResult, error) {
 			buffer = bufferCap
 		}
 		s.sobs.setBuffer(buffer)
+		if missed {
+			ct.Finish(obs.TraceMissed)
+		} else {
+			ct.Finish(obs.TraceOK)
+		}
+		s.Fetcher.SetTrace(nil)
 		if !playing {
 			res.StartupDelay = clk.now().Sub(start)
 		}

@@ -194,6 +194,7 @@ type pathConn struct {
 	closed bool       // set by Close; owner/Close coordination via mu
 	clk    Clock      // injectable wall clock (nil = time.Now)
 	sink   obs.Sink   // telemetry journal (nil = off)
+	tref   *traceRef  // in-flight chunk's span trace (nil = off); set at construction
 
 	mu          sync.Mutex // guards the stats + state below
 	state       PathState
@@ -412,6 +413,12 @@ func (pc *pathConn) jitterRNG(pol RetryPolicy) *rand.Rand {
 func (pc *pathConn) redial(pol RetryPolicy) error {
 	pc.conn.Close()
 	rng := pc.jitterRNG(pol)
+	// One span covers the whole redial loop — dial attempts, origin
+	// failover and the backoff sleeps between them — so the critical-path
+	// walker charges connection-recovery time to "redial" wholesale.
+	rsp := pc.tref.load().StartSpan(obs.CatRedial, "redial")
+	rsp.SetPath(pc.name)
+	defer rsp.End()
 	for {
 		pc.mu.Lock()
 		if pc.closed || pc.state == PathDown {
@@ -444,6 +451,7 @@ func (pc *pathConn) redial(pol RetryPolicy) error {
 				pc.consecFails = 0
 				pc.cancelled = false
 				pc.mu.Unlock()
+				rsp.SetStr("origin", o.addr)
 				return nil
 			}
 			o.breaker.RecordFailure(err)

@@ -1,0 +1,108 @@
+package netmp
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"mpdash/internal/abr"
+	"mpdash/internal/obs"
+)
+
+// TestStreamTracingConcurrentExport races live span recording (fetch
+// workers appending spans) against trace export and Streamer.Stop — the
+// shutdown path a swarm run exercises when a report is built while late
+// sessions are still finishing. Run under -race this verifies every
+// span mutation goes through the owning trace's lock.
+func TestStreamTracingConcurrentExport(t *testing.T) {
+	_, _, f := streamRig(t, 8, 8)
+	tr := obs.NewTracer(obs.TraceConfig{HeadSampleRate: 1, Seed: 3})
+	st := &Streamer{Fetcher: f, ABR: abr.NewGPAC(), RateBased: true,
+		Tracer: tr, TraceSession: 1}
+
+	exportDone := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-exportDone:
+				return
+			default:
+			}
+			for _, rec := range tr.Records() {
+				_ = rec.Verdict
+			}
+			if err := tr.WriteJSONL(io.Discard); err != nil {
+				t.Errorf("export during stream: %v", err)
+				return
+			}
+			_ = tr.Stats()
+		}
+	}()
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		st.Stop()
+	}()
+
+	res, err := st.Stream(20)
+	close(exportDone)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks == 0 {
+		t.Fatal("no chunks played")
+	}
+	st.Fetcher.SetTrace(nil)
+	stats := tr.Stats()
+	if stats.Finished != int64(res.Chunks) {
+		t.Errorf("finished %d traces for %d chunks", stats.Finished, res.Chunks)
+	}
+	// Head rate 1: every chunk's trace kept, each carrying the fetch
+	// envelope and at least one segment span.
+	recs := tr.Records()
+	if len(recs) != res.Chunks {
+		t.Fatalf("kept %d traces for %d chunks", len(recs), res.Chunks)
+	}
+	for _, rec := range recs {
+		var fetches, segments int
+		for _, sp := range rec.Spans {
+			switch sp.Category {
+			case obs.CatFetch:
+				fetches++
+			case obs.CatSegment:
+				segments++
+			}
+		}
+		if fetches == 0 || segments == 0 {
+			t.Errorf("chunk %d trace lacks fetch/segment spans: %d/%d",
+				rec.Chunk, fetches, segments)
+		}
+		if rec.Session != 1 {
+			t.Errorf("chunk %d session = %d, want 1", rec.Chunk, rec.Session)
+		}
+		if rec.Verdict == "" {
+			t.Errorf("chunk %d trace has no verdict", rec.Chunk)
+		}
+	}
+}
+
+// TestStreamTracingDisabledIsInert pins the off switch: a Streamer with
+// no Tracer must behave identically and never touch a trace.
+func TestStreamTracingDisabledIsInert(t *testing.T) {
+	_, _, f := streamRig(t, 8, 8)
+	st := &Streamer{Fetcher: f, ABR: abr.NewGPAC(), RateBased: true}
+	res, err := st.Stream(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks != 4 || !res.AllVerified {
+		t.Fatalf("chunks=%d verified=%v", res.Chunks, res.AllVerified)
+	}
+	if f.curTrace() != nil {
+		t.Error("fetcher holds a trace with tracing off")
+	}
+}

@@ -3,10 +3,18 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
+
+// ErrTruncatedTail reports that a JSONL stream ended mid-line — the
+// usual signature of a run killed while the journal writer was
+// flushing. ReadJournal returns the parsed prefix alongside it, so
+// callers can treat it as a warning rather than losing the whole read.
+var ErrTruncatedTail = errors.New("truncated final line")
 
 // Journal is a ring-buffered structured event log. The newest Cap events
 // are always retrievable with Events; when a writer is attached with
@@ -56,20 +64,31 @@ func (j *Journal) Append(e Event) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.buf[j.next] = e
-	j.next = (j.next + 1) % len(j.buf)
-	if j.n < len(j.buf) {
-		j.n++
-	}
-	j.total++
+	j.ringPut(e)
 	if j.w != nil {
 		if j.werr != nil {
 			j.dropped++
 		} else if err := j.w.Encode(e); err != nil {
 			j.werr = err
 			j.dropped++
+			// One-time marker so the ring (still intact — only the
+			// stream is broken) records when and why drops began. It is
+			// deliberately not sent to the dead writer.
+			drop := NewEvent("journal.drop").WithStr("error", err.Error())
+			drop.T = time.Now()
+			j.ringPut(drop)
 		}
 	}
+}
+
+// ringPut inserts one event into the ring. Callers hold j.mu.
+func (j *Journal) ringPut(e Event) {
+	j.buf[j.next] = e
+	j.next = (j.next + 1) % len(j.buf)
+	if j.n < len(j.buf) {
+		j.n++
+	}
+	j.total++
 }
 
 // Events returns the held events, oldest first.
@@ -111,6 +130,18 @@ func (j *Journal) Total() int64 {
 	return j.total
 }
 
+// Dropped returns how many events were not written to the attached
+// stream because of a write error (see StreamTo). Exposed as the
+// obs_journal_dropped_total metric by New.
+func (j *Journal) Dropped() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
 // Overwritten returns how many events the ring has discarded.
 func (j *Journal) Overwritten() int64 {
 	if j == nil {
@@ -142,8 +173,11 @@ func (j *Journal) Flush() error {
 }
 
 // ReadJournal decodes a JSONL journal stream (as produced by StreamTo)
-// into events, in order. Blank lines are skipped; a malformed line stops
-// the read with an error naming its line number.
+// into events, in order. Blank lines are skipped; a malformed line in
+// the middle of the stream stops the read with an error naming its line
+// number. A malformed FINAL line — the signature of a run killed
+// mid-write — returns the parsed prefix wrapped around ErrTruncatedTail
+// so callers can keep the events and downgrade the error to a warning.
 func ReadJournal(r io.Reader) ([]Event, error) {
 	var out []Event
 	sc := bufio.NewScanner(r)
@@ -157,6 +191,9 @@ func ReadJournal(r io.Reader) ([]Event, error) {
 		}
 		var e Event
 		if err := json.Unmarshal(b, &e); err != nil {
+			if !sc.Scan() {
+				return out, fmt.Errorf("obs: journal line %d: %w", line, ErrTruncatedTail)
+			}
 			return out, fmt.Errorf("obs: journal line %d: %w", line, err)
 		}
 		out = append(out, e)

@@ -129,6 +129,73 @@ func TestJournalStreamWriteError(t *testing.T) {
 	}
 }
 
+func TestJournalDropCounterAndMarker(t *testing.T) {
+	j := NewJournal(32)
+	j.StreamTo(failWriter{})
+	big := strings.Repeat("x", 8192)
+	const appended = 16
+	for i := 0; i < appended; i++ {
+		j.Append(NewEvent("e").WithNum("seq", float64(i)).WithStr("pad", big))
+	}
+	if j.Dropped() == 0 {
+		t.Fatal("Dropped = 0 after stream write failures")
+	}
+	// The ring carries a single journal.drop marker recording when the
+	// drops began, inserted where the stream broke.
+	drops := 0
+	for _, e := range j.Events() {
+		if e.Type == "journal.drop" {
+			drops++
+			if e.Str["error"] == "" {
+				t.Error("journal.drop lacks the write error")
+			}
+			if e.T.IsZero() {
+				t.Error("journal.drop lacks a timestamp")
+			}
+		}
+	}
+	if drops != 1 {
+		t.Errorf("ring holds %d journal.drop markers, want exactly 1", drops)
+	}
+	// Every appended event is still in the ring: only the stream broke.
+	if j.Total() != appended+1 {
+		t.Errorf("Total = %d, want %d appends + 1 marker", j.Total(), appended+1)
+	}
+}
+
+func TestJournalDroppedMetric(t *testing.T) {
+	tel := New()
+	tel.Journal.StreamTo(failWriter{})
+	big := strings.Repeat("x", 8192)
+	for i := 0; i < 8; i++ {
+		tel.Emit(NewEvent("e").WithStr("pad", big))
+	}
+	var sb strings.Builder
+	if err := tel.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "obs_journal_dropped_total") {
+		t.Fatal("obs_journal_dropped_total not exposed")
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "obs_journal_dropped_total") && strings.HasSuffix(line, " 0") {
+			t.Errorf("dropped metric still zero after write failures: %q", line)
+		}
+	}
+}
+
+func TestReadJournalTruncatedTail(t *testing.T) {
+	in := `{"type":"a","chunk":-1,"level":-1}` + "\n" + `{"type":"b","chu`
+	got, err := ReadJournal(strings.NewReader(in))
+	if !errors.Is(err, ErrTruncatedTail) {
+		t.Fatalf("err = %v, want ErrTruncatedTail", err)
+	}
+	if len(got) != 1 || got[0].Type != "a" {
+		t.Fatalf("parsed prefix = %+v, want the one intact event", got)
+	}
+}
+
 func TestReadJournalMalformed(t *testing.T) {
 	in := strings.NewReader(`{"type":"a","chunk":-1,"level":-1}` + "\n\nnot json\n")
 	got, err := ReadJournal(in)

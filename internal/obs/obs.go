@@ -105,7 +105,11 @@ const DefaultJournalCap = 4096
 // New returns a Telemetry with a fresh registry and a journal of
 // DefaultJournalCap events.
 func New() *Telemetry {
-	return &Telemetry{Registry: NewRegistry(), Journal: NewJournal(DefaultJournalCap)}
+	t := &Telemetry{Registry: NewRegistry(), Journal: NewJournal(DefaultJournalCap)}
+	t.Registry.CounterFunc("obs_journal_dropped_total",
+		"Events dropped from the JSONL journal stream after a write error.",
+		nil, func() float64 { return float64(t.Journal.Dropped()) })
+	return t
 }
 
 // Emit implements Sink: the event is timestamped (when T is zero and the

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"testing"
 	"time"
 
 	"mpdash/internal/core"
@@ -24,6 +25,7 @@ const (
 	tickInner    = 100
 	hwInner      = 64
 	observeInner = 128
+	traceInner   = 64
 )
 
 func coreScenarios() []*scenario {
@@ -33,6 +35,8 @@ func coreScenarios() []*scenario {
 		{name: "core_knapsack_dp", inner: 1, setup: setupKnapsack, domain: knapsackDomain},
 		{name: "obs_handle_lookup", inner: 1, setup: setupHandleLookup, domain: obsDomain},
 		{name: "obs_histogram_observe", inner: observeInner, setup: setupHistogramObserve, domain: nil},
+		{name: "obs_trace_disabled", inner: traceInner, setup: setupTraceDisabled, domain: nil},
+		{name: "obs_trace_chunk", inner: 1, setup: setupTraceChunk, domain: traceDomain},
 	}
 }
 
@@ -225,6 +229,128 @@ func obsDomain(Config) ([]Metric, error) {
 		{Name: "quantile_p50_s", Value: h.Quantile(0.50), Gate: GateExact},
 		{Name: "quantile_p99_s", Value: h.Quantile(0.99), Gate: GateExact},
 		{Name: "exposition_bytes", Value: float64(sb.n), Gate: GateExact},
+	}, nil
+}
+
+// setupTraceDisabled measures the tracing call sites exactly as the
+// fetch hot path hits them with tracing off: every method on the nil
+// Tracer/Trace/Span handles must collapse to a pointer check. The
+// baseline records 0 allocs/op, which benchgate holds as an exact
+// zero-alloc contract.
+func setupTraceDisabled(Config) (func(), error) {
+	var tr *obs.Tracer
+	return func() {
+		for k := 0; k < traceInner; k++ {
+			t := tr.StartTrace(0, k, 1)
+			t.SetDeadline(time.Second)
+			sp := t.StartSpan(obs.CatFetch, "fetch")
+			sp.SetPath("wifi")
+			sp.SetNum("size", 1)
+			sp.End()
+			t.Event(obs.CatRequeue, "requeue")
+			t.Finish(obs.TraceOK)
+		}
+	}, nil
+}
+
+// traceChunkOp performs one synthetic chunk fetch — segment-sized FNV
+// sweeps standing in for payload verification — traced through tr when
+// non-nil. The compute dwarfs the tracing calls the way a real network
+// fetch does, so the enabled-vs-disabled delta is a representative
+// per-chunk overhead fraction.
+func traceChunkOp(tr *obs.Tracer, buf []byte, chunk int) uint64 {
+	const segs = 4
+	t := tr.StartTrace(0, chunk, 1)
+	t.SetDeadline(time.Second)
+	fsp := t.StartSpan(obs.CatFetch, "fetch")
+	fsp.SetNum("size", float64(len(buf)))
+	var sum uint64 = 14695981039346656037
+	segLen := len(buf) / segs
+	for s := 0; s < segs; s++ {
+		ssp := t.StartSpan(obs.CatSegment, "segment")
+		ssp.SetPath("wifi")
+		ssp.SetNum("seg", float64(s))
+		for _, c := range buf[s*segLen : (s+1)*segLen] {
+			sum = (sum ^ uint64(c)) * 1099511628211
+		}
+		ssp.End()
+	}
+	fsp.End()
+	t.Finish(obs.TraceOK)
+	return sum
+}
+
+func traceBenchBuf() []byte {
+	buf := make([]byte, 64<<10)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	return buf
+}
+
+// setupTraceChunk measures the traced chunk op with tracing enabled at
+// head rate 0: healthy traces are dropped at Finish, so the kept set
+// stays empty however long the benchmark runs.
+func setupTraceChunk(Config) (func(), error) {
+	tr := obs.NewTracer(obs.TraceConfig{HeadSampleRate: 0, Seed: 1})
+	buf := traceBenchBuf()
+	i := 0
+	var sink uint64
+	return func() {
+		sink += traceChunkOp(tr, buf, i)
+		i++
+		_ = sink
+	}, nil
+}
+
+// traceDomain pins the sampler's deterministic contract and holds the
+// tracing-overhead bound: every bad trace kept, head sampling exactly
+// reproducible from the seed, and the traced chunk op within 15% of the
+// untraced one (trace_overhead_ok is 1 when the bound holds; the gate
+// fails any run where the median trial says 0).
+func traceDomain(Config) ([]Metric, error) {
+	tr := obs.NewTracer(obs.TraceConfig{HeadSampleRate: 0.1, Seed: 42})
+	for i := 0; i < 1000; i++ {
+		t := tr.StartTrace(0, i, 1)
+		if i%10 == 0 {
+			t.SetDeadline(time.Millisecond)
+			t.SetOverrun(time.Millisecond)
+			t.Finish(obs.TraceMissed)
+		} else {
+			t.Finish(obs.TraceOK)
+		}
+	}
+	st := tr.Stats()
+
+	buf := traceBenchBuf()
+	var sink uint64
+	plain := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += traceChunkOp(nil, buf, i)
+		}
+	})
+	etr := obs.NewTracer(obs.TraceConfig{HeadSampleRate: 0, Seed: 1})
+	traced := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += traceChunkOp(etr, buf, i)
+		}
+	})
+	_ = sink
+	overhead := 0.0
+	if plainNs := float64(plain.T.Nanoseconds()) / float64(plain.N); plainNs > 0 {
+		tracedNs := float64(traced.T.Nanoseconds()) / float64(traced.N)
+		overhead = (tracedNs - plainNs) / plainNs
+	}
+	ok := 0.0
+	if overhead <= 0.15 {
+		ok = 1
+	}
+	return []Metric{
+		{Name: "kept_bad", Value: float64(st.KeptBad), Gate: GateExact},
+		{Name: "kept_sampled", Value: float64(st.KeptSampled), Gate: GateExact},
+		{Name: "dropped", Value: float64(st.Dropped), Gate: GateExact},
+		{Name: "trace_overhead_frac", Value: overhead, Gate: GateInfo},
+		{Name: "trace_overhead_ok", Value: ok, Gate: GateMin},
 	}, nil
 }
 

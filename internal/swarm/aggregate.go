@@ -127,6 +127,11 @@ type Report struct {
 	// caller that ran the audit (nil = the run was not audited).
 	Audit *audit.Result `json:"audit,omitempty"`
 
+	// Trace is the span-tracing summary — sampling counters and the
+	// critical-path miss budget — attached by the caller that enabled
+	// tracing (nil = the run was not traced).
+	Trace *TraceReport `json:"trace,omitempty"`
+
 	// PerProfile breaks the headline QoE down by session profile.
 	PerProfile []ProfileReport `json:"per_profile,omitempty"`
 
@@ -355,6 +360,9 @@ func (r *Report) Summary() string {
 		}
 		fmt.Fprintf(&b, "  audit        %s — %d invariant violations (%d events watched, goroutines %d vs watermark %d)\n",
 			verdict, r.Audit.Count(), r.Audit.Events, r.Audit.Settled, r.Audit.Watermark)
+	}
+	if r.Trace != nil {
+		r.Trace.summary(&b)
 	}
 	if len(r.PerProfile) > 0 {
 		fmt.Fprintf(&b, "  per profile:\n")

@@ -69,6 +69,13 @@ type Swarm struct {
 	// check sees a quiet process).
 	Audit *audit.Auditor
 
+	// Tracer, when set, records one span trace per chunk across every
+	// session (session = spec.ID, so trace IDs stay deterministic under
+	// the seeded plan). The caller owns export: write the kept traces
+	// after Run returns, or fold them into the report with
+	// BuildTraceReport.
+	Tracer *obs.Tracer
+
 	tel  *obs.Telemetry
 	sobs *swarmObs
 }
@@ -355,6 +362,9 @@ func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.V
 			// The stack goes to the journal, not the outcome: a chaos
 			// run's crash must be debuggable without bloating the report.
 			sw.sobs.emitSessionPanic(spec.ID, fmt.Sprint(r), string(debug.Stack()))
+			// The chunk in flight when the session died keeps its trace:
+			// tail sampling always retains the panic verdict.
+			sw.Tracer.FinishDangling(spec.ID, obs.TracePanic)
 		}
 	}()
 	sw.sobs.emitSessionStart(spec, video.Name, prof.Name)
@@ -393,7 +403,8 @@ func (sw *Swarm) runSession(ctx context.Context, spec SessionSpec, video *dash.V
 		out.Err = err.Error()
 		return out
 	}
-	st := &netmp.Streamer{Fetcher: f, ABR: adapter, RateBased: !prof.DurationDeadlines}
+	st := &netmp.Streamer{Fetcher: f, ABR: adapter, RateBased: !prof.DurationDeadlines,
+		Tracer: sw.Tracer, TraceSession: spec.ID}
 	if prof.BufferChunks > 0 {
 		st.BufferCap = time.Duration(prof.BufferChunks) * video.ChunkDuration
 	}

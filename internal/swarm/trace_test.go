@@ -1,0 +1,129 @@
+package swarm
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"mpdash/internal/obs"
+)
+
+// runTraced runs scn with a tracer attached and returns the report, the
+// tracer, and the JSONL export.
+func runTraced(t *testing.T, scn Scenario, rate float64) (*Report, *obs.Tracer, []byte) {
+	t.Helper()
+	sw, err := New(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(obs.TraceConfig{HeadSampleRate: rate, Seed: scn.Seed})
+	sw.Tracer = tr
+	rep, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Trace = BuildTraceReport(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rep, tr, buf.Bytes()
+}
+
+func TestSwarmTracing(t *testing.T) {
+	rep, tr, jsonl := runTraced(t, tinyScenario(8), 1)
+	st := tr.Stats()
+	if st.Finished == 0 || int(st.Finished) != rep.Chunks {
+		t.Fatalf("finished %d traces for %d chunks", st.Finished, rep.Chunks)
+	}
+	if st.Kept != st.Finished {
+		t.Errorf("head rate 1 kept %d of %d", st.Kept, st.Finished)
+	}
+	if rep.Trace == nil || rep.Trace.Kept != st.Kept {
+		t.Fatalf("report trace section = %+v", rep.Trace)
+	}
+	// The export parses back and spans the whole population.
+	recs, err := obs.ReadTraceJSONL(bytes.NewReader(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != int(st.Kept) {
+		t.Fatalf("export holds %d traces, kept %d", len(recs), st.Kept)
+	}
+	sessions := map[int]bool{}
+	ids := map[string]bool{}
+	for _, rec := range recs {
+		sessions[rec.Session] = true
+		// (session, chunk) must map to a unique deterministic trace ID.
+		if ids[rec.TraceID] {
+			t.Fatalf("duplicate trace ID %s", rec.TraceID)
+		}
+		ids[rec.TraceID] = true
+	}
+	if len(sessions) != rep.Sessions {
+		t.Errorf("traces cover %d sessions of %d", len(sessions), rep.Sessions)
+	}
+	// The summary renders the tracing section.
+	if s := rep.Summary(); !strings.Contains(s, "tracing") {
+		t.Errorf("summary lacks tracing section:\n%s", s)
+	}
+}
+
+func TestSwarmTracingDeterministicIDs(t *testing.T) {
+	scn := tinyScenario(8)
+	_, _, a := runTraced(t, scn, 1)
+	_, _, b := runTraced(t, scn, 1)
+	ra, err := obs.ReadTraceJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := obs.ReadTraceJSONL(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same plan: the (session, chunk) → trace ID mapping is
+	// identical across runs (finish order and timings may differ).
+	ids := func(recs []*obs.TraceRecord) map[[2]int]string {
+		m := make(map[[2]int]string, len(recs))
+		for _, r := range recs {
+			m[[2]int{r.Session, r.Chunk}] = r.TraceID
+		}
+		return m
+	}
+	ma, mb := ids(ra), ids(rb)
+	if len(ma) != len(mb) {
+		t.Fatalf("runs kept different trace sets: %d vs %d", len(ma), len(mb))
+	}
+	for k, id := range ma {
+		if mb[k] != id {
+			t.Fatalf("session %d chunk %d trace ID differs: %s vs %s", k[0], k[1], id, mb[k])
+		}
+	}
+}
+
+func TestSwarmTracingKeepsPanicTrace(t *testing.T) {
+	testHookSession = func(id int) {
+		if id == 2 {
+			panic("traced panic")
+		}
+	}
+	defer func() { testHookSession = nil }()
+	rep, tr, _ := runTraced(t, tinyScenario(8), 0)
+	if rep.Panicked != 1 {
+		t.Fatalf("panicked=%d, want 1", rep.Panicked)
+	}
+	// Head rate 0: only bad traces survive; the chunk in flight at the
+	// panic must be among them if one was open.
+	for _, rec := range tr.Records() {
+		if rec.Verdict == obs.TracePanic && rec.Session != 2 {
+			t.Errorf("panic trace charged to session %d, want 2", rec.Session)
+		}
+	}
+}
+
+func TestBuildTraceReportNil(t *testing.T) {
+	if BuildTraceReport(nil) != nil {
+		t.Error("nil tracer produced a report")
+	}
+}

@@ -1,0 +1,95 @@
+package swarm
+
+// Trace reporting: folds the tracer's kept per-chunk span traces into
+// the population report — sampling counters plus the critical-path
+// miss-budget breakdown (which span categories the missed chunks'
+// overruns are attributed to, population-wide).
+
+import (
+	"fmt"
+	"strings"
+
+	"mpdash/internal/obs"
+)
+
+// TraceCategoryReport is one span category's slice of the population
+// miss budget.
+type TraceCategoryReport struct {
+	Category string `json:"category"`
+	// Share is this category's fraction of the population's total
+	// overrun across all missed chunks.
+	Share float64 `json:"share"`
+	// OverrunS is the total overrun time attributed to this category.
+	OverrunS float64 `json:"overrun_s"`
+	// P50S/P95S are the per-missed-chunk attribution quantiles.
+	P50S float64 `json:"p50_s"`
+	P95S float64 `json:"p95_s"`
+}
+
+// TraceReport summarizes one run's span tracing: how the tail-based
+// sampler decided, and where the missed chunks' deadline overruns went.
+type TraceReport struct {
+	// Started/Finished count every chunk trace opened and closed;
+	// Kept is the number retained by the sampler (KeptBad = kept
+	// because something went wrong, KeptSampled = healthy traces kept
+	// by the head sample), Dropped the healthy remainder.
+	Started     int64 `json:"started"`
+	Finished    int64 `json:"finished"`
+	Kept        int64 `json:"kept"`
+	KeptBad     int64 `json:"kept_bad"`
+	KeptSampled int64 `json:"kept_sampled"`
+	Dropped     int64 `json:"dropped"`
+	// Missed is the number of kept traces with a deadline overrun;
+	// TotalOverrunS their summed overrun.
+	Missed        int     `json:"missed"`
+	TotalOverrunS float64 `json:"total_overrun_s"`
+	// Categories is the population miss budget, largest share first.
+	Categories []TraceCategoryReport `json:"categories,omitempty"`
+}
+
+// BuildTraceReport folds the tracer's kept traces into a TraceReport.
+// Returns nil when tr is nil (tracing off).
+func BuildTraceReport(tr *obs.Tracer) *TraceReport {
+	if tr == nil {
+		return nil
+	}
+	st := tr.Stats()
+	rep := &TraceReport{
+		Started:     st.Started,
+		Finished:    st.Finished,
+		Kept:        st.Kept,
+		KeptBad:     st.KeptBad,
+		KeptSampled: st.KeptSampled,
+		Dropped:     st.Dropped,
+	}
+	mb := obs.BuildMissBudget(tr.Records())
+	rep.Missed = mb.Missed
+	rep.TotalOverrunS = mb.TotalOverrunUS / 1e6
+	for _, c := range mb.Categories {
+		rep.Categories = append(rep.Categories, TraceCategoryReport{
+			Category: c.Category,
+			Share:    c.Share,
+			OverrunS: c.OverrunUS / 1e6,
+			P50S:     c.P50US / 1e6,
+			P95S:     c.P95US / 1e6,
+		})
+	}
+	return rep
+}
+
+// summary renders the trace section of the human-readable report.
+func (t *TraceReport) summary(b *strings.Builder) {
+	fmt.Fprintf(b, "  tracing      %d traces kept of %d (%d bad, %d sampled, %d dropped)\n",
+		t.Kept, t.Finished, t.KeptBad, t.KeptSampled, t.Dropped)
+	if t.Missed == 0 {
+		return
+	}
+	fmt.Fprintf(b, "  miss budget  %d missed chunks, %.2fs total overrun:\n", t.Missed, t.TotalOverrunS)
+	for _, c := range t.Categories {
+		if c.Share < 0.005 && c.OverrunS < 0.01 {
+			continue
+		}
+		fmt.Fprintf(b, "    %-10s %5.1f%%  %.3fs total  (per miss p50 %.1fms p95 %.1fms)\n",
+			c.Category, 100*c.Share, c.OverrunS, 1e3*c.P50S, 1e3*c.P95S)
+	}
+}
