@@ -7,7 +7,9 @@
 // mpdash-netfetch -journal or obs.Journal.StreamTo) and renders the
 // per-chunk decision timeline: every subflow engage/stand-down with the
 // throughput estimate that drove it, adapter Φ/Ω actions, breaker and
-// hedge activity, and each chunk's outcome against its deadline. Chaos
+// hedge activity, edge-cache hits/misses/collapses and the hint headers
+// the client folded in, and each chunk's outcome against its deadline.
+// Chaos
 // timeline events (chaos.*) render as == CHAOS == markers, and audit
 // and session-panic events surface as loud one-liners, so a chaos run's
 // journal reads as a failure-and-recovery story.
@@ -15,8 +17,10 @@
 // With -swarm it renders the population summary from a BENCH_swarm.json
 // report written by mpdash-swarm: outcome counts, startup-delay /
 // rebuffering / queue-wait quantiles, deadline and cellular shares, the
-// server-tier ledger, the executed chaos timeline with per-event MTTR,
-// the invariant-audit verdict, and the per-profile breakdown.
+// server-tier ledger, the edge-cache tier's hit-rate/offload block with
+// its by-popularity-rank breakdown, the executed chaos timeline with
+// per-event MTTR, the invariant-audit verdict, and the per-profile
+// breakdown.
 //
 // With -trace it ingests a span-trace JSONL file (mpdash-swarm -trace or
 // mpdash-netfetch -trace) and prints the verdict census plus the

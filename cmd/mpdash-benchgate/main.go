@@ -24,6 +24,11 @@
 //	    population's p95 MTTR must sit at or under the bound (seconds).
 //	    An audited report (mpdash-swarm -audit) is always additionally
 //	    required to be invariant-violation-free.
+//	mpdash-benchgate -swarm BENCH_swarm.json -min-offload 0.5
+//	    additionally gate the edge-cache tier: the report must carry a
+//	    cache block (the scenario ran with a cache stanza) whose
+//	    origin-offload ratio meets the floor, with zero fill errors;
+//	    -min-hit-rate bounds the hit rate the same way.
 //	mpdash-benchgate -swarm BENCH_on.json -swarm-baseline BENCH_off.json
 //	    additionally require the report to strictly beat a baseline run
 //	    of the same scenario with graceful degradation off on BOTH the
@@ -64,6 +69,8 @@ func run() int {
 		maxFailed    = flag.Int("max-failed", 0, "swarm gate: max failed sessions")
 		maxTimedOut  = flag.Int("max-timed-out", 0, "swarm gate: max timed-out sessions")
 		maxMTTRP95   = flag.Float64("max-mttr-p95", 0, "swarm gate: max p95 chaos recovery time in seconds; requires an executed chaos timeline with every event recovered (0 = recovery not gated)")
+		minOffload   = flag.Float64("min-offload", 0, "swarm gate: min edge-cache origin-offload ratio; requires a run with a cache tier (0 = not gated)")
+		minHitRate   = flag.Float64("min-hit-rate", 0, "swarm gate: min edge-cache hit rate; requires a run with a cache tier (0 = not gated)")
 		quiet        = flag.Bool("quiet", false, "print failures only")
 	)
 	flag.Parse()
@@ -76,7 +83,7 @@ func run() int {
 	if *swarmPath != "" {
 		return gateSwarm(*swarmPath, *swarmBase, perf.SwarmThresholds{
 			MaxMissRate: *maxMissRate, MaxFailed: *maxFailed, MaxTimedOut: *maxTimedOut,
-			MaxMTTRP95: *maxMTTRP95,
+			MaxMTTRP95: *maxMTTRP95, MinOffload: *minOffload, MinHitRate: *minHitRate,
 		}, *quiet)
 	}
 	if *swarmBase != "" {

@@ -1,0 +1,152 @@
+// Command mpdash-edge runs a cache-tier front over a ranked set of
+// mpdash-netserve origins. It serves the same minimal HTTP/1.1 range
+// protocol the origins speak, answers hits from a sharded in-process
+// chunk cache, collapses concurrent misses for the same chunk into one
+// origin fill (singleflight), and stamps every response with an
+// "X-MPDash-Cache: hit|miss" header that cache-aware clients fold into
+// their multipath engage and hedge decisions.
+//
+// With -metrics-addr the process serves /metrics (cache_* hit/miss/
+// eviction/collapse counters, per-edge served- and origin-byte
+// counters), /debug/vars and pprof; -journal streams cache.* events as
+// JSONL.
+//
+// Usage:
+//
+//	mpdash-edge -origins 127.0.0.1:40001,127.0.0.1:40002
+//	mpdash-edge -origins 127.0.0.1:40001 -cache-mb 128 -rate-mbps 40
+//	mpdash-edge -origins 127.0.0.1:40001 -metrics-addr 127.0.0.1:9092 -journal edge.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"mpdash"
+	"mpdash/internal/cache"
+	"mpdash/internal/netmp"
+	"mpdash/internal/obs"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		origins   = flag.String("origins", "", "comma-separated ranked origin addresses (required)")
+		videoName = flag.String("video", "Big Buck Bunny", "video from the Table 3 catalogue (must match the origins)")
+
+		cacheMB  = flag.Int("cache-mb", 64, "chunk-store capacity in MiB")
+		shards   = flag.Int("cache-shards", 0, "cache shard count (0 = default)")
+		maxLevel = flag.Int("cache-max-level", -1, "highest rendition level admitted to the store (-1 = all)")
+		minSeen  = flag.Int("cache-min-seen", 1, "misses for a chunk before it is admitted (doorkeeper; 1 = admit first fill)")
+
+		rateMbps = flag.Float64("rate-mbps", 0, "shaped rate of the client-facing downlink (0 = unshaped)")
+		fillers  = flag.Int("fill-fetchers", 2, "pooled origin fetchers bounding concurrent distinct-chunk fills")
+		fillSecs = flag.Float64("fill-window", 15, "deadline window in seconds for each whole-chunk origin fill")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address (empty = off)")
+		journalPath = flag.String("journal", "", "stream the structured event journal to this JSONL file (- = stderr)")
+		quiet       = flag.Bool("quiet", false, "suppress informational output (errors still print)")
+	)
+	flag.Parse()
+
+	if *origins == "" {
+		fmt.Fprintln(os.Stderr, "need -origins (comma-separated ranked origin addresses)")
+		return 2
+	}
+	originList := strings.Split(*origins, ",")
+	for i := range originList {
+		originList[i] = strings.TrimSpace(originList[i])
+	}
+
+	var video *mpdash.Video
+	for _, v := range mpdash.VideoCatalog() {
+		if v.Name == *videoName {
+			video = v
+		}
+	}
+	if video == nil {
+		fmt.Fprintf(os.Stderr, "unknown video %q\n", *videoName)
+		return 2
+	}
+
+	store := cache.New(cache.Config{
+		CapacityBytes: int64(*cacheMB) << 20,
+		Shards:        *shards,
+		MaxLevel:      *maxLevel,
+		MinSeen:       *minSeen,
+	})
+	edge, err := netmp.NewEdgeServer(video, video.Name, originList, store, netmp.EdgePolicy{
+		RateMbps:     *rateMbps,
+		FillFetchers: *fillers,
+		FillWindow:   time.Duration(*fillSecs * float64(time.Second)),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer edge.Close()
+
+	infof := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Printf(format, a...)
+		}
+	}
+
+	if *metricsAddr != "" || *journalPath != "" {
+		tel := obs.New()
+		if *journalPath != "" {
+			var w io.Writer = os.Stderr
+			if *journalPath != "-" {
+				jf, err := os.Create(*journalPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				defer jf.Close()
+				w = jf
+			}
+			tel.Journal.StreamTo(w)
+			defer func() {
+				if err := tel.Journal.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
+		}
+		if *metricsAddr != "" {
+			ms, err := tel.Serve(*metricsAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			defer ms.Close()
+			infof("telemetry: http://%s/metrics\n", ms.Addr())
+		}
+		store.Instrument(tel)
+		edge.Instrument(tel)
+	}
+
+	infof("edge for %q: %s (cache %d MiB over %v)\n", video.Name, edge.Addr(), *cacheMB, originList)
+	infof("\nfetch with:\n  mpdash-netfetch -wifi %s -lte %s\n", edge.Addr(), edge.Addr())
+	infof("\nCtrl-C to stop\n")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := store.Stats()
+	infof("\nserved %d payload bytes, %d from origins", edge.ServedBytes(), edge.OriginBytes())
+	if s := edge.ServedBytes(); s > 0 {
+		infof(" (offload %.2f)", 1-float64(edge.OriginBytes())/float64(s))
+	}
+	infof("\ncache: %d hits, %d misses (%d collapsed), %d evictions, %d entries / %d bytes resident\n",
+		st.Hits, st.Misses, st.Collapsed, st.Evictions, st.Entries, st.Bytes)
+	if fe := edge.FillErrors(); fe > 0 {
+		infof("fill errors: %d\n", fe)
+	}
+	return 0
+}

@@ -29,6 +29,7 @@
 //	mpdash-swarm -sessions 500 -arrival spike -duration 2s -seed 42
 //	mpdash-swarm -scenario flashcrowd.json -metrics-addr 127.0.0.1:9090
 //	mpdash-swarm -scenario scenarios/chaos-crash.json -audit -journal chaos.jsonl
+//	mpdash-swarm -scenario scenarios/zipf-cache.json -cache-mb 128
 //	mpdash-swarm -scenario scenarios/chaos-crash.json -validate
 package main
 
@@ -64,6 +65,10 @@ func run() int {
 		lteMbps  = flag.Float64("lte-mbps", 0, "per-origin LTE-path shaped rate (0 = unshaped)")
 		origins  = flag.Int("origins", 0, "origins per path per group (>1 enables failover/hedging)")
 		maxConns = flag.Int("max-conns", 0, "per-origin MaxConns admission limit (0 = unlimited)")
+
+		cacheOn       = flag.Bool("cache", false, "front the origins with a shared edge-cache tier (singleflight collapsing, hit-hint headers)")
+		cacheMB       = flag.Int("cache-mb", 0, "edge-cache capacity in MiB (0 = 64; implies -cache)")
+		cacheBackhaul = flag.Float64("cache-origin-mbps", 0, "shaped backhaul rate of each origin behind the edges (0 = unshaped; implies -cache)")
 
 		abort            = flag.Bool("abort", false, "enable doomed-chunk abort + rendition downgrade for every session")
 		abortFactor      = flag.Float64("abort-factor", 0, "doom-test scale (0 = netmp default 1)")
@@ -130,6 +135,17 @@ func run() int {
 	}
 	if *maxConns > 0 {
 		scn.Servers.MaxConns = *maxConns
+	}
+	if *cacheOn || *cacheMB > 0 || *cacheBackhaul > 0 {
+		if scn.Cache == nil {
+			scn.Cache = &swarm.CacheSpec{}
+		}
+		if *cacheMB > 0 {
+			scn.Cache.CapacityMB = *cacheMB
+		}
+		if *cacheBackhaul > 0 {
+			scn.Cache.OriginMbps = *cacheBackhaul
+		}
 	}
 	if *abort {
 		scn.Abort = &swarm.AbortSpec{Factor: *abortFactor, MinProgress: *abortMinProgress}

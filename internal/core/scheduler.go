@@ -23,6 +23,11 @@ import (
 // price of more cellular data. The paper's headline experiments use 1.0.
 const DefaultAlpha = 1.0
 
+// DefaultHitDamp is the default ceiling on cache-hint demand shrinkage:
+// even a certain hit keeps 30% of the demand in the pressure test, so a
+// mispredicted edge eviction degrades to a late engage, not a miss.
+const DefaultHitDamp = 0.7
+
 // Scheduler is the online MP-DASH scheduler attached to one multipath
 // connection. It mirrors the kernel component of the paper: activated per
 // transfer via Enable (the MP_DASH_ENABLE socket option), deactivated when
@@ -43,6 +48,16 @@ type Scheduler struct {
 	// missed deadline. Policies (internal/policy) use it to express
 	// "quota exhausted — degrade rather than pay".
 	MaxCost float64
+	// HitProbability is the transfer's edge-cache hit probability in
+	// [0, 1]: the fraction of the remaining bytes expected to arrive at
+	// local-store speed rather than origin-path speed. The evaluation
+	// shrinks the demanded bytes by HitDamp·HitProbability before the
+	// prefix-cover walk, so cache-hot transfers keep costly secondaries
+	// parked. Zero (the default) leaves Algorithm 1 untouched.
+	HitProbability float64
+	// HitDamp bounds how much a certain hit can shrink the demand.
+	// Non-positive or >1 selects DefaultHitDamp.
+	HitDamp float64
 
 	active     bool
 	size       int64
@@ -281,6 +296,19 @@ func (s *Scheduler) evaluate() {
 	paths := s.orderedPaths()
 
 	needBits := float64(remaining * 8)
+	// Cache-aware damping: bytes the edge serves from its store arrive
+	// far faster than the origin-path estimate predicts, so the expected
+	// hit fraction is discounted from the demand before the cover walk.
+	if hp := s.HitProbability; hp > 0 {
+		if hp > 1 {
+			hp = 1
+		}
+		damp := s.HitDamp
+		if damp <= 0 || damp > 1 {
+			damp = DefaultHitDamp
+		}
+		needBits *= 1 - damp*hp
+	}
 	windowSec := window.Seconds()
 	var capacityBits float64
 	covered := false

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mpdash/internal/trace"
+)
+
+// TestHitProbabilityDampsEngage drives the same deadline-pressured
+// transfer twice: undamped, Algorithm 1 must engage the costly LTE path
+// (WiFi alone cannot cover 5 MB in 9 s); with a certain cache hit the
+// damped demand fits the primary and LTE stays parked.
+func TestHitProbabilityDampsEngage(t *testing.T) {
+	w := trace.Constant("w", 3.8, time.Second, 1)
+	l := trace.Constant("l", 3.0, time.Second, 1)
+
+	run := func(hitProb float64) bool {
+		s, c, sch := rig(t, w, l, 1)
+		warm(t, c)
+		sch.HitProbability = hitProb
+		tr, err := c.StartTransfer(5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch.Govern(tr)
+		if err := sch.Enable(5_000_000, 9*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		s.Advance(500 * time.Millisecond)
+		engaged := c.Path("lte").Enabled()
+		sch.Disable()
+		tr.RunUntilComplete(5 * time.Minute)
+		return engaged
+	}
+
+	if !run(0) {
+		t.Error("undamped: LTE parked despite uncoverable demand")
+	}
+	if run(1) {
+		t.Error("certain hit: LTE engaged despite damped demand fitting WiFi")
+	}
+	// Out-of-range probabilities clamp to 1 rather than going negative.
+	if run(5) {
+		t.Error("clamped probability >1 still engaged LTE")
+	}
+}
+
+// TestHitDampBounds: a custom damp bounds the discount; an absurd value
+// falls back to the default.
+func TestHitDampBounds(t *testing.T) {
+	w := trace.Constant("w", 3.8, time.Second, 1)
+	l := trace.Constant("l", 3.0, time.Second, 1)
+
+	run := func(damp float64) bool {
+		s, c, sch := rig(t, w, l, 1)
+		warm(t, c)
+		sch.HitProbability = 1
+		sch.HitDamp = damp
+		tr, err := c.StartTransfer(5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch.Govern(tr)
+		if err := sch.Enable(5_000_000, 9*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		s.Advance(500 * time.Millisecond)
+		engaged := c.Path("lte").Enabled()
+		sch.Disable()
+		tr.RunUntilComplete(5 * time.Minute)
+		return engaged
+	}
+
+	// Damp 0.1 shaves only 10% off the demand — not enough to fit WiFi.
+	if !run(0.1) {
+		t.Error("damp 0.1 parked LTE despite residual pressure")
+	}
+	// Damp >1 is invalid and falls back to the 0.7 default, which parks.
+	if run(1.5) {
+		t.Error("invalid damp did not fall back to the parking default")
+	}
+}

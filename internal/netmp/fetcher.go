@@ -57,6 +57,11 @@ type Fetcher struct {
 	// the mechanism off. Aborts engage only above the lowest rendition —
 	// with nothing to downgrade to, a doomed level-0 chunk rides out.
 	Abort AbortPolicy
+	// CacheHint bounds how edge X-MPDash-Cache headers damp the engage
+	// test and suppress hedging (cachehint.go); the zero value selects
+	// the defaults, and a session that never sees the header behaves
+	// exactly as before.
+	CacheHint CacheHintPolicy
 
 	primary   *pathConn
 	secondary *pathConn
@@ -76,6 +81,10 @@ type Fetcher struct {
 	fobs  *fetcherObs
 
 	fb fbTrack // first-byte span tracking for the in-flight chunk
+
+	// chint is the cache-hint memory fed by X-MPDash-Cache response
+	// headers (cachehint.go).
+	chint cacheHintState
 
 	// tref names the in-flight chunk's span trace (tracing.go); shared
 	// with both pathConns so the supervisor can attach redial spans.
@@ -419,6 +428,7 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 
 	start := f.clk.now()
 	dlAt := start.Add(time.Duration(alpha * float64(d)))
+	f.chint.beginChunk(index)
 	res := &FetchResult{Size: size, Verified: true}
 	fo := f.obsHandles()
 	if fo != nil {
@@ -554,6 +564,14 @@ func (f *Fetcher) FetchChunk(index, level int, d time.Duration) (*FetchResult, e
 					return
 				}
 				remaining := float64(st.remainingSegments()) * float64(segSize)
+				// Cache-aware service-time hint: a chunk the edge will
+				// serve from its store moves far faster than the path
+				// rate history suggests, so scale the demand down by the
+				// hit probability before the pressure test. A known miss
+				// (or no edge at all) leaves the demand untouched.
+				if hp := f.cacheHitProb(index); hp > 0 {
+					remaining *= 1 - f.CacheHint.withDefaults().Damp*hp
+				}
 				if !f.primary.isDown() {
 					mu.Lock()
 					got := res.PrimaryBytes + res.SecondaryBytes
@@ -785,6 +803,7 @@ func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (
 
 	lvlID := f.Video.Levels[level].ID
 	req := fmt.Sprintf("GET /seg-l%d-c%04d.m4s HTTP/1.1\r\nHost: x\r\nRange: bytes=%d-%d\r\n\r\n", lvlID, index, from, to)
+	t0 := f.clk.now()
 	extend()
 	if _, err := io.WriteString(pc.conn, req); err != nil {
 		return 0, false, fmt.Errorf("netmp: %s write: %w", pc.name, err)
@@ -802,6 +821,7 @@ func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (
 		return 0, false, fmt.Errorf("netmp: %s %w %q", pc.name, errBadStatus, strings.TrimSpace(status))
 	}
 	var contentLength int64 = -1
+	cacheState := ""
 	for {
 		h, err := pc.r.ReadString('\n')
 		if err != nil {
@@ -817,9 +837,25 @@ func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (
 				return 0, false, fmt.Errorf("netmp: %s content-length %q: %w", pc.name, v, err)
 			}
 		}
+		if v, found := headerCut(h, "X-MPDash-Cache"); found {
+			cacheState = strings.ToLower(v)
+		}
 	}
 	if contentLength < 0 {
 		return 0, false, fmt.Errorf("netmp: %s missing content length", pc.name)
+	}
+	if cacheState != "" && !f.CacheHint.Disabled {
+		hit := cacheState == "hit"
+		f.noteCacheHeader(pc, index, level, hit)
+		if !hit {
+			// The edge is (or was) filling this chunk from origin: the
+			// whole request rode that fill, so the span is backdated to
+			// the request write — that interval is origin time, and the
+			// miss-budget walker attributes it to the cache category.
+			csp := f.curTrace().StartSpanAt(obs.CatCache, "origin-fill", t0)
+			csp.SetPath(pc.name)
+			defer csp.End()
+		}
 	}
 	buf := make([]byte, 16*1024)
 	var got int64

@@ -202,7 +202,10 @@ type segOutcome struct {
 func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int, from, to int64, dlAt time.Time) (int64, error) {
 	hp := f.Hedge.withDefaults()
 	var backup *origin
-	if !f.Hedge.Disabled && f.hedge.budgetLeft(hp.BudgetBytes) {
+	// A cache-hot chunk's slow first bytes are the edge's singleflight
+	// fill; a duplicate request would join that fill, not beat it, so
+	// hedging is suppressed above the hot threshold.
+	if !f.Hedge.Disabled && !f.cacheHot(index) && f.hedge.budgetLeft(hp.BudgetBytes) {
 		if b, ok := pc.set.backup(); ok {
 			backup = b
 		}

@@ -587,7 +587,7 @@ func (s *ChunkServer) serve(conn net.Conn, ctx context.Context) {
 		if capped {
 			return
 		}
-		index, level, from, to, manifest, bad, ok := s.readRequest(r)
+		index, level, from, to, manifest, bad, ok := readChunkRequest(r, s.Video)
 		if !ok {
 			return
 		}
@@ -634,12 +634,14 @@ func (s *ChunkServer) serve(conn net.Conn, ctx context.Context) {
 	}
 }
 
-// readRequest parses "GET /seg-lL-cCCCC.m4s HTTP/1.1" (or
-// "GET /manifest.mpd") plus headers. Header field names and the range
-// unit match case-insensitively (RFC 9110); a syntactically malformed
-// Range value sets bad=true so the caller answers 400 instead of
-// silently serving from offset 0. ok=false means protocol error or EOF.
-func (s *ChunkServer) readRequest(r *bufio.Reader) (index, level int, from, to int64, manifest, bad, ok bool) {
+// readChunkRequest parses "GET /seg-lL-cCCCC.m4s HTTP/1.1" (or
+// "GET /manifest.mpd") plus headers against video's catalog bounds —
+// shared by the origin ChunkServer and the EdgeServer, which speak the
+// same protocol. Header field names and the range unit match
+// case-insensitively (RFC 9110); a syntactically malformed Range value
+// sets bad=true so the caller answers 400 instead of silently serving
+// from offset 0. ok=false means protocol error or EOF.
+func readChunkRequest(r *bufio.Reader, video *dash.Video) (index, level int, from, to int64, manifest, bad, ok bool) {
 	line, err := r.ReadString('\n')
 	if err != nil {
 		return 0, 0, 0, 0, false, false, false
@@ -693,7 +695,7 @@ func (s *ChunkServer) readRequest(r *bufio.Reader) (index, level int, from, to i
 		return 0, 0, 0, 0, true, bad, true
 	}
 	lvl := lvlID - 1
-	if lvl < 0 || lvl >= len(s.Video.Levels) || idx < 0 || idx >= s.Video.NumChunks {
+	if lvl < 0 || lvl >= len(video.Levels) || idx < 0 || idx >= video.NumChunks {
 		return 0, 0, 0, 0, false, false, false
 	}
 	return idx, lvl, from, to, false, bad, true
@@ -701,7 +703,14 @@ func (s *ChunkServer) readRequest(r *bufio.Reader) (index, level int, from, to i
 
 // writeManifest serves the video's MPD (unshaped: manifests are tiny).
 func (s *ChunkServer) writeManifest(w *bufio.Writer) error {
-	body, err := dash.EncodeMPD(s.Video.Manifest())
+	return writeManifestFor(w, s.Video)
+}
+
+// writeManifestFor writes v's MPD response — shared by the origin
+// server and the edge (an edge synthesizes the manifest locally; the
+// asset description is the same either way).
+func writeManifestFor(w *bufio.Writer, v *dash.Video) error {
+	body, err := dash.EncodeMPD(v.Manifest())
 	if err != nil {
 		return err
 	}

@@ -157,6 +157,16 @@ func describe(e Event) string {
 	case "stream.downgrade":
 		return fmt.Sprintf("DOWNGRADE level %d→%.0f (est=%s, %.2fs left)",
 			e.Level, e.Num["to_level"], fmtRate(e.Num["rate_bps"]), e.Num["window_s"])
+	case "cache.hit":
+		return fmt.Sprintf("cache HIT %s", e.Str["video"])
+	case "cache.miss":
+		return fmt.Sprintf("cache MISS %s: origin fill", e.Str["video"])
+	case "cache.collapse":
+		return fmt.Sprintf("cache miss COLLAPSED %s: waiting on the in-flight fill", e.Str["video"])
+	case "cache.evict":
+		return fmt.Sprintf("cache evict %s", e.Str["video"])
+	case "cache.hint":
+		return fmt.Sprintf("%s cache hint %s (prior %.2f)", e.Path, e.Str["state"], e.Num["prior"])
 	case "board.seed":
 		return fmt.Sprintf("board seed %s: est=%s", e.Str["key"], fmtRate(e.Num["rate_bps"]))
 	case "board.drop":

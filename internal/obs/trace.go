@@ -26,6 +26,7 @@ const (
 	CatRefetch   = "refetch"   // lifeline lowest-level refetch after exhaustion
 	CatRequeue   = "requeue"   // segment requeued to the surviving path
 	CatStall     = "stall"     // playback stall charged to this chunk
+	CatCache     = "cache"     // edge-cache miss: waiting on an origin fill
 )
 
 // Trace verdicts: the terminal state a chunk's trace is finished with.
@@ -328,6 +329,20 @@ func (t *Trace) StartSpan(category, name string) *Span {
 	sp.start = t.tracer.nowFn()
 	t.spans = append(t.spans, sp)
 	t.mu.Unlock()
+	return sp
+}
+
+// StartSpanAt opens a span whose start is backdated to at — for
+// intervals whose category is only known after they began, like a range
+// request that turns out to be an edge-cache miss once the response
+// headers arrive.
+func (t *Trace) StartSpanAt(category, name string, at time.Time) *Span {
+	sp := t.StartSpan(category, name)
+	if sp != nil {
+		sp.t.mu.Lock()
+		sp.start = at
+		sp.t.mu.Unlock()
+	}
 	return sp
 }
 

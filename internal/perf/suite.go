@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
+	"mpdash/internal/cache"
 	"mpdash/internal/core"
 	"mpdash/internal/mptcp"
 	"mpdash/internal/obs"
@@ -26,6 +28,7 @@ const (
 	hwInner      = 64
 	observeInner = 128
 	traceInner   = 64
+	cacheInner   = 128
 )
 
 func coreScenarios() []*scenario {
@@ -37,6 +40,9 @@ func coreScenarios() []*scenario {
 		{name: "obs_histogram_observe", inner: observeInner, setup: setupHistogramObserve, domain: nil},
 		{name: "obs_trace_disabled", inner: traceInner, setup: setupTraceDisabled, domain: nil},
 		{name: "obs_trace_chunk", inner: 1, setup: setupTraceChunk, domain: traceDomain},
+		{name: "cache_get", inner: cacheInner, setup: setupCacheGet, domain: cacheDomain},
+		{name: "cache_put", inner: cacheInner, setup: setupCachePut, domain: nil},
+		{name: "cache_singleflight", inner: 1, setup: setupCacheSingleflight, domain: nil},
 	}
 }
 
@@ -351,6 +357,131 @@ func traceDomain(Config) ([]Metric, error) {
 		{Name: "dropped", Value: float64(st.Dropped), Gate: GateExact},
 		{Name: "trace_overhead_frac", Value: overhead, Gate: GateInfo},
 		{Name: "trace_overhead_ok", Value: ok, Gate: GateMin},
+	}, nil
+}
+
+// benchCacheBody builds one deterministic n-byte payload.
+func benchCacheBody(n, salt int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*31 + salt)
+	}
+	return b
+}
+
+// setupCacheGet measures the hit path — shard resolve, map lookup, LRU
+// promote — over a fully resident key set.
+func setupCacheGet(Config) (func(), error) {
+	c := cache.New(cache.Config{CapacityBytes: 2 << 20, Shards: 8})
+	keys := make([]cache.Key, 256)
+	for i := range keys {
+		keys[i] = cache.Key{Video: "bench", Level: i % 3, Chunk: i}
+		if !c.Put(keys[i], benchCacheBody(4096, i)) {
+			return nil, fmt.Errorf("perf: cache_get: key %d not admitted", i)
+		}
+	}
+	i := 0
+	return func() {
+		for k := 0; k < cacheInner; k++ {
+			if _, ok := c.Get(keys[i%len(keys)]); !ok {
+				panic("perf: cache_get: miss on a resident key")
+			}
+			i++
+		}
+	}, nil
+}
+
+// setupCachePut measures insertion under steady LRU eviction: the key
+// set is twice the capacity, so every put soon pays one eviction.
+func setupCachePut(Config) (func(), error) {
+	c := cache.New(cache.Config{CapacityBytes: 1 << 20, Shards: 8})
+	bodies := make([][]byte, 512)
+	for i := range bodies {
+		bodies[i] = benchCacheBody(4096, i)
+	}
+	i := 0
+	return func() {
+		for k := 0; k < cacheInner; k++ {
+			c.Put(cache.Key{Video: "bench", Chunk: i % len(bodies)}, bodies[i%len(bodies)])
+			i++
+		}
+	}, nil
+}
+
+// setupCacheSingleflight measures the uncontended leader path end to
+// end: flight registration, an instant fill, admission, flight close.
+// Every call uses a fresh key so it is always a miss.
+func setupCacheSingleflight(Config) (func(), error) {
+	c := cache.New(cache.Config{CapacityBytes: 1 << 20, Shards: 8})
+	body := benchCacheBody(4096, 0)
+	i := 0
+	return func() {
+		_, _, err := c.Fetch(cache.Key{Video: "bench", Chunk: i}, func() ([]byte, error) {
+			return body, nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		i++
+	}, nil
+}
+
+// cacheDomain pins the cache's behavioural contract with fixed work:
+// a single-threaded LRU churn whose hit/miss/eviction counts are exact,
+// then a 64-way concurrent miss that must collapse into exactly one
+// fill. The concurrent split between collapsed waiters and late hits is
+// scheduler-dependent, so only its invariants are gated exactly.
+func cacheDomain(Config) ([]Metric, error) {
+	// 150 keys × 16 KiB through a 1 MiB single-shard store (64 resident):
+	// a cold sweep whose evictions are deterministic, then a re-read of
+	// the resident LRU tail whose hits are too.
+	c := cache.New(cache.Config{CapacityBytes: 1 << 20, Shards: 1})
+	body := benchCacheBody(16<<10, 1)
+	churnFetch := func(chunk int) error {
+		_, _, err := c.Fetch(cache.Key{Video: "churn", Chunk: chunk}, func() ([]byte, error) {
+			return body, nil
+		})
+		return err
+	}
+	for i := 0; i < 150; i++ {
+		if err := churnFetch(i); err != nil {
+			return nil, err
+		}
+	}
+	for i := 100; i < 150; i++ {
+		if err := churnFetch(i); err != nil {
+			return nil, err
+		}
+	}
+	churn := c.Stats()
+
+	// 64 concurrent fetchers of one key: exactly one fill runs; every
+	// other call either collapsed onto it or hit the cached result.
+	cc := cache.New(cache.Config{CapacityBytes: 8 << 20})
+	fillBody := benchCacheBody(64<<10, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := cc.Fetch(cache.Key{Video: "flash", Chunk: 7}, func() ([]byte, error) {
+				time.Sleep(2 * time.Millisecond) // hold the flight open so waiters pile on
+				return fillBody, nil
+			})
+			if err != nil {
+				panic(err)
+			}
+		}()
+	}
+	wg.Wait()
+	flash := cc.Stats()
+	return []Metric{
+		{Name: "churn_hits", Value: float64(churn.Hits), Gate: GateExact},
+		{Name: "churn_misses", Value: float64(churn.Misses), Gate: GateExact},
+		{Name: "churn_evictions", Value: float64(churn.Evictions), Gate: GateExact},
+		{Name: "flash_fills_64_way", Value: float64(flash.Fills), Gate: GateExact},
+		{Name: "flash_lookups", Value: float64(flash.Hits + flash.Misses), Gate: GateExact},
+		{Name: "flash_collapsed", Value: float64(flash.Collapsed), Gate: GateInfo},
 	}, nil
 }
 

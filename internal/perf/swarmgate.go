@@ -27,6 +27,12 @@ type SwarmThresholds struct {
 	// executed chaos timeline whose every event recovered, with p95 MTTR
 	// (seconds) at or under this bound. 0 = recovery not gated.
 	MaxMTTRP95 float64
+	// MinOffload gates the edge-cache tier: when > 0 the report must
+	// carry a cache block whose origin-offload ratio is at or above this
+	// bound. 0 = offload not gated.
+	MinOffload float64
+	// MinHitRate gates the cache hit rate the same way (0 = not gated).
+	MinHitRate float64
 }
 
 func (t SwarmThresholds) withDefaults() SwarmThresholds {
@@ -96,6 +102,31 @@ func GateSwarm(rep *swarm.Report, t SwarmThresholds) ([]DiffRow, bool) {
 		} else {
 			rows = append(rows, row("mttr_p95_s", rep.MTTR.P95, t.MaxMTTRP95, "≤",
 				rep.MTTR.P95 <= t.MaxMTTRP95, "time to rolling miss rate back under threshold"))
+		}
+	}
+	// Cache gates: the report must carry a cache block (the scenario ran
+	// with an edge tier) and meet the absolute offload / hit-rate floors.
+	if t.MinOffload > 0 || t.MinHitRate > 0 {
+		if rep.Cache == nil {
+			rows = append(rows, DiffRow{Bench: "swarm:" + rep.Scenario, Metric: "cache",
+				Limit: "present", Verdict: VerdictFail,
+				Note: "a cache gate needs a run with an edge-cache tier"})
+			ok = false
+		} else {
+			if t.MinOffload > 0 {
+				rows = append(rows, row("cache_offload_ratio", rep.Cache.OffloadRatio, t.MinOffload, "≥",
+					rep.Cache.OffloadRatio >= t.MinOffload, "payload share the origins never saw"))
+			}
+			if t.MinHitRate > 0 {
+				rows = append(rows, row("cache_hit_rate", rep.Cache.HitRate, t.MinHitRate, "≥",
+					rep.Cache.HitRate >= t.MinHitRate, "collapsed waiters count as misses"))
+			}
+			rows = append(rows,
+				row("cache_fill_errors", float64(rep.Cache.FillErrors), 0, "=",
+					rep.Cache.FillErrors == 0, "origin fills must not fail"),
+				DiffRow{Bench: "swarm:" + rep.Scenario, Metric: "cache_collapsed",
+					Fresh: float64(rep.Cache.Collapsed), Verdict: VerdictInfo,
+					Note: "misses that joined an in-flight fill"})
 		}
 	}
 	// Invariant audit gate: an audited report must be violation-free.

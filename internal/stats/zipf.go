@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability ∝ 1/(rank+1)^s by inverse
+// CDF over precomputed cumulative weights. Unlike math/rand.Zipf it
+// accepts any s > 0 (including the classic s = 1). The same sampler
+// backs the swarm planner's content-popularity draws and the cache
+// tier's popularity-rank reporting, so "rank" means the same thing in
+// both places.
+type Zipf struct {
+	cum []float64 // normalized cumulative weights
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. n must be
+// positive; s ≤ 0 degenerates to the uniform law (every weight 1).
+func NewZipf(s float64, n int) *Zipf {
+	cum := make([]float64, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += 1 / math.Pow(float64(i+1), s)
+		cum[i] = t
+	}
+	for i := range cum {
+		cum[i] /= t
+	}
+	return &Zipf{cum: cum}
+}
+
+// Draw samples one rank from rng.
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}
+
+// Prob returns the probability mass of rank i — the expected request
+// share the popularity law assigns it.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
+
+// Ranks returns the number of ranks the sampler spans.
+func (z *Zipf) Ranks() int { return len(z.cum) }

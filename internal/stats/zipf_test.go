@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 1.1, 2} {
+		for _, n := range []int{1, 2, 8, 100} {
+			z := NewZipf(s, n)
+			if z.Ranks() != n {
+				t.Fatalf("s=%v n=%d: Ranks()=%d", s, n, z.Ranks())
+			}
+			total := 0.0
+			for i := 0; i < n; i++ {
+				p := z.Prob(i)
+				if p <= 0 {
+					t.Fatalf("s=%v n=%d: Prob(%d)=%v not positive", s, n, i, p)
+				}
+				total += p
+			}
+			if !almostEqual(total, 1, 1e-9) {
+				t.Errorf("s=%v n=%d: probabilities sum to %v", s, n, total)
+			}
+		}
+	}
+}
+
+func TestZipfProbMonotoneAndShaped(t *testing.T) {
+	z := NewZipf(1, 4)
+	// With s=1 the weights are 1, 1/2, 1/3, 1/4.
+	h := 1 + 0.5 + 1.0/3 + 0.25
+	want := []float64{1 / h, 0.5 / h, (1.0 / 3) / h, 0.25 / h}
+	for i, w := range want {
+		if !almostEqual(z.Prob(i), w, 1e-9) {
+			t.Errorf("Prob(%d) = %v, want %v", i, z.Prob(i), w)
+		}
+	}
+	for i := 1; i < z.Ranks(); i++ {
+		if z.Prob(i) > z.Prob(i-1) {
+			t.Errorf("popularity not monotone at rank %d", i)
+		}
+	}
+	// Out-of-range ranks carry no mass.
+	if z.Prob(-1) != 0 || z.Prob(4) != 0 {
+		t.Error("out-of-range rank has nonzero mass")
+	}
+}
+
+func TestZipfUniformWhenSNonPositive(t *testing.T) {
+	z := NewZipf(0, 5)
+	for i := 0; i < 5; i++ {
+		if !almostEqual(z.Prob(i), 0.2, 1e-9) {
+			t.Errorf("s=0 Prob(%d) = %v, want 0.2", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfDrawDeterministicAndInRange(t *testing.T) {
+	z := NewZipf(1.1, 8)
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	counts := make([]int, 8)
+	for i := 0; i < 10_000; i++ {
+		x, y := z.Draw(a), z.Draw(b)
+		if x != y {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, x, y)
+		}
+		if x < 0 || x >= 8 {
+			t.Fatalf("draw %d out of range: %d", i, x)
+		}
+		counts[x]++
+	}
+	// The empirical law has to resemble the analytic one: rank 0 within
+	// a few points of its mass, and strictly ahead of the tail.
+	if got, want := float64(counts[0])/10_000, z.Prob(0); math.Abs(got-want) > 0.03 {
+		t.Errorf("rank-0 share %v, analytic %v", got, want)
+	}
+	if counts[0] <= counts[7] {
+		t.Errorf("head (%d) not more popular than tail (%d)", counts[0], counts[7])
+	}
+}

@@ -115,6 +115,10 @@ type Report struct {
 
 	Server ServerReport `json:"server"`
 
+	// Cache is the edge-cache tier's report (nil = the run had no cache
+	// stanza and sessions streamed straight from the origins).
+	Cache *CacheReport `json:"cache,omitempty"`
+
 	// Chaos is the executed chaos timeline, one entry per event, with
 	// per-event recovery times (MTTRS = -1 when the population's rolling
 	// miss rate never returned under threshold before the run ended).
@@ -323,6 +327,16 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "  server tier  %d origins, served %.1f MB, rejected %d, capped %d, accept retries %d, faults injected %d\n",
 		r.Server.Origins, float64(r.Server.ServedBytes)/1e6, r.Server.RejectedConns,
 		r.Server.CappedConns, r.Server.AcceptRetries, r.Server.InjectedFaults)
+	if c := r.Cache; c != nil {
+		fmt.Fprintf(&b, "  cache        %d edges (%d MiB), hit rate %.1f%% (%d hits, %d misses, %d collapsed), %d evictions\n",
+			c.Edges, c.CapacityMB, 100*c.HitRate, c.Hits, c.Misses, c.Collapsed, c.Evictions)
+		fmt.Fprintf(&b, "               offload %.2f — served %.1f MB, pulled %.1f MB from origins, %d fill errors\n",
+			c.OffloadRatio, float64(c.ServedBytes)/1e6, float64(c.OriginBytes)/1e6, c.FillErrors)
+		for _, rk := range c.ByRank {
+			fmt.Fprintf(&b, "    rank %-2d %-14s hit %5.1f%% (%d/%d)  expected share %.1f%%\n",
+				rk.Rank, rk.Video, 100*rk.HitRate, rk.Hits, rk.Hits+rk.Misses, 100*rk.ExpectedShare)
+		}
+	}
 	if len(r.Chaos) > 0 {
 		recovered := 0
 		for _, c := range r.Chaos {

@@ -1,0 +1,91 @@
+package swarm
+
+import (
+	"mpdash/internal/stats"
+)
+
+// CacheReport is the edge-cache tier's slice of the population report:
+// store counters, the origin-offload ratio the tier bought, and the
+// hit-rate breakdown by catalog popularity rank against the Zipf share
+// each rank was expected to draw.
+type CacheReport struct {
+	Edges      int `json:"edges"`
+	CapacityMB int `json:"capacity_mb"`
+
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Collapsed int64 `json:"collapsed"`
+	Evictions int64 `json:"evictions"`
+	Fills     int64 `json:"fills"`
+	// HitRate is hits over all lookups (collapsed waiters count as
+	// misses: they waited on origin time even though only one fill ran).
+	HitRate float64 `json:"hit_rate"`
+
+	// ServedBytes is payload the edges wrote to sessions; OriginBytes is
+	// what their miss fills pulled across the backhaul. OffloadRatio is
+	// 1 − origin/served — the fraction of delivered payload the origins
+	// never saw.
+	ServedBytes  int64   `json:"served_bytes"`
+	OriginBytes  int64   `json:"origin_bytes"`
+	OffloadRatio float64 `json:"offload_ratio"`
+	FillErrors   int64   `json:"fill_errors"`
+
+	ByRank []CacheRankReport `json:"by_rank,omitempty"`
+}
+
+// CacheRankReport is one catalog rank's cache behaviour.
+type CacheRankReport struct {
+	Rank    int     `json:"rank"`
+	Video   string  `json:"video"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	// ExpectedShare is the rank's Zipf probability mass — the fraction
+	// of sessions the plan steered to it.
+	ExpectedShare float64 `json:"expected_share"`
+}
+
+// cacheReport snapshots the edge tier (nil when the run had no cache).
+func (t *tier) cacheReport(s *Scenario) *CacheReport {
+	if t.store == nil {
+		return nil
+	}
+	st := t.store.Stats()
+	r := &CacheReport{
+		Edges:      len(t.edges),
+		CapacityMB: s.Cache.withDefaults().CapacityMB,
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		Collapsed:  st.Collapsed,
+		Evictions:  st.Evictions,
+		Fills:      st.Fills,
+	}
+	if tot := st.Hits + st.Misses; tot > 0 {
+		r.HitRate = float64(st.Hits) / float64(tot)
+	}
+	for _, e := range t.edges {
+		r.ServedBytes += e.ServedBytes()
+		r.OriginBytes += e.OriginBytes()
+		r.FillErrors += e.FillErrors()
+	}
+	if r.ServedBytes > 0 {
+		r.OffloadRatio = 1 - float64(r.OriginBytes)/float64(r.ServedBytes)
+	}
+	per := t.store.PerVideo()
+	z := stats.NewZipf(s.ZipfS, len(s.Catalog))
+	for rank, c := range s.Catalog {
+		vs := per[c.Name]
+		rr := CacheRankReport{
+			Rank:          rank,
+			Video:         c.Name,
+			Hits:          vs.Hits,
+			Misses:        vs.Misses,
+			ExpectedShare: z.Prob(rank),
+		}
+		if tot := vs.Hits + vs.Misses; tot > 0 {
+			rr.HitRate = float64(vs.Hits) / float64(tot)
+		}
+		r.ByRank = append(r.ByRank, rr)
+	}
+	return r
+}

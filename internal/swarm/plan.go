@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"mpdash/internal/stats"
 )
 
 // Deterministic population planning: every draw descends from the
@@ -43,14 +45,14 @@ func Plan(scn Scenario) ([]SessionSpec, error) {
 	n := s.Sessions
 	starts := s.Arrival.offsets(n, rand.New(rand.NewSource(s.Seed^saltArrival)))
 	zrng := rand.New(rand.NewSource(s.Seed ^ saltZipf))
-	z := newZipf(s.ZipfS, len(s.Catalog))
+	z := stats.NewZipf(s.ZipfS, len(s.Catalog))
 	prng := rand.New(rand.NewSource(s.Seed ^ saltProfile))
 	specs := make([]SessionSpec, n)
 	for i := range specs {
 		specs[i] = SessionSpec{
 			ID:      i,
 			StartAt: starts[i],
-			Video:   z.draw(zrng),
+			Video:   z.Draw(zrng),
 			Profile: drawProfile(s.Profiles, prng),
 			Seed:    s.Seed ^ saltSession ^ int64(i)*0x9e3779b9,
 		}
@@ -97,35 +99,6 @@ func (a Arrival) offsets(n int, rng *rand.Rand) []time.Duration {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
-}
-
-// zipf samples ranks 0..n-1 with probability ∝ 1/(rank+1)^s by inverse
-// CDF over precomputed cumulative weights. Unlike math/rand.Zipf it
-// accepts any s > 0 (including the classic s = 1).
-type zipf struct {
-	cum []float64 // normalized cumulative weights
-}
-
-func newZipf(s float64, n int) *zipf {
-	cum := make([]float64, n)
-	t := 0.0
-	for i := 0; i < n; i++ {
-		t += 1 / math.Pow(float64(i+1), s)
-		cum[i] = t
-	}
-	for i := range cum {
-		cum[i] /= t
-	}
-	return &zipf{cum: cum}
-}
-
-func (z *zipf) draw(rng *rand.Rand) int {
-	u := rng.Float64()
-	i := sort.SearchFloat64s(z.cum, u)
-	if i >= len(z.cum) {
-		i = len(z.cum) - 1
-	}
-	return i
 }
 
 // drawProfile samples a profile index by weight (zero weights count as 1

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"testing"
 	"time"
+
+	"mpdash/internal/stats"
 )
 
 // tinyCatalog keeps swarm tests fast: 100 ms chunks, short videos.
@@ -112,11 +114,11 @@ func TestArrivalShapes(t *testing.T) {
 }
 
 func TestZipfPopularity(t *testing.T) {
-	z := newZipf(1.0, 5)
+	z := stats.NewZipf(1.0, 5)
 	rng := rand.New(rand.NewSource(9))
 	counts := make([]int, 5)
 	for i := 0; i < 20000; i++ {
-		counts[z.draw(rng)]++
+		counts[z.Draw(rng)]++
 	}
 	for i := 1; i < len(counts); i++ {
 		if counts[i] > counts[i-1] {

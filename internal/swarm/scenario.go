@@ -176,6 +176,44 @@ type CapacityDropSpec struct {
 	LTEFactor  float64 `json:"lte_factor,omitempty"`
 }
 
+// CacheSpec puts a shared edge-cache tier between the sessions and the
+// origins: one singleflight-collapsing edge per (video, link class)
+// group and path, every edge backed by a single sharded chunk store, so
+// a chunk filled through any edge is a hit for all of them. Sessions
+// then stream from the edges — the class rates (servers.wifi_mbps /
+// lte_mbps) shape the edges' client-facing downlinks — while the
+// origins behind them run at the backhaul rate (origin_mbps).
+type CacheSpec struct {
+	// CapacityMB is the shared store's capacity in MiB (default 64).
+	CapacityMB int `json:"capacity_mb,omitempty"`
+	// Shards overrides the store's shard count (0 = default).
+	Shards int `json:"shards,omitempty"`
+	// MaxLevel caps the admitted rendition level (0 = admit all).
+	MaxLevel int `json:"max_level,omitempty"`
+	// MinSeen is the admission doorkeeper: misses a chunk needs before
+	// it is cached (default 1 = admit on first fill).
+	MinSeen int `json:"min_seen,omitempty"`
+	// FillFetchers bounds each edge's concurrent distinct-chunk origin
+	// fills (0 = netmp default).
+	FillFetchers int `json:"fill_fetchers,omitempty"`
+	// OriginMbps shapes each origin behind the edges — the backhaul a
+	// miss fill crosses (0 = unshaped).
+	OriginMbps float64 `json:"origin_mbps,omitempty"`
+}
+
+// withDefaults returns the defaulted spec (nil-safe, like
+// RecoverySpec.withDefaults: the scenario keeps the pointer untouched).
+func (c *CacheSpec) withDefaults() CacheSpec {
+	var out CacheSpec
+	if c != nil {
+		out = *c
+	}
+	if out.CapacityMB <= 0 {
+		out.CapacityMB = 64
+	}
+	return out
+}
+
 // Servers declares the shared origin tier.
 type Servers struct {
 	// WiFiMbps / LTEMbps shape each origin of the default link class
@@ -215,6 +253,11 @@ type Scenario struct {
 	Catalog  []CatalogItem `json:"catalog,omitempty"`
 	Profiles []Profile     `json:"profiles,omitempty"`
 	Servers  Servers       `json:"servers,omitempty"`
+	// Cache fronts the origins with a shared edge-cache tier (nil =
+	// sessions stream straight from the origins). Chaos capacity and
+	// fault events keep targeting the origins — with a cache they model
+	// backhaul trouble, which sessions only feel on misses.
+	Cache *CacheSpec `json:"cache,omitempty"`
 	// Abort enables doomed-chunk abort for every session (nil = off).
 	Abort *AbortSpec `json:"abort,omitempty"`
 	// Board shares one congestion board across the run's sessions,
@@ -332,6 +375,11 @@ func (s Scenario) Validate() error {
 	}
 	if len(s.Profiles) > 0 && total <= 0 {
 		return fmt.Errorf("swarm: profile weights sum to %g", total)
+	}
+	if c := s.Cache; c != nil {
+		if c.CapacityMB < 0 || c.Shards < 0 || c.MaxLevel < 0 || c.MinSeen < 0 || c.FillFetchers < 0 || c.OriginMbps < 0 {
+			return fmt.Errorf("swarm: cache: negative field")
+		}
 	}
 	if a := s.Abort; a != nil {
 		if a.Factor < 0 || a.MinProgress < 0 || a.MinProgress > 1 {

@@ -124,13 +124,23 @@ func (sw *Swarm) Run(ctx context.Context) (*Report, error) {
 		return nil, err
 	}
 	defer tr.close()
-	for _, srv := range tr.servers {
-		if sw.tel != nil {
+	if sw.tel != nil {
+		for _, srv := range tr.servers {
 			srv.Instrument(sw.tel)
 		}
+		for _, e := range tr.edges {
+			e.Instrument(sw.tel)
+		}
+		if tr.store != nil {
+			tr.store.Instrument(sw.tel)
+		}
 	}
-	sw.logf("swarm %q: %d sessions, %s arrival over %v, %d origins, seed %d\n",
-		scn.Name, len(plan), scn.Arrival.Kind, scn.Arrival.Over.D(), len(tr.servers), scn.Seed)
+	edgeTag := ""
+	if len(tr.edges) > 0 {
+		edgeTag = fmt.Sprintf(" behind %d edges", len(tr.edges))
+	}
+	sw.logf("swarm %q: %d sessions, %s arrival over %v, %d origins%s, seed %d\n",
+		scn.Name, len(plan), scn.Arrival.Kind, scn.Arrival.Over.D(), len(tr.servers), edgeTag, scn.Seed)
 	sw.sobs.emitRunStart(scn, len(plan), len(tr.servers))
 
 	// Shared congestion board: sessions of the same origin group publish
@@ -278,6 +288,7 @@ launch:
 	samplerWG.Wait()
 
 	rep := aggregate(scn, outcomes[:launched], tr.report(int(peakConns.Load())), time.Since(start), int(peakActive))
+	rep.Cache = tr.cacheReport(scn)
 	if sw.KeepSessions {
 		rep.SessionOutcomes = outcomes[:launched]
 	}

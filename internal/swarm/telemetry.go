@@ -23,15 +23,15 @@ type swarmObs struct {
 	sink obs.Sink
 	reg  *obs.Registry // for per-kind chaos counters, created on demand
 
-	active    *obs.Gauge
-	mttrP50   *obs.Gauge
-	mttrP95   *obs.Gauge
-	startup   *obs.Histogram
-	rebuffer  *obs.Histogram
-	queueWait *obs.Histogram
-	sessions  map[string]*obs.Counter // by result label
-	chunksOK  *obs.Counter
-	chunksMis *obs.Counter
+	active     *obs.Gauge
+	mttrP50    *obs.Gauge
+	mttrP95    *obs.Gauge
+	startup    *obs.Histogram
+	rebuffer   *obs.Histogram
+	queueWait  *obs.Histogram
+	sessions   map[string]*obs.Counter // by result label
+	chunksOK   *obs.Counter
+	chunksMis  *obs.Counter
 	chunksLost *obs.Counter
 	wifiBytes  *obs.Counter
 	cellBytes  *obs.Counter

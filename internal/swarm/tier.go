@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"mpdash/internal/cache"
 	"mpdash/internal/dash"
 	"mpdash/internal/netmp"
 )
@@ -37,11 +38,16 @@ type serverMeta struct {
 	rate, rate0 float64
 }
 
-// tier owns every running server of a swarm.
+// tier owns every running server of a swarm. With a cache spec it also
+// owns the edge layer: the groups' addresses then point at the edges,
+// and the origins behind them are only reachable through miss fills.
 type tier struct {
 	groups  map[groupKey]originGroup
 	servers []*netmp.ChunkServer
 	meta    []serverMeta
+
+	store *cache.Cache // shared across every edge; nil = no cache tier
+	edges []*netmp.EdgeServer
 }
 
 // groupFor resolves the group key a spec maps to.
@@ -72,6 +78,15 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 		}
 	}
 	t := &tier{groups: make(map[groupKey]originGroup)}
+	if s.Cache != nil {
+		c := s.Cache.withDefaults()
+		t.store = cache.New(cache.Config{
+			CapacityBytes: int64(c.CapacityMB) << 20,
+			Shards:        c.Shards,
+			MaxLevel:      c.MaxLevel,
+			MinSeen:       c.MinSeen,
+		})
+	}
 	start := func(v *dash.Video, kind string, rank int, mbps float64) (string, error) {
 		var plan *netmp.FaultPlan
 		if faults != nil {
@@ -96,9 +111,15 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 		if _, ok := t.groups[k]; ok {
 			continue
 		}
+		// With a cache tier the class rates shape the edges' client-facing
+		// downlinks; the origins behind them run at the backhaul rate.
+		wifiRate, lteRate := k.wifiMbps, k.lteM
+		if s.Cache != nil {
+			wifiRate, lteRate = s.Cache.OriginMbps, s.Cache.OriginMbps
+		}
 		var g originGroup
 		for o := 0; o < s.Servers.WiFiOrigins; o++ {
-			addr, err := start(videos[k.video], "wifi", o, k.wifiMbps)
+			addr, err := start(videos[k.video], "wifi", o, wifiRate)
 			if err != nil {
 				t.close()
 				return nil, fmt.Errorf("swarm: start wifi origin: %w", err)
@@ -106,16 +127,46 @@ func startTier(s *Scenario, videos []*dash.Video, plan []SessionSpec) (*tier, er
 			g.wifi = append(g.wifi, addr)
 		}
 		for o := 0; o < s.Servers.LTEOrigins; o++ {
-			addr, err := start(videos[k.video], "lte", o, k.lteM)
+			addr, err := start(videos[k.video], "lte", o, lteRate)
 			if err != nil {
 				t.close()
 				return nil, fmt.Errorf("swarm: start lte origin: %w", err)
 			}
 			g.lte = append(g.lte, addr)
 		}
+		if s.Cache != nil {
+			fronted, err := t.frontWithEdges(s, videos[k.video], k, g)
+			if err != nil {
+				t.close()
+				return nil, err
+			}
+			g = fronted
+		}
 		t.groups[k] = g
 	}
 	return t, nil
+}
+
+// frontWithEdges starts one edge per path class over g's origins and
+// returns a group whose addresses point at the edges. Every edge shares
+// the tier's one store, so a chunk filled through any edge — either
+// path, any link class — is a hit for the whole run.
+func (t *tier) frontWithEdges(s *Scenario, v *dash.Video, k groupKey, g originGroup) (originGroup, error) {
+	c := s.Cache.withDefaults()
+	pol := func(rate float64) netmp.EdgePolicy {
+		return netmp.EdgePolicy{RateMbps: rate, FillFetchers: c.FillFetchers}
+	}
+	we, err := netmp.NewEdgeServer(v, v.Name, g.wifi, t.store, pol(k.wifiMbps))
+	if err != nil {
+		return g, fmt.Errorf("swarm: start wifi edge: %w", err)
+	}
+	t.edges = append(t.edges, we)
+	le, err := netmp.NewEdgeServer(v, v.Name, g.lte, t.store, pol(k.lteM))
+	if err != nil {
+		return g, fmt.Errorf("swarm: start lte edge: %w", err)
+	}
+	t.edges = append(t.edges, le)
+	return originGroup{wifi: []string{we.Addr()}, lte: []string{le.Addr()}}, nil
 }
 
 // applyDrop rescales every shaped origin's rate by its link class's
@@ -221,11 +272,23 @@ func (t *tier) restart(path string, rank int) (int, error) {
 // before falling back to an abrupt Close.
 const tierDrainTimeout = 3 * time.Second
 
-// close retires every server: a bounded graceful Drain first (so
-// end-of-run connection teardown is clean FINs, not resets that would
-// read like injected faults in FaultStats), then Close — which doubles
-// as the fallback that unblocks a drain stuck on a lingering handler.
+// close retires every server: the edge layer first (so in-flight fills
+// stop pulling from origins), then a bounded graceful Drain per origin
+// (so end-of-run connection teardown is clean FINs, not resets that
+// would read like injected faults in FaultStats), then Close — which
+// doubles as the fallback that unblocks a drain stuck on a lingering
+// handler.
 func (t *tier) close() error {
+	edgeErrs := make([]error, len(t.edges))
+	var ewg sync.WaitGroup
+	for i, e := range t.edges {
+		ewg.Add(1)
+		go func(i int, e *netmp.EdgeServer) {
+			defer ewg.Done()
+			edgeErrs[i] = e.Close()
+		}(i, e)
+	}
+	ewg.Wait()
 	errs := make([]error, len(t.servers))
 	var wg sync.WaitGroup
 	for i, s := range t.servers {
@@ -245,7 +308,7 @@ func (t *tier) close() error {
 		}(i, s)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	return errors.Join(errors.Join(edgeErrs...), errors.Join(errs...))
 }
 
 // currentConns sums admitted connections across the tier.
