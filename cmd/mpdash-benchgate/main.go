@@ -29,6 +29,12 @@
 //	    cache block (the scenario ran with a cache stanza) whose
 //	    origin-offload ratio meets the floor, with zero fill errors;
 //	    -min-hit-rate bounds the hit rate the same way.
+//	mpdash-benchgate -min-throughput 50
+//	    apply an absolute swarm-throughput floor in chunks landed per
+//	    wall second: in suite mode against the fresh netmp_swarm
+//	    throughput_chunks_per_s metric, with -swarm against the report's
+//	    chunks/wall_s. Absolute on purpose — a baseline recorded on a
+//	    slow host must not lower the bar.
 //	mpdash-benchgate -swarm BENCH_on.json -swarm-baseline BENCH_off.json
 //	    additionally require the report to strictly beat a baseline run
 //	    of the same scenario with graceful degradation off on BOTH the
@@ -71,6 +77,7 @@ func run() int {
 		maxMTTRP95   = flag.Float64("max-mttr-p95", 0, "swarm gate: max p95 chaos recovery time in seconds; requires an executed chaos timeline with every event recovered (0 = recovery not gated)")
 		minOffload   = flag.Float64("min-offload", 0, "swarm gate: min edge-cache origin-offload ratio; requires a run with a cache tier (0 = not gated)")
 		minHitRate   = flag.Float64("min-hit-rate", 0, "swarm gate: min edge-cache hit rate; requires a run with a cache tier (0 = not gated)")
+		minThr       = flag.Float64("min-throughput", 0, "min swarm throughput in chunks per wall second: with -swarm an absolute report gate, otherwise an absolute floor on the fresh netmp_swarm throughput_chunks_per_s metric (0 = not gated)")
 		quiet        = flag.Bool("quiet", false, "print failures only")
 	)
 	flag.Parse()
@@ -84,6 +91,7 @@ func run() int {
 		return gateSwarm(*swarmPath, *swarmBase, perf.SwarmThresholds{
 			MaxMissRate: *maxMissRate, MaxFailed: *maxFailed, MaxTimedOut: *maxTimedOut,
 			MaxMTTRP95: *maxMTTRP95, MinOffload: *minOffload, MinHitRate: *minHitRate,
+			MinThroughput: *minThr,
 		}, *quiet)
 	}
 	if *swarmBase != "" {
@@ -173,6 +181,22 @@ func run() int {
 			return 2
 		}
 		fmt.Printf("suite %s: %s\n", name, perf.Summarize(rows))
+	}
+	// Absolute throughput floor on the fresh swarm scenario, independent
+	// of the baseline diff: a baseline recorded on a slow host must not
+	// quietly lower the bar.
+	if *minThr > 0 {
+		thr, found := fresh["netmp"].MetricValue("netmp_swarm", "throughput_chunks_per_s")
+		switch {
+		case !found:
+			fmt.Fprintln(os.Stderr, "mpdash-benchgate: -min-throughput needs the netmp suite's netmp_swarm throughput_chunks_per_s metric")
+			return 2
+		case thr < *minThr:
+			fmt.Fprintf(os.Stderr, "mpdash-benchgate: swarm throughput %.1f chunks/s below the -min-throughput floor %.1f\n", thr, *minThr)
+			allOK = false
+		default:
+			fmt.Printf("swarm throughput %.1f chunks/s ≥ floor %.1f\n", thr, *minThr)
+		}
 	}
 	if !allOK {
 		fmt.Fprintln(os.Stderr, "\nmpdash-benchgate: REGRESSION — see FAIL rows above; if intentional, refresh with -update and commit")

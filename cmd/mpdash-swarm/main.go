@@ -292,14 +292,22 @@ func run() int {
 			fmt.Printf("report: %s\n", *out)
 		}
 	}
+	// Failure accumulation: every violated criterion prints before the
+	// process exits nonzero, and any audit violation fails the run
+	// regardless of which flags attached the auditor or wrote the report
+	// (Count is nil-safe and includes truncated overflow, which OK()
+	// would miss).
+	fail := false
 	if rep.LedgerViolations > 0 || rep.Panicked > 0 {
 		fmt.Fprintf(os.Stderr, "mpdash-swarm: %d ledger violations, %d panics\n",
 			rep.LedgerViolations, rep.Panicked)
-		return 1
+		fail = true
 	}
-	if rep.Audit != nil && !rep.Audit.OK() {
-		fmt.Fprintf(os.Stderr, "mpdash-swarm: audit FAILED — %d invariant violations\n",
-			rep.Audit.Count())
+	if n := rep.Audit.Count(); n > 0 {
+		fmt.Fprintf(os.Stderr, "mpdash-swarm: audit FAILED — %d invariant violations\n", n)
+		fail = true
+	}
+	if fail {
 		return 1
 	}
 	return 0

@@ -112,13 +112,23 @@ func (f *Fetcher) livePaths() int {
 func (f *Fetcher) monitorDoom(st *fetchState, ap AbortPolicy, size int64, segSize int64, start, dlAt time.Time, index, level int, stop <-chan struct{}) {
 	window := dlAt.Sub(start)
 	minWait := time.Duration(ap.MinProgress * float64(window))
-	tick := time.NewTicker(controllerTick)
-	defer tick.Stop()
+	// One runtime ticker per in-flight chunk does not scale to a 5k-
+	// session population; ride the shared wheel when one is wired.
+	var tickC <-chan time.Time
+	var stopTick func()
+	if f.wheel != nil {
+		wt := f.wheel.Ticker(controllerTick)
+		tickC, stopTick = wt.C, wt.Stop
+	} else {
+		tk := time.NewTicker(controllerTick)
+		tickC, stopTick = tk.C, tk.Stop
+	}
+	defer stopTick()
 	for {
 		select {
 		case <-stop:
 			return
-		case <-tick.C:
+		case <-tickC:
 		}
 		if st.finished() || st.aborted() {
 			return

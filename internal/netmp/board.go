@@ -52,9 +52,14 @@ type CongestionBoard struct {
 	clk    Clock
 	shards [boardShards]boardShard
 
-	publishes atomic.Int64
-	seeds     atomic.Int64
-	drops     atomic.Int64
+	// The cumulative tallies are striped across cache lines
+	// (obs.ShardedCounter) keyed by the bottleneck-key hash: at swarm
+	// scale every session's publish throttle fires on the same
+	// interval, and a single shared atomic becomes a coherence-miss
+	// hotspot long before the shard mutexes do.
+	publishes obs.ShardedCounter
+	seeds     obs.ShardedCounter
+	drops     obs.ShardedCounter
 }
 
 type boardShard struct {
@@ -89,14 +94,20 @@ func NewCongestionBoardClocked(clk Clock) *CongestionBoard {
 	return b
 }
 
-// shardFor hashes key to its shard (FNV-1a, masked).
-func (b *CongestionBoard) shardFor(key string) *boardShard {
+// boardHash is the FNV-1a hash shared by shard selection and counter
+// striping, so one key always lands on one shard and one stripe.
+func boardHash(key string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= 1099511628211
 	}
-	return &b.shards[h&(boardShards-1)]
+	return h
+}
+
+// shardFor hashes key to its shard (FNV-1a, masked).
+func (b *CongestionBoard) shardFor(key string) *boardShard {
+	return &b.shards[boardHash(key)&(boardShards-1)]
 }
 
 // entry returns the key's entry, creating it on first use.
@@ -130,7 +141,8 @@ func (b *CongestionBoard) Publish(key string, rate float64) bool {
 	if rate <= 0 {
 		return false
 	}
-	b.publishes.Add(1)
+	h := boardHash(key)
+	b.publishes.Inc(h)
 	e := b.entry(key)
 	e.mu.Lock()
 	prev := bitsToRate(e.rateBits.Load())
@@ -152,7 +164,7 @@ func (b *CongestionBoard) Publish(key string, rate float64) bool {
 	e.samples.Add(1)
 	e.mu.Unlock()
 	if dropped {
-		b.drops.Add(1)
+		b.drops.Inc(h)
 	}
 	return dropped
 }
@@ -174,7 +186,7 @@ func (b *CongestionBoard) Rate(key string) (float64, bool) {
 func (b *CongestionBoard) Seed(key string) (rate float64, ok bool) {
 	rate, ok = b.Rate(key)
 	if ok {
-		b.seeds.Add(1)
+		b.seeds.Inc(boardHash(key))
 	}
 	return rate, ok
 }
@@ -203,9 +215,9 @@ type BoardStats struct {
 // Stats returns the board's counters.
 func (b *CongestionBoard) Stats() BoardStats {
 	st := BoardStats{
-		Publishes: b.publishes.Load(),
-		Seeds:     b.seeds.Load(),
-		Drops:     b.drops.Load(),
+		Publishes: b.publishes.Value(),
+		Seeds:     b.seeds.Value(),
+		Drops:     b.drops.Value(),
 	}
 	for i := range b.shards {
 		s := &b.shards[i]
@@ -225,13 +237,13 @@ func (b *CongestionBoard) Instrument(t *obs.Telemetry) {
 	r := t.Registry
 	r.CounterFunc("netmp_board_publishes_total",
 		"Rate samples folded into the congestion board.",
-		nil, func() float64 { return float64(b.publishes.Load()) })
+		nil, func() float64 { return float64(b.publishes.Value()) })
 	r.CounterFunc("netmp_board_seeds_total",
 		"Predictor seeds served from the congestion board.",
-		nil, func() float64 { return float64(b.seeds.Load()) })
+		nil, func() float64 { return float64(b.seeds.Value()) })
 	r.CounterFunc("netmp_board_drops_total",
 		"Capacity-drop signals registered on the congestion board.",
-		nil, func() float64 { return float64(b.drops.Load()) })
+		nil, func() float64 { return float64(b.drops.Value()) })
 	r.GaugeFunc("netmp_board_keys",
 		"Bottleneck keys tracked by the congestion board.",
 		nil, func() float64 { return float64(b.Stats().Keys) })

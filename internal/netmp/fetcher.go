@@ -75,6 +75,12 @@ type Fetcher struct {
 	// timestamps (nil = time.Now); set with SetClock before fetching.
 	clk Clock
 
+	// wheel is the optional shared timer wheel (wheel.go): hedge-arm
+	// triggers and doom-monitor ticks ride it instead of per-call
+	// runtime timers. Set with SetWheel before fetching; nil (the
+	// single-session default) falls back to runtime timers.
+	wheel *TimerWheel
+
 	// obsMu guards fobs; the published *fetcherObs itself is immutable,
 	// so one lock acquisition per read suffices (see telemetry.go).
 	obsMu sync.Mutex
@@ -99,6 +105,13 @@ func (f *Fetcher) SetClock(c Clock) {
 	f.primary.setClock(c)
 	f.secondary.setClock(c)
 }
+
+// SetWheel attaches a shared timer wheel so this fetcher's hedge-arm
+// and doom-monitor timers ride one population-wide structure instead
+// of allocating runtime timers per segment. Nil (the default) keeps
+// runtime timers. Call before fetching; the swarm wires every
+// session's fetcher to one wheel.
+func (f *Fetcher) SetWheel(w *TimerWheel) { f.wheel = w }
 
 // obsHandles returns the published telemetry handles (nil = off).
 func (f *Fetcher) obsHandles() *fetcherObs {
@@ -802,11 +815,15 @@ func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (
 	defer pc.conn.SetDeadline(time.Time{})
 
 	lvlID := f.Video.Levels[level].ID
-	req := fmt.Sprintf("GET /seg-l%d-c%04d.m4s HTTP/1.1\r\nHost: x\r\nRange: bytes=%d-%d\r\n\r\n", lvlID, index, from, to)
+	reqp := acquireReqLine()
+	req := AppendRangeRequest((*reqp)[:0], lvlID, index, from, to)
 	t0 := f.clk.now()
 	extend()
-	if _, err := io.WriteString(pc.conn, req); err != nil {
-		return 0, false, fmt.Errorf("netmp: %s write: %w", pc.name, err)
+	_, werr := pc.conn.Write(req)
+	*reqp = req[:0]
+	releaseReqLine(reqp)
+	if werr != nil {
+		return 0, false, fmt.Errorf("netmp: %s write: %w", pc.name, werr)
 	}
 	status, err := pc.r.ReadString('\n')
 	if err != nil {
@@ -857,7 +874,9 @@ func (f *Fetcher) requestRange(pc *pathConn, index, level int, from, to int64) (
 			defer csp.End()
 		}
 	}
-	buf := make([]byte, 16*1024)
+	bp := AcquireSegBuf()
+	defer ReleaseSegBuf(bp)
+	buf := *bp
 	var got int64
 	ok := true
 	for got < contentLength {

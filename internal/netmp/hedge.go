@@ -226,17 +226,19 @@ func (f *Fetcher) fetchSegHedged(pc *pathConn, pol RetryPolicy, index, level int
 	}()
 
 	delay := f.hedgeDelay(hp, pol, to-from+1, dlAt)
-	timer := time.NewTimer(delay)
+	// The arm trigger rides the shared timer wheel when one is wired
+	// (f.wheel.After is nil-safe and falls back to a runtime timer).
+	armCh, armTimer := f.wheel.After(delay)
 	var first segOutcome
 	select {
 	case first = <-resCh:
 		// The primary finished before the hedge armed — the common case.
-		timer.Stop()
+		armTimer.Stop()
 		if first.err == nil {
 			f.observeSegRate(first.n, f.clk.now().Sub(start))
 		}
 		return first.n, first.err
-	case <-timer.C:
+	case <-armCh:
 	}
 
 	// Pace projects a miss: issue the duplicate to the backup origin.

@@ -1,0 +1,8 @@
+//go:build race
+
+package netmp
+
+// raceEnabled reports whether the test binary was built with the race
+// detector (which makes sync.Pool intentionally drop puts, so
+// zero-allocation assertions over pooled paths only hold without it).
+const raceEnabled = true

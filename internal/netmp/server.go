@@ -728,8 +728,10 @@ func writeManifestFor(w *bufio.Writer, v *dash.Video) error {
 // point, a premature close stops after half the advertised length, and
 // corruption flips a short run of bytes in the first block.
 func (s *ChunkServer) writeBody(ctx context.Context, w io.Writer, index, level int, from, n int64, fault FaultKind) error {
-	const block = 16 * 1024
-	buf := make([]byte, block)
+	const block = segBufBlock
+	bp := AcquireSegBuf()
+	defer ReleaseSegBuf(bp)
+	buf := *bp
 	off := from
 	remaining := n
 	stalled := false

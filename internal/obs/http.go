@@ -55,24 +55,19 @@ func (t *Telemetry) publishExpvar() {
 	publishOnce.Do(func() {
 		expvar.Publish("mpdash", expvar.Func(func() any {
 			out := make(map[string]float64)
-			for _, f := range reg.snapshotFams() {
-				reg.mu.Lock()
-				sers := make([]*series, 0, len(f.series))
-				for _, s := range f.series {
-					sers = append(sers, s)
-				}
-				reg.mu.Unlock()
-				for _, s := range sers {
+			for _, fs := range reg.snapshotFams() {
+				name := fs.f.name
+				for _, s := range fs.sers {
 					switch {
 					case s.h != nil:
-						out[f.name+s.labels+"_count"] = float64(s.h.Count())
-						out[f.name+s.labels+"_sum"] = s.h.Sum()
+						out[name+s.labels+"_count"] = float64(s.h.Count())
+						out[name+s.labels+"_sum"] = s.h.Sum()
 					case s.fn != nil:
-						out[f.name+s.labels] = s.fn()
+						out[name+s.labels] = s.fn()
 					case s.c != nil:
-						out[f.name+s.labels] = float64(s.c.Value())
+						out[name+s.labels] = float64(s.c.Value())
 					case s.g != nil:
-						out[f.name+s.labels] = s.g.Value()
+						out[name+s.labels] = s.g.Value()
 					}
 				}
 			}

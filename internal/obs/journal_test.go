@@ -218,3 +218,66 @@ func TestJournalNilSafe(t *testing.T) {
 		t.Error("nil journal not inert")
 	}
 }
+
+// Batched streaming: a partial batch stays staged until Flush forces it
+// out, full batches drain on the threshold append, and a concurrent
+// append storm loses nothing — every event reaches the stream exactly
+// once, per-writer in order.
+func TestJournalBatchedStream(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(16)
+	j.StreamTo(&buf)
+
+	// Below the batch threshold nothing needs to have hit the stream
+	// yet; Flush must force the partial batch out.
+	for i := 0; i < journalBatch-1; i++ {
+		j.Append(NewEvent("early").WithNum("seq", float64(i)))
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != journalBatch-1 {
+		t.Fatalf("after Flush: stream holds %d events, want %d", len(evs), journalBatch-1)
+	}
+
+	const writers, each = 4, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Append(NewEvent("e").
+					WithStr("writer", fmt.Sprintf("w%d", w)).
+					WithNum("seq", float64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err = ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := journalBatch - 1 + writers*each; len(evs) != want {
+		t.Fatalf("stream holds %d events, want %d", len(evs), want)
+	}
+	// FIFO per writer across drains.
+	last := map[string]float64{}
+	for _, e := range evs {
+		if e.Type != "e" {
+			continue
+		}
+		w := e.Str["writer"]
+		if prev, ok := last[w]; ok && e.Num["seq"] <= prev {
+			t.Fatalf("writer %s out of order: %v after %v", w, e.Num["seq"], prev)
+		}
+		last[w] = e.Num["seq"]
+	}
+}

@@ -303,41 +303,76 @@ type family struct {
 	series map[string]*series
 }
 
+// registryShards is the number of independent lock domains a Registry
+// splits its families across — a power of two so shard selection is a
+// mask. Families land on shards by FNV-1a of the metric name, so
+// sessions hammering disjoint metric families never serialize on one
+// registry mutex at swarm scale.
+const registryShards = 8
+
+// regShard is one lock domain: a slice of the family map guarded by its
+// own RWMutex.
+type regShard struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+	// Pad the shard out to its own cache lines so neighbouring shards'
+	// lock words don't false-share under contention.
+	_ [64]byte
+}
+
 // Registry holds metric families and renders them in the Prometheus text
 // format. Safe for concurrent use; all lookup methods are nil-safe and
 // return nil handles on a nil registry, so instrumentation can be wired
-// unconditionally. Steady-state handle lookups — by far the common case
-// on instrumented hot paths — resolve under a read lock; the write lock
-// is only taken to register a new family or series.
+// unconditionally. Families are split across power-of-two lock shards
+// keyed by metric name, so steady-state handle lookups — by far the
+// common case on instrumented hot paths — resolve under a per-shard
+// read lock and concurrent sessions touching different families never
+// contend; a shard's write lock is only taken to register a new family
+// or series. Exposition order is preserved across shards by a global
+// registration-order counter, so sharding never changes scrape output.
 type Registry struct {
-	mu   sync.RWMutex
-	fams map[string]*family
-	n    int
+	shards [registryShards]regShard
+	n      atomic.Int64 // global registration order across shards
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{fams: make(map[string]*family)}
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].fams = make(map[string]*family)
+	}
+	return r
 }
 
-// fam returns (creating if needed) the family for name, checking kind
-// agreement. Re-registering an existing series returns the existing one.
-func (r *Registry) fam(name, help string, kind metricKind) *family {
-	f, ok := r.fams[name]
+// shard selects name's lock domain (FNV-1a, allocation-free).
+func (r *Registry) shard(name string) *regShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return &r.shards[h&(registryShards-1)]
+}
+
+// fam returns (creating if needed) the family for name within sh, which
+// the caller holds write-locked. Re-registering an existing series
+// returns the existing one.
+func (r *Registry) fam(sh *regShard, name, help string, kind metricKind) *family {
+	f, ok := sh.fams[name]
 	if !ok {
-		f = &family{name: name, help: help, kind: kind, order: r.n, series: make(map[string]*series)}
-		r.n++
-		r.fams[name] = f
+		f = &family{name: name, help: help, kind: kind, order: int(r.n.Add(1) - 1), series: make(map[string]*series)}
+		sh.fams[name] = f
 	}
 	return f
 }
 
-// lookup resolves the series for (name, key) under the read lock — the
-// steady-state path of every labeled handle acquisition.
+// lookup resolves the series for (name, key) under the owning shard's
+// read lock — the steady-state path of every labeled handle acquisition.
 func (r *Registry) lookup(name, key string) *series {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	f, ok := r.fams[name]
+	sh := r.shard(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.fams[name]
 	if !ok {
 		return nil
 	}
@@ -354,9 +389,10 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 	if s := r.lookup(name, key); s != nil && s.c != nil {
 		return s.c
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.fam(name, help, kindCounter)
+	sh := r.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f := r.fam(sh, name, help, kindCounter)
 	if s, ok := f.series[key]; ok && s.c != nil {
 		return s.c
 	}
@@ -374,9 +410,10 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	if s := r.lookup(name, key); s != nil && s.g != nil {
 		return s.g
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.fam(name, help, kindGauge)
+	sh := r.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f := r.fam(sh, name, help, kindGauge)
 	if s, ok := f.series[key]; ok && s.g != nil {
 		return s.g
 	}
@@ -398,9 +435,10 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 	if s := r.lookup(name, key); s != nil && s.h != nil {
 		return s.h
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.fam(name, help, kindHistogram)
+	sh := r.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f := r.fam(sh, name, help, kindHistogram)
 	if s, ok := f.series[key]; ok && s.h != nil {
 		return s.h
 	}
@@ -425,42 +463,56 @@ func (r *Registry) registerFunc(name, help string, kind metricKind, labels Label
 	if r == nil || fn == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.fam(name, help, kind)
+	sh := r.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f := r.fam(sh, name, help, kind)
 	key := labels.render()
 	f.series[key] = &series{labels: key, fn: fn}
 }
 
-// snapshotFams returns the families sorted by registration order, with
-// series sorted by label rendering. The per-series value reads happen
-// outside the registry lock (func-backed series may take component
-// locks of their own).
-func (r *Registry) snapshotFams() []*family {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*family, 0, len(r.fams))
-	for _, f := range r.fams {
-		out = append(out, f)
+// famSnap is one family plus its series list, captured under the
+// owning shard's lock so exposition can iterate lock-free.
+type famSnap struct {
+	f    *family
+	sers []*series
+}
+
+// snapshotFams returns the families sorted by global registration
+// order, each with its series sorted by label rendering. The per-series
+// value reads happen outside every registry lock (func-backed series
+// may take component locks of their own).
+func (r *Registry) snapshotFams() []famSnap {
+	var out []famSnap
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, f := range sh.fams {
+			sers := make([]*series, 0, len(f.series))
+			for _, s := range f.series {
+				sers = append(sers, s)
+			}
+			out = append(out, famSnap{f: f, sers: sers})
+		}
+		sh.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
+	sort.Slice(out, func(i, j int) bool { return out[i].f.order < out[j].f.order })
+	for _, fs := range out {
+		sort.Slice(fs.sers, func(i, j int) bool { return fs.sers[i].labels < fs.sers[j].labels })
+	}
 	return out
 }
 
 // WritePrometheus renders every registered series in the Prometheus text
-// exposition format (version 0.0.4). Nil-safe.
+// exposition format (version 0.0.4). Nil-safe. Output is byte-stable
+// under sharding: families render in global registration order, series
+// in label order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	for _, f := range r.snapshotFams() {
-		sers := make([]*series, 0, len(f.series))
-		r.mu.RLock()
-		for _, s := range f.series {
-			sers = append(sers, s)
-		}
-		r.mu.RUnlock()
-		sort.Slice(sers, func(i, j int) bool { return sers[i].labels < sers[j].labels })
+	for _, fs := range r.snapshotFams() {
+		f, sers := fs.f, fs.sers
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
 				return err

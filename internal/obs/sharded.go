@@ -1,0 +1,54 @@
+package obs
+
+import "sync/atomic"
+
+// counterStripes is the number of independent cache lines a
+// ShardedCounter spreads its increments across — a power of two so
+// stripe selection is a mask.
+const counterStripes = 16
+
+// stripe is one cache-line-padded atomic cell: the count occupies the
+// first word and the padding pushes the next stripe onto its own line,
+// so concurrent writers on different stripes never false-share.
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter is a monotonically increasing counter striped across
+// power-of-two cache-line-padded cells, for hot counters shared by
+// thousands of sessions (the congestion board's publish/seed/drop
+// tallies). Writers pick a stripe from a caller-supplied key — any
+// stable per-session value, e.g. the FNV-1a hash of the session's
+// board key — so a population's increments fan out instead of
+// serializing on one atomic. Value sums the stripes; like every obs
+// handle it is nil-safe, and totals are exact once writers quiesce
+// (each stripe is itself an atomic counter, so no increment is ever
+// lost — a concurrent read may only observe a slightly stale sum).
+type ShardedCounter struct {
+	stripes [counterStripes]stripe
+}
+
+// Add increments the counter by d on the stripe selected by key.
+// Negative deltas are ignored — the counter is monotonic. Nil-safe.
+func (c *ShardedCounter) Add(key uint64, d int64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.stripes[key&(counterStripes-1)].v.Add(d)
+}
+
+// Inc increments the counter by one on the stripe selected by key.
+func (c *ShardedCounter) Inc(key uint64) { c.Add(key, 1) }
+
+// Value returns the sum across stripes (0 on a nil handle).
+func (c *ShardedCounter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.stripes {
+		sum += c.stripes[i].v.Load()
+	}
+	return sum
+}

@@ -10,6 +10,7 @@ package perf
 import (
 	"context"
 	"errors"
+	"testing"
 	"time"
 
 	"mpdash/internal/dash"
@@ -21,6 +22,7 @@ func netmpScenarios() []*scenario {
 	return []*scenario{
 		{name: "netmp_session_fetch", run: runSessionFetch},
 		{name: "netmp_swarm", run: runSwarm},
+		{name: "netmp_chunk_path", inner: 1, setup: setupChunkPath, domain: chunkPathDomain},
 	}
 }
 
@@ -148,6 +150,68 @@ func runSwarm(cfg Config) (time.Duration, int, []Metric, error) {
 		{Name: "chunks", Value: float64(rep.Chunks), Gate: GateInfo},
 		{Name: "cellular_byte_share", Value: rep.CellularByteShare, Gate: GateInfo},
 		{Name: "stalls", Value: float64(rep.Stalls), Gate: GateInfo},
+		// Swarm throughput (sessions' chunks landed per wall second): the
+		// scale north star. Wide relative tolerance because loopback
+		// scheduling varies across hosts; the CI bench job additionally
+		// applies an absolute floor via benchgate -min-throughput. Zero
+		// under a frozen clock (wall collapses), where it is meaningless
+		// and the min gate of a zero baseline never trips.
+		{Name: "throughput_chunks_per_s", Value: swarmThroughput(rep.Chunks, wall), Gate: GateMin, Tol: 0.6},
 	}
 	return wall, rep.Sessions, metrics, nil
+}
+
+// swarmThroughput computes chunks landed per wall second, 0 when the
+// (possibly frozen) clock measured no elapsed time.
+func swarmThroughput(chunks int, wall time.Duration) float64 {
+	if s := wall.Seconds(); s > 0 {
+		return float64(chunks) / s
+	}
+	return 0
+}
+
+// chunkPathOp composes one pooled per-chunk unit of work: acquire a
+// segment buffer, render the range-request line into a reused scratch
+// slice, fill-and-verify a body block, release. This is the exact
+// composition the fetcher hot path runs per segment, so its allocation
+// profile is the steady-state allocs-per-chunk contract.
+func chunkPathOp(req *[]byte, bp *[]byte) {
+	buf := *bp
+	*req = netmp.AppendRangeRequest((*req)[:0], 2, 17, 0, int64(len(buf))-1)
+	for i := 0; i < 512; i++ {
+		buf[i] = netmp.ChunkBody(17, 2, int64(i))
+	}
+	for i := 0; i < 512; i++ {
+		if buf[i] != netmp.ChunkBody(17, 2, int64(i)) {
+			panic("perf: chunk body verify mismatch")
+		}
+	}
+}
+
+// setupChunkPath builds the pooled chunk-path micro op.
+func setupChunkPath(cfg Config) (func(), error) {
+	req := make([]byte, 0, 160)
+	return func() {
+		bp := netmp.AcquireSegBuf()
+		chunkPathOp(&req, bp)
+		netmp.ReleaseSegBuf(bp)
+	}, nil
+}
+
+// chunkPathDomain measures steady-state allocations per chunk on the
+// pooled path with testing.AllocsPerRun. Gated at an absolute ceiling of
+// 2 allocs per chunk (the acceptance contract); the expected value is 0.
+// GateMax rather than GateExact because the race detector deliberately
+// defeats sync.Pool recycling, so race-enabled local runs may observe
+// nonzero counts (the CI gate runs without -race).
+func chunkPathDomain(cfg Config) ([]Metric, error) {
+	req := make([]byte, 0, 160)
+	allocs := testing.AllocsPerRun(200, func() {
+		bp := netmp.AcquireSegBuf()
+		chunkPathOp(&req, bp)
+		netmp.ReleaseSegBuf(bp)
+	})
+	return []Metric{
+		{Name: "allocs_per_chunk", Value: allocs, Gate: GateMax, Abs: 2},
+	}, nil
 }

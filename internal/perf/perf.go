@@ -193,6 +193,24 @@ func (s *SuiteResult) bench(name string) *Bench {
 	return nil
 }
 
+// MetricValue returns the named domain metric of the named bench, when
+// the suite recorded it. Used by benchgate's absolute-floor flags (e.g.
+// -min-throughput against netmp_swarm's throughput_chunks_per_s).
+func (s *SuiteResult) MetricValue(bench, metric string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	b := s.bench(bench)
+	if b == nil {
+		return 0, false
+	}
+	m := b.metric(metric)
+	if m == nil {
+		return 0, false
+	}
+	return m.Value, true
+}
+
 // Baseline is the checked-in BENCH_baseline.json: one SuiteResult per
 // suite, refreshed via `go run ./cmd/mpdash-benchgate -update`.
 type Baseline struct {
@@ -331,8 +349,12 @@ func runScenario(sc *scenario, cfg Config) (*Bench, error) {
 			})
 			n := float64(r.N)
 			ns = append(ns, float64(r.T.Nanoseconds())/n/inner)
-			bs = append(bs, float64(r.MemBytes)/n/inner)
-			al = append(al, float64(r.MemAllocs)/n/inner)
+			// Allocation stats use the testing package's own truncating
+			// per-op accounting: one-off harness allocations amortized
+			// over r.N round to exactly zero instead of leaving a tiny
+			// nonzero median that breaks the zero-alloc exact contract.
+			bs = append(bs, float64(r.AllocedBytesPerOp())/inner)
+			al = append(al, float64(r.AllocsPerOp())/inner)
 		}
 		b.NsOp, b.BOp, b.AllocsOp = statOf(ns), statOf(bs), statOf(al)
 		if sc.domain != nil {

@@ -33,6 +33,9 @@ type SwarmThresholds struct {
 	MinOffload float64
 	// MinHitRate gates the cache hit rate the same way (0 = not gated).
 	MinHitRate float64
+	// MinThroughput is the floor on swarm throughput in chunks landed
+	// per wall second (Chunks / WallS). 0 = throughput not gated.
+	MinThroughput float64
 }
 
 func (t SwarmThresholds) withDefaults() SwarmThresholds {
@@ -78,6 +81,17 @@ func GateSwarm(rep *swarm.Report, t SwarmThresholds) ([]DiffRow, bool) {
 		rows = append(rows, DiffRow{Bench: "swarm:" + rep.Scenario, Metric: "chunks",
 			Limit: "> 0", Verdict: VerdictFail, Note: "swarm moved no traffic"})
 		ok = false
+	}
+	// Throughput gate: chunks landed per wall second must meet the floor.
+	// A report without a measured wall (WallS 0) cannot prove the floor
+	// and fails when the gate is requested.
+	if t.MinThroughput > 0 {
+		thr := 0.0
+		if rep.WallS > 0 {
+			thr = float64(rep.Chunks) / rep.WallS
+		}
+		rows = append(rows, row("throughput_chunks_per_s", thr, t.MinThroughput, "≥",
+			thr >= t.MinThroughput, "chunks landed per wall second across the population"))
 	}
 	// Chaos recovery gate: the timeline must have executed, every event
 	// must have recovered, and the p95 MTTR must sit under the bound.
